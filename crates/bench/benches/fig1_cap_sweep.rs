@@ -1,0 +1,50 @@
+//! Bench for Fig. 1: the single-kernel cap sweep on A100-SXM4-40GB.
+//! Prints the regenerated best-efficiency points, then benchmarks the
+//! sweep machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugpc_capping::{best_point, cap_sweep};
+use ugpc_hwsim::{GpuModel, Precision};
+
+fn print_regenerated_rows() {
+    println!("\n=== Fig. 1 (regenerated): best cap per size, A100-SXM4-40GB ===");
+    for precision in Precision::ALL {
+        for size in [1024usize, 2048, 3072, 4096, 5120] {
+            let sweep = cap_sweep(GpuModel::A100Sxm4_40, size, precision, 0.02);
+            let best = best_point(&sweep);
+            let free = sweep.last().unwrap();
+            println!(
+                "{} n={size}: best cap {:.0} %TDP, eff {:.1} Gflop/s/W ({:+.1} % vs uncapped)",
+                precision.short(),
+                best.cap_frac * 100.0,
+                best.efficiency,
+                (best.efficiency / free.efficiency - 1.0) * 100.0,
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_regenerated_rows();
+    let mut group = c.benchmark_group("fig1_cap_sweep");
+    for &size in &[1024usize, 5120] {
+        for precision in Precision::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(precision.short(), size),
+                &size,
+                |b, &n| {
+                    b.iter(|| {
+                        let sweep =
+                            cap_sweep(GpuModel::A100Sxm4_40, black_box(n), precision, 0.02);
+                        black_box(best_point(&sweep).efficiency)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

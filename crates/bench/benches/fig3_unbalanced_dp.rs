@@ -1,0 +1,35 @@
+//! Bench for Fig. 3: the double-precision unbalanced-capping ladders.
+//! Prints the regenerated headline subplot (32-AMD-4-A100), then
+//! benchmarks single ladder runs at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugpc_experiments::unbalanced::{render, run_ladder};
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the paper's Fig. 3a/3d rows (full scale — fast).
+    for op in OpKind::ALL {
+        let ladder = run_ladder(PlatformId::Amd4A100, op, Precision::Double, 1, None);
+        println!("\n=== Fig. 3 (regenerated) ===");
+        println!("{}", render(&ladder));
+    }
+
+    let mut group = c.benchmark_group("fig3_unbalanced_dp");
+    group.sample_size(10);
+    for platform in PlatformId::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("gemm_ladder", platform.name()),
+            &platform,
+            |b, &pf| {
+                b.iter(|| {
+                    black_box(run_ladder(pf, OpKind::Gemm, Precision::Double, 4, None).rows.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

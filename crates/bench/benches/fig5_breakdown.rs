@@ -1,0 +1,21 @@
+//! Bench for Fig. 5: per-device energy breakdown on 24-Intel-2-V100.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugpc_experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig5::run(1);
+    println!("\n=== Fig. 5 (regenerated) ===");
+    println!("{}", fig5::render(&fig));
+
+    let mut group = c.benchmark_group("fig5_breakdown");
+    group.sample_size(10);
+    group.bench_function("both_ops_reduced", |b| {
+        b.iter(|| black_box(fig5::run(4).ladders.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

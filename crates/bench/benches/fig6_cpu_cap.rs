@@ -1,0 +1,35 @@
+//! Bench for Fig. 6: the CPU-capping study on 24-Intel-2-V100.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugpc_core::{run_study, RunConfig};
+use ugpc_experiments::fig6;
+use ugpc_hwsim::{OpKind, PlatformId, Precision, Watts};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig6::run(1);
+    println!("\n=== Fig. 6 (regenerated) ===");
+    println!("{}", fig6::render(&fig));
+
+    let mut group = c.benchmark_group("fig6_cpu_cap");
+    group.sample_size(10);
+    for capped in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("gemm_dp", if capped { "cpu_capped" } else { "no_cap" }),
+            &capped,
+            |b, &capped| {
+                let mut cfg =
+                    RunConfig::paper(PlatformId::Intel2V100, OpKind::Gemm, Precision::Double)
+                        .scaled_down(2);
+                if capped {
+                    cfg = cfg.with_cpu_cap(1, Watts(60.0));
+                }
+                b.iter(|| black_box(run_study(&cfg).efficiency_gflops_w))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Fig. 7: the tile-size study. Prints a regenerated slice
+//! (32-AMD-4-A100 GEMM dp across its three tile sizes), then benchmarks
+//! per-tile-size runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugpc_core::{run_study, RunConfig};
+use ugpc_experiments::fig7::tile_sizes;
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Fig. 7 (regenerated slice): 32-AMD-4-A100 GEMM dp ===");
+    for nb in tile_sizes(PlatformId::Amd4A100, OpKind::Gemm) {
+        for config in ["HHHH", "HHBB", "BBBB"] {
+            let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+                .with_tile(nb)
+                .with_gpu_config(config.parse().unwrap());
+            let r = run_study(&cfg);
+            println!("Nt={nb:<5} {config}: {:.2} Gflop/s/W", r.efficiency_gflops_w);
+        }
+    }
+
+    let mut group = c.benchmark_group("fig7_tile_sizes");
+    group.sample_size(10);
+    for nb in tile_sizes(PlatformId::Amd4A100, OpKind::Gemm) {
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+                .with_tile(nb)
+                .scaled_down(2)
+                .with_gpu_config("BBBB".parse().unwrap());
+            b.iter(|| black_box(run_study(&cfg).efficiency_gflops_w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench for Table I: re-deriving the best-efficiency configuration per
+//! GPU model and precision by full sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugpc_capping::table_i_row;
+use ugpc_hwsim::{GpuModel, Precision};
+
+const SIZES: [usize; 4] = [2048, 4096, 5120, 5760];
+
+fn print_regenerated_rows() {
+    println!("\n=== Table I (regenerated) ===");
+    for model in GpuModel::ALL {
+        for precision in Precision::ALL {
+            let row = table_i_row(model, precision, &SIZES);
+            let paper = model.efficiency_target(precision);
+            println!(
+                "{:<16} {:<6} n={} cap {:.0} %TDP (paper {:.0}), saving {:+.2} % (paper {:+.2})",
+                row.gpu,
+                precision.short(),
+                row.matrix_size,
+                row.power_cap_pct,
+                paper.best_cap_frac * 100.0,
+                row.eff_saving_pct,
+                paper.gain * 100.0,
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_regenerated_rows();
+    let mut group = c.benchmark_group("table1_best_config");
+    for model in GpuModel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, &m| {
+                b.iter(|| black_box(table_i_row(m, Precision::Double, &SIZES)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

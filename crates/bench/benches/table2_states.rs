@@ -1,0 +1,17 @@
+//! Bench for Table II: resolving the experiment constants and
+//! re-deriving each `P_best` by a sweep at the operation's tile size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugpc_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let t = table2::run();
+    println!("\n{}", table2::render(&t));
+    c.bench_function("table2_states/rederive_all_rows", |b| {
+        b.iter(|| black_box(table2::run().rows.len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

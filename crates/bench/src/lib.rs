@@ -1,0 +1,7 @@
+//! # ugpc-bench
+//!
+//! Criterion benchmarks regenerating every paper table and figure (see
+//! `benches/`): each bench first prints the regenerated rows/series so
+//! `cargo bench` output doubles as a reproduction log, then measures the
+//! machinery. `kernels.rs` additionally micro-benchmarks the substrate
+//! (tile kernels, native executor, virtual-time simulator, DAG builders).

@@ -1,0 +1,246 @@
+//! GPU power-cap configurations: strings like `HHBB` (§IV-C).
+//!
+//! Each GPU of a node is set to one of three states: `L` (hardware minimum
+//! `P_min`), `B` (the best-efficiency cap `P_best` from the microbenchmark
+//! study), or `H` (TDP, i.e. no cap). The paper found orderings within a
+//! configuration interchangeable (`HHHB ≈ HBHH`), so results are presented
+//! over the canonical descending form.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One GPU's power state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CapLevel {
+    /// `P_max` / TDP — the default, no effective cap.
+    H,
+    /// `P_best` — the best-efficiency cap from Table II.
+    B,
+    /// `P_min` — the lowest settable limit.
+    L,
+}
+
+impl CapLevel {
+    pub const ALL: [CapLevel; 3] = [CapLevel::H, CapLevel::B, CapLevel::L];
+
+    pub fn as_char(self) -> char {
+        match self {
+            CapLevel::H => 'H',
+            CapLevel::B => 'B',
+            CapLevel::L => 'L',
+        }
+    }
+
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'H' => Some(CapLevel::H),
+            'B' => Some(CapLevel::B),
+            'L' => Some(CapLevel::L),
+            _ => None,
+        }
+    }
+}
+
+/// A per-GPU assignment of cap levels, e.g. `HHBB` on a 4-GPU node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CapConfig(Vec<CapLevel>);
+
+/// Parse error for configuration strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadConfig(pub String);
+
+impl fmt::Display for BadConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cap configuration {:?} (use H/B/L)", self.0)
+    }
+}
+
+impl std::error::Error for BadConfig {}
+
+impl CapConfig {
+    pub fn new(levels: Vec<CapLevel>) -> Self {
+        assert!(!levels.is_empty(), "empty configuration");
+        CapConfig(levels)
+    }
+
+    /// All GPUs at the same level.
+    pub fn uniform(level: CapLevel, n_gpus: usize) -> Self {
+        Self::new(vec![level; n_gpus])
+    }
+
+    pub fn levels(&self) -> &[CapLevel] {
+        &self.0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of GPUs at a given level.
+    pub fn count(&self, level: CapLevel) -> usize {
+        self.0.iter().filter(|&&l| l == level).count()
+    }
+
+    /// The default (uncapped) configuration this one is compared against.
+    pub fn is_default(&self) -> bool {
+        self.count(CapLevel::H) == self.len()
+    }
+
+    /// Canonical form: levels sorted H ≥ B ≥ L (the paper's presentation
+    /// order; placements are interchangeable, §IV-C).
+    pub fn canonical(&self) -> Self {
+        let mut v = self.0.clone();
+        v.sort();
+        CapConfig(v)
+    }
+
+    /// Every configuration over {H, B, L}ⁿ, in lexicographic order —
+    /// the paper's "comprehensive analysis of all possible configurations".
+    pub fn all(n_gpus: usize) -> Vec<CapConfig> {
+        let mut out = Vec::new();
+        let mut cur = vec![CapLevel::H; n_gpus];
+        fn rec(cur: &mut Vec<CapLevel>, pos: usize, out: &mut Vec<CapConfig>) {
+            if pos == cur.len() {
+                out.push(CapConfig(cur.clone()));
+                return;
+            }
+            for l in CapLevel::ALL {
+                cur[pos] = l;
+                rec(cur, pos + 1, out);
+            }
+        }
+        rec(&mut cur, 0, &mut out);
+        out
+    }
+
+    /// The paper's presented set (Figs. 3/4): the ladder from all-L
+    /// through mixes to all-H and down to all-B, canonical placements
+    /// only. For 4 GPUs: LLLL, HLLL, HHLL, HHHL, HHHH, HHHB, HHBB, HBBB,
+    /// BBBB — in that order.
+    pub fn paper_ladder(n_gpus: usize) -> Vec<CapConfig> {
+        let mut out = Vec::new();
+        // L side: k GPUs at H, rest L, k = 0..n-1.
+        for k in 0..n_gpus {
+            let mut v = vec![CapLevel::H; k];
+            v.extend(vec![CapLevel::L; n_gpus - k]);
+            out.push(CapConfig(v));
+        }
+        // Default.
+        out.push(CapConfig::uniform(CapLevel::H, n_gpus));
+        // B side: k GPUs at H, rest B, k = n-1..0.
+        for k in (0..n_gpus).rev() {
+            let mut v = vec![CapLevel::H; k];
+            v.extend(vec![CapLevel::B; n_gpus - k]);
+            out.push(CapConfig(v));
+        }
+        out
+    }
+}
+
+impl FromStr for CapConfig {
+    type Err = BadConfig;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(BadConfig(s.to_string()));
+        }
+        s.chars()
+            .map(|c| CapLevel::from_char(c).ok_or_else(|| BadConfig(s.to_string())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(CapConfig)
+    }
+}
+
+impl fmt::Display for CapConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.0 {
+            write!(f, "{}", l.as_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let c: CapConfig = "HHBB".parse().unwrap();
+        assert_eq!(c.to_string(), "HHBB");
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.count(CapLevel::H), 2);
+        assert_eq!(c.count(CapLevel::B), 2);
+        assert_eq!(c.count(CapLevel::L), 0);
+        // Lower case accepted.
+        let c2: CapConfig = "hhbb".parse().unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn rejects_bad_strings() {
+        assert!("HXBB".parse::<CapConfig>().is_err());
+        assert!("".parse::<CapConfig>().is_err());
+        let err = "HZ".parse::<CapConfig>().unwrap_err();
+        assert!(err.to_string().contains("HZ"));
+    }
+
+    #[test]
+    fn uniform_and_default() {
+        let h = CapConfig::uniform(CapLevel::H, 4);
+        assert_eq!(h.to_string(), "HHHH");
+        assert!(h.is_default());
+        let b = CapConfig::uniform(CapLevel::B, 2);
+        assert!(!b.is_default());
+    }
+
+    #[test]
+    fn canonical_sorts_h_first() {
+        let c: CapConfig = "BHLH".parse().unwrap();
+        assert_eq!(c.canonical().to_string(), "HHBL");
+    }
+
+    #[test]
+    fn all_configs_count() {
+        assert_eq!(CapConfig::all(1).len(), 3);
+        assert_eq!(CapConfig::all(2).len(), 9);
+        assert_eq!(CapConfig::all(4).len(), 81);
+        // All distinct.
+        let mut set = std::collections::HashSet::new();
+        for c in CapConfig::all(4) {
+            assert!(set.insert(c.to_string()));
+        }
+    }
+
+    #[test]
+    fn paper_ladder_four_gpus() {
+        let ladder: Vec<String> = CapConfig::paper_ladder(4)
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(
+            ladder,
+            vec!["LLLL", "HLLL", "HHLL", "HHHL", "HHHH", "HHHB", "HHBB", "HBBB", "BBBB"]
+        );
+    }
+
+    #[test]
+    fn paper_ladder_two_gpus() {
+        let ladder: Vec<String> = CapConfig::paper_ladder(2)
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(ladder, vec!["LL", "HL", "HH", "HB", "BB"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_config_panics() {
+        let _ = CapConfig::new(vec![]);
+    }
+}

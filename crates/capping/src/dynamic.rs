@@ -1,0 +1,186 @@
+//! Dynamic power capping — the paper's future-work extension (§VII),
+//! modeled on the DEPO tool it cites (refs. 24 and 25 in the paper).
+//!
+//! An online hill-climbing controller for iterative workloads: each epoch
+//! it measures the achieved energy efficiency at the current cap, then
+//! moves the cap in the improving direction, reversing and halving the
+//! step when efficiency drops. On the voltage-floor hardware model this
+//! converges to the knee — i.e. it *discovers* `P_best` online, without
+//! the offline sweep of Table II.
+
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{GpuDevice, KernelWork, Secs, Watts};
+
+/// Hill-climbing controller state for one GPU.
+#[derive(Debug, Clone)]
+pub struct DynamicCapper {
+    cap: Watts,
+    step: Watts,
+    min_step: Watts,
+    /// +1 or −1: current search direction.
+    direction: f64,
+    last_eff: Option<f64>,
+    min: Watts,
+    max: Watts,
+}
+
+impl DynamicCapper {
+    /// Start at the device's current limit with a step of 10 % of the cap
+    /// range.
+    pub fn new(gpu: &GpuDevice) -> Self {
+        let min = gpu.spec().min_cap;
+        let max = gpu.spec().tdp;
+        let step = (max - min) * 0.10;
+        DynamicCapper {
+            cap: gpu.power_limit(),
+            step,
+            min_step: step * 0.05,
+            direction: -1.0, // start by lowering: that is where savings live
+            last_eff: None,
+            min,
+            max,
+        }
+    }
+
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// Has the search effectively converged (step exhausted)?
+    pub fn converged(&self) -> bool {
+        self.step <= self.min_step
+    }
+
+    /// Feed the efficiency measured over the last epoch; returns the cap
+    /// to apply for the next epoch.
+    pub fn observe(&mut self, efficiency: f64) -> Watts {
+        if let Some(prev) = self.last_eff {
+            if efficiency < prev {
+                // Overshot: reverse and refine.
+                self.direction = -self.direction;
+                self.step = (self.step * 0.5).max(self.min_step);
+            }
+        }
+        self.last_eff = Some(efficiency);
+        self.cap = (self.cap + self.step * self.direction).clamp(self.min, self.max);
+        self.cap
+    }
+}
+
+/// History of one dynamic-capping run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicRun {
+    /// Per-epoch (cap, efficiency in Gflop/s/W).
+    pub history: Vec<(Watts, f64)>,
+    pub final_cap: Watts,
+    pub final_efficiency: f64,
+}
+
+/// Drive an iterative workload (repeated identical kernels, DEPO's target
+/// shape) on one GPU under the controller for `epochs` epochs of
+/// `iters_per_epoch` kernels each.
+pub fn run_dynamic(
+    gpu: &mut GpuDevice,
+    work: &KernelWork,
+    epochs: usize,
+    iters_per_epoch: usize,
+) -> DynamicRun {
+    assert!(epochs > 0 && iters_per_epoch > 0);
+    let mut ctl = DynamicCapper::new(gpu);
+    let mut history = Vec::with_capacity(epochs);
+    let mut now = gpu.last_end();
+    for _ in 0..epochs {
+        let cap = ctl.cap();
+        let e0 = gpu.energy(now);
+        let t0 = now;
+        for _ in 0..iters_per_epoch {
+            let run = gpu.execute(work, now);
+            now += run.time;
+        }
+        let energy = gpu.energy(now) - e0;
+        let flops = work.flops.value() * iters_per_epoch as f64;
+        let _epoch_time: Secs = now - t0;
+        let eff = flops / energy.value() / 1e9;
+        history.push((cap, eff));
+        let next = ctl.observe(eff);
+        // Apply through the device's constraint-checked setter.
+        gpu.set_power_limit(next).expect("controller stayed in range");
+    }
+    let (final_cap, final_efficiency) = *history.last().expect("epochs > 0");
+    DynamicRun {
+        history,
+        final_cap,
+        final_efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::{GpuModel, Precision};
+
+    #[test]
+    fn controller_lowers_cap_first() {
+        let gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let mut ctl = DynamicCapper::new(&gpu);
+        let next = ctl.observe(40.0);
+        assert!(next < Watts(400.0));
+    }
+
+    #[test]
+    fn reverses_on_efficiency_drop() {
+        let gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let mut ctl = DynamicCapper::new(&gpu);
+        let c1 = ctl.observe(40.0);
+        let c2 = ctl.observe(45.0); // improving: keep going down
+        assert!(c2 < c1);
+        let c3 = ctl.observe(30.0); // worse: reverse
+        assert!(c3 > c2);
+    }
+
+    #[test]
+    fn stays_within_constraints() {
+        let gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let mut ctl = DynamicCapper::new(&gpu);
+        // Relentlessly "improving" while lowering: must clamp at min cap.
+        let mut eff = 10.0;
+        let mut cap = Watts(400.0);
+        for _ in 0..100 {
+            eff += 1.0;
+            cap = ctl.observe(eff);
+            assert!(cap >= gpu.spec().min_cap && cap <= gpu.spec().tdp);
+        }
+        assert_eq!(cap, gpu.spec().min_cap);
+    }
+
+    #[test]
+    fn discovers_best_cap_online() {
+        // The headline property: starting from TDP, the controller
+        // converges near the knee (P_best ≈ 54 % TDP for dp GEMM) without
+        // any offline profiling.
+        let mut gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let work = KernelWork::gemm_tile(5760, Precision::Double);
+        let run = run_dynamic(&mut gpu, &work, 40, 3);
+        let frac = run.final_cap.value() / 400.0;
+        assert!(
+            (0.44..=0.66).contains(&frac),
+            "converged to {:.0} % TDP",
+            frac * 100.0
+        );
+        // Final efficiency beats the uncapped first epoch by a wide margin.
+        let first_eff = run.history[0].1;
+        assert!(
+            run.final_efficiency > first_eff * 1.15,
+            "{} vs {first_eff}",
+            run.final_efficiency
+        );
+    }
+
+    #[test]
+    fn history_has_one_entry_per_epoch() {
+        let mut gpu = GpuDevice::new(0, GpuModel::V100Pcie32);
+        let work = KernelWork::gemm_tile(2880, Precision::Single);
+        let run = run_dynamic(&mut gpu, &work, 10, 2);
+        assert_eq!(run.history.len(), 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ugpc-capping — power-capping policies
+//!
+//! The paper's experimental lever: per-GPU cap levels `L`/`B`/`H`
+//! ([`config`]), applied through the NVML/RAPL façades ([`policy`]);
+//! single-kernel cap sweeps for the motivation study ([`sweep`], Fig. 1 /
+//! Table I); and a DEPO-like online controller from the paper's
+//! future-work list ([`dynamic`]).
+
+pub mod config;
+pub mod dynamic;
+pub mod policy;
+pub mod sweep;
+
+pub use config::{BadConfig, CapConfig, CapLevel};
+pub use dynamic::{run_dynamic, DynamicCapper, DynamicRun};
+pub use policy::{apply_cpu_cap, apply_gpu_caps, reset_all_caps, resolve_caps};
+pub use sweep::{best_point, cap_sweep, table_i_row, SweepPoint, TableIRow};

@@ -1,0 +1,195 @@
+//! Power-cap sweeps of a single GEMM kernel on one GPU — the paper's
+//! motivation study (§II, Fig. 1 and Table I).
+//!
+//! The cap is varied from the device minimum to TDP (the paper steps by
+//! 2 % of TDP); at each point a single large-tile cuBLAS-like GEMM runs
+//! and we record time, average power, energy and efficiency.
+
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{
+    run_kernel, GpuModel, GpuSpec, Joules, KernelWork, Precision, Secs, Watts,
+};
+
+/// One point of a cap sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub cap: Watts,
+    /// Cap as a fraction of TDP.
+    pub cap_frac: f64,
+    pub time: Secs,
+    pub power: Watts,
+    pub energy: Joules,
+    /// Achieved rate in Gflop/s.
+    pub gflops: f64,
+    /// Energy efficiency in Gflop/s/W.
+    pub efficiency: f64,
+}
+
+/// Sweep the power cap for a square GEMM of tile dimension `nb` on one
+/// GPU model. `step_frac` is the cap step as a fraction of TDP (the paper
+/// uses 0.02).
+pub fn cap_sweep(
+    model: GpuModel,
+    nb: usize,
+    precision: Precision,
+    step_frac: f64,
+) -> Vec<SweepPoint> {
+    assert!(step_frac > 0.0 && step_frac < 1.0);
+    let spec = GpuSpec::of(model);
+    let work = KernelWork::gemm_tile(nb, precision);
+    let mut out = Vec::new();
+    let mut frac = spec.min_cap / spec.tdp;
+    loop {
+        let cap = spec.tdp * frac.min(1.0);
+        let run = run_kernel(&spec, &work, cap);
+        let energy = run.energy();
+        out.push(SweepPoint {
+            cap,
+            cap_frac: frac.min(1.0),
+            time: run.time,
+            power: run.power,
+            energy,
+            gflops: (work.flops / run.time).as_gflops(),
+            efficiency: work.flops.value() / energy.value() / 1e9,
+        });
+        if frac >= 1.0 {
+            break;
+        }
+        frac += step_frac;
+    }
+    out
+}
+
+/// The sweep point with the best energy efficiency.
+pub fn best_point(sweep: &[SweepPoint]) -> &SweepPoint {
+    sweep
+        .iter()
+        .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
+        .expect("empty sweep")
+}
+
+/// One row of the paper's Table I, re-derived by sweeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableIRow {
+    pub gpu: String,
+    pub precision: Precision,
+    /// Matrix size with the best overall efficiency.
+    pub matrix_size: usize,
+    /// Best cap in % of TDP.
+    pub power_cap_pct: f64,
+    /// Efficiency saving vs. the uncapped run at the same size, in %.
+    pub eff_saving_pct: f64,
+}
+
+/// Re-derive a Table I row: sweep all matrix sizes, find the global
+/// efficiency optimum and its saving vs. uncapped.
+pub fn table_i_row(model: GpuModel, precision: Precision, sizes: &[usize]) -> TableIRow {
+    let mut best: Option<(usize, SweepPoint, f64)> = None;
+    for &nb in sizes {
+        let sweep = cap_sweep(model, nb, precision, 0.02);
+        let uncapped = sweep.last().expect("non-empty sweep");
+        let p = best_point(&sweep);
+        let saving = (p.efficiency / uncapped.efficiency - 1.0) * 100.0;
+        if best.as_ref().is_none_or(|(_, b, _)| p.efficiency > b.efficiency) {
+            best = Some((nb, *p, saving));
+        }
+    }
+    let (nb, p, saving) = best.expect("no sizes given");
+    TableIRow {
+        gpu: model.name().to_string(),
+        precision,
+        matrix_size: nb,
+        power_cap_pct: p.cap_frac * 100.0,
+        eff_saving_pct: saving,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_min_to_tdp() {
+        let sweep = cap_sweep(GpuModel::A100Sxm4_40, 5120, Precision::Double, 0.02);
+        let first = sweep.first().unwrap();
+        let last = sweep.last().unwrap();
+        assert!((first.cap.value() - 100.0).abs() < 9.0, "{first:?}");
+        assert_eq!(last.cap, Watts(400.0));
+        assert!(sweep.len() > 30);
+    }
+
+    #[test]
+    fn efficiency_peaks_below_tdp_for_large_gemm() {
+        // Fig. 1's headline observation.
+        let sweep = cap_sweep(GpuModel::A100Sxm4_40, 5120, Precision::Double, 0.02);
+        let best = best_point(&sweep);
+        let uncapped = sweep.last().unwrap();
+        assert!(best.cap < uncapped.cap);
+        assert!(best.efficiency > uncapped.efficiency * 1.15);
+        // Best cap near 54 % of TDP (Table I ±4 pp).
+        assert!(
+            (best.cap_frac - 0.54).abs() < 0.05,
+            "best cap at {:.1} %",
+            best.cap_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn performance_monotone_in_cap() {
+        let sweep = cap_sweep(GpuModel::V100Pcie32, 5120, Precision::Single, 0.02);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].gflops >= w[0].gflops - 1e-9,
+                "perf dropped when raising cap: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_matrices_less_efficient_and_flatter() {
+        let big = cap_sweep(GpuModel::A100Sxm4_40, 5120, Precision::Double, 0.02);
+        let small = cap_sweep(GpuModel::A100Sxm4_40, 1024, Precision::Double, 0.02);
+        assert!(best_point(&big).efficiency > best_point(&small).efficiency);
+        // Small kernels don't reach the cap at moderate levels: their
+        // performance at 70 % TDP equals uncapped.
+        let at70 = small.iter().find(|p| p.cap_frac >= 0.70).unwrap();
+        let free = small.last().unwrap();
+        assert!((at70.gflops - free.gflops).abs() / free.gflops < 0.02);
+    }
+
+    #[test]
+    fn table_i_rows_match_paper() {
+        // Re-derive all six Table I rows and compare the optima.
+        let cases = [
+            (GpuModel::A100Sxm4_40, Precision::Double, 54.0, 28.81),
+            (GpuModel::A100Sxm4_40, Precision::Single, 40.0, 27.76),
+            (GpuModel::A100Pcie40, Precision::Double, 78.0, 10.92),
+            (GpuModel::A100Pcie40, Precision::Single, 60.0, 23.17),
+            (GpuModel::V100Pcie32, Precision::Double, 60.0, 18.52),
+            (GpuModel::V100Pcie32, Precision::Single, 58.0, 20.74),
+        ];
+        for (model, prec, cap_pct, saving_pct) in cases {
+            let row = table_i_row(model, prec, &[2048, 4096, 5120, 5760]);
+            assert!(
+                (row.power_cap_pct - cap_pct).abs() <= 6.0,
+                "{model} {prec}: cap {:.1} vs paper {cap_pct}",
+                row.power_cap_pct
+            );
+            assert!(
+                (row.eff_saving_pct - saving_pct).abs() <= 6.0,
+                "{model} {prec}: saving {:.1} vs paper {saving_pct}",
+                row.eff_saving_pct
+            );
+            // Largest size wins, as in the paper.
+            assert_eq!(row.matrix_size, 5760, "{model} {prec}");
+        }
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let sweep = cap_sweep(GpuModel::A100Pcie40, 2880, Precision::Single, 0.05);
+        for p in &sweep {
+            assert!((p.energy.value() - p.power.value() * p.time.value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! # ugpc-core — the high-level study API
+//!
+//! One call runs one of the paper's measurements: pick a platform, an
+//! operation, a precision, a GPU cap configuration (and optionally a CPU
+//! cap), and get back the three metrics the paper reports — performance
+//! (Gflop/s), total energy (J), and energy efficiency (Gflop/s/W) — plus
+//! per-device breakdowns.
+//!
+//! ```
+//! use ugpc_core::{RunConfig, run_study};
+//! use ugpc_hwsim::{OpKind, PlatformId, Precision};
+//!
+//! let base = run_study(&RunConfig::paper(
+//!     PlatformId::Amd4A100, OpKind::Gemm, Precision::Double,
+//! ).scaled_down(4));
+//! let capped = run_study(
+//!     &RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+//!         .scaled_down(4)
+//!         .with_gpu_config("BBBB".parse().unwrap()),
+//! );
+//! assert!(capped.efficiency_gflops_w > base.efficiency_gflops_w);
+//! ```
+
+pub mod dynamic;
+pub mod report;
+
+pub use dynamic::{dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport};
+pub use report::{compare, Comparison, RunReport};
+
+use serde::{Deserialize, Serialize};
+use ugpc_capping::{apply_cpu_cap, apply_gpu_caps, CapConfig};
+use ugpc_hwsim::{table_ii_entry, Node, OpKind, PlatformId, Precision, Watts};
+use ugpc_linalg::{build_gemm, build_potrf};
+use ugpc_runtime::{simulate, DataRegistry, SchedPolicy, SimOptions, TaskGraph};
+
+/// Everything that defines one measured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    pub platform: PlatformId,
+    pub op: OpKind,
+    pub precision: Precision,
+    /// Matrix dimension (N × N matrix).
+    pub n: usize,
+    /// Tile dimension Nt.
+    pub nb: usize,
+    /// Per-GPU cap levels.
+    pub gpu_config: CapConfig,
+    /// Optional CPU package cap: (package index, limit).
+    pub cpu_cap: Option<(usize, Watts)>,
+    pub scheduler: SchedPolicy,
+    /// Keep per-task records in the trace.
+    pub keep_records: bool,
+}
+
+impl RunConfig {
+    /// The paper's configuration for a (platform, op, precision) triple:
+    /// Table II sizes, dmdas, all GPUs uncapped, no CPU cap.
+    pub fn paper(platform: PlatformId, op: OpKind, precision: Precision) -> Self {
+        let entry = table_ii_entry(platform, op, precision);
+        let n_gpus = ugpc_hwsim::PlatformSpec::of(platform).gpu_count;
+        RunConfig {
+            platform,
+            op,
+            precision,
+            n: entry.n,
+            nb: entry.nt,
+            gpu_config: CapConfig::uniform(ugpc_capping::CapLevel::H, n_gpus),
+            cpu_cap: None,
+            scheduler: SchedPolicy::Dmdas,
+            keep_records: false,
+        }
+    }
+
+    /// Shrink the problem by an integer factor (fewer tiles, same tile
+    /// size) — used by tests and benches to keep runs quick while
+    /// preserving the per-task physics.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        let nt = (self.n / self.nb / factor.max(1)).max(2);
+        self.n = nt * self.nb;
+        self
+    }
+
+    /// Change the tile size, keeping the matrix dimension (Fig. 7's
+    /// tile-size study). The tile must divide N.
+    pub fn with_tile(mut self, nb: usize) -> Self {
+        assert!(
+            nb > 0 && self.n.is_multiple_of(nb),
+            "tile {nb} does not divide N = {}",
+            self.n
+        );
+        self.nb = nb;
+        self
+    }
+
+    pub fn with_gpu_config(mut self, config: CapConfig) -> Self {
+        self.gpu_config = config;
+        self
+    }
+
+    pub fn with_cpu_cap(mut self, package: usize, cap: Watts) -> Self {
+        self.cpu_cap = Some((package, cap));
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    pub fn with_records(mut self) -> Self {
+        self.keep_records = true;
+        self
+    }
+
+    /// Tiles per dimension.
+    pub fn nt(&self) -> usize {
+        self.n / self.nb
+    }
+
+    /// Build the operation's task graph.
+    pub fn build_graph(&self, reg: &mut DataRegistry) -> TaskGraph {
+        match self.op {
+            OpKind::Gemm => build_gemm(self.nt(), self.nb, self.precision, reg).graph,
+            OpKind::Potrf => build_potrf(self.nt(), self.nb, self.precision, reg).graph,
+        }
+    }
+}
+
+/// Execute one measured run: apply caps, calibrate, simulate, report.
+pub fn run_study(cfg: &RunConfig) -> RunReport {
+    let mut node = Node::new(cfg.platform);
+    apply_gpu_caps(&mut node, &cfg.gpu_config, cfg.op, cfg.precision)
+        .expect("cap configuration matches the platform");
+    if let Some((pkg, cap)) = cfg.cpu_cap {
+        apply_cpu_cap(&mut node, pkg, cap).expect("CPU cap supported on this platform");
+    }
+    let mut reg = DataRegistry::new();
+    let graph = cfg.build_graph(&mut reg);
+    let trace = simulate(
+        &mut node,
+        &graph,
+        &mut reg,
+        SimOptions {
+            policy: cfg.scheduler,
+            keep_records: cfg.keep_records,
+            ..Default::default()
+        },
+    );
+    RunReport::from_trace(cfg, &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_capping::CapLevel;
+
+    fn quick(platform: PlatformId, op: OpKind, p: Precision) -> RunConfig {
+        RunConfig::paper(platform, op, p).scaled_down(4)
+    }
+
+    #[test]
+    fn paper_defaults_pull_table_ii() {
+        let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double);
+        assert_eq!(cfg.n, 74_880);
+        assert_eq!(cfg.nb, 5_760);
+        assert_eq!(cfg.nt(), 13);
+        assert_eq!(cfg.gpu_config.to_string(), "HHHH");
+    }
+
+    #[test]
+    fn scaled_down_keeps_tile_size() {
+        let cfg = quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double);
+        assert_eq!(cfg.nb, 5_760);
+        assert!(cfg.nt() >= 2);
+        assert!(cfg.nt() < 13);
+    }
+
+    #[test]
+    fn gemm_run_produces_sane_report() {
+        let report = run_study(&quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double));
+        assert!(report.makespan_s > 0.0);
+        assert!(report.gflops > 1000.0, "gflops {}", report.gflops);
+        assert!(report.total_energy_j > 0.0);
+        assert!(
+            report.efficiency_gflops_w > 10.0 && report.efficiency_gflops_w < 100.0,
+            "eff {}",
+            report.efficiency_gflops_w
+        );
+        assert_eq!(report.energy_per_gpu.len(), 4);
+        assert_eq!(report.energy_per_cpu.len(), 1);
+    }
+
+    #[test]
+    fn bbbb_beats_hhhh_efficiency_on_sxm4() {
+        // The paper's headline (Fig. 3a).
+        let base = run_study(&quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double));
+        let capped = run_study(
+            &quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+                .with_gpu_config(CapConfig::uniform(CapLevel::B, 4)),
+        );
+        assert!(capped.efficiency_gflops_w > base.efficiency_gflops_w * 1.05);
+        assert!(capped.gflops < base.gflops, "capping must cost performance");
+    }
+
+    #[test]
+    fn potrf_runs_on_all_platforms() {
+        for pf in PlatformId::ALL {
+            let report = run_study(&quick(pf, OpKind::Potrf, Precision::Single));
+            assert!(report.gflops > 0.0, "{pf}");
+            assert!(report.cpu_tasks > 0, "{pf}: POTRF diagonal tasks are CPU-only");
+        }
+    }
+
+    #[test]
+    fn cpu_cap_applies_on_intel() {
+        let report = run_study(
+            &quick(PlatformId::Intel2V100, OpKind::Gemm, Precision::Double)
+                .with_cpu_cap(1, Watts(60.0)),
+        );
+        assert!(report.total_energy_j > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU cap supported")]
+    fn cpu_cap_panics_on_amd() {
+        let _ = run_study(
+            &quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+                .with_cpu_cap(0, Watts(100.0)),
+        );
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = run_study(&quick(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single));
+        let b = run_study(&quick(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single));
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+    }
+}

@@ -1,0 +1,190 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale K] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
+//! ```
+//!
+//! `--scale K` shrinks every task graph by K× (fewer tiles, same tile
+//! size) for quick runs; the default 1 reproduces the paper's sizes.
+//! `--json DIR` additionally writes each experiment's raw data as JSON.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use ugpc_experiments as ex;
+use ugpc_hwsim::{GpuModel, Precision};
+
+struct Args {
+    scale: usize,
+    json_dir: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+const ALL: [&str; 13] = [
+    "fig1", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "lu",
+    "models", "placements", "mixed",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 1,
+        json_dir: None,
+        experiments: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if args.scale == 0 {
+                    return Err("scale must be >= 1".into());
+                }
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a directory")?;
+                args.json_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale K] [--json DIR] [{}|all]...",
+                    ALL.join("|")
+                );
+                std::process::exit(0);
+            }
+            "all" => args.experiments.extend(ALL.iter().map(|s| s.to_string())),
+            e if ALL.contains(&e) => args.experiments.push(e.to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    Ok(args)
+}
+
+fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        let data = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, data).expect("write json");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for exp in &args.experiments {
+        let t0 = std::time::Instant::now();
+        match exp.as_str() {
+            "fig1" => {
+                let fig = ex::fig1::run(GpuModel::A100Sxm4_40, 0.02);
+                println!("{}", ex::fig1::render(&fig));
+                write_json(&args.json_dir, "fig1", &fig);
+            }
+            "table1" => {
+                let t = ex::table1::run();
+                println!("{}", ex::table1::render(&t));
+                write_json(&args.json_dir, "table1", &t);
+            }
+            "table2" => {
+                let t = ex::table2::run();
+                println!("{}", ex::table2::render(&t));
+                write_json(&args.json_dir, "table2", &t);
+            }
+            "fig3" => {
+                let fig = ex::fig34::run(Precision::Double, args.scale);
+                println!("{}", ex::fig34::render_figure(&fig));
+                write_json(&args.json_dir, "fig3", &fig);
+            }
+            "fig4" => {
+                let fig = ex::fig34::run(Precision::Single, args.scale);
+                println!("{}", ex::fig34::render_figure(&fig));
+                write_json(&args.json_dir, "fig4", &fig);
+            }
+            "fig5" => {
+                let fig = ex::fig5::run(args.scale);
+                println!("{}", ex::fig5::render(&fig));
+                write_json(&args.json_dir, "fig5", &fig);
+            }
+            "fig6" => {
+                let fig = ex::fig6::run(args.scale);
+                println!("{}", ex::fig6::render(&fig));
+                write_json(&args.json_dir, "fig6", &fig);
+            }
+            "fig7" => {
+                let fig = ex::fig7::run(args.scale);
+                println!("{}", ex::fig7::render(&fig));
+                write_json(&args.json_dir, "fig7", &fig);
+            }
+            "lu" => {
+                let scale = args.scale.max(1);
+                let nt = (20 / scale).max(4);
+                for precision in [Precision::Double, Precision::Single] {
+                    let l = ex::ext_lu::run(precision, nt, 2880);
+                    println!("{}", ex::ext_lu::render(&l));
+                    write_json(
+                        &args.json_dir,
+                        &format!("ext_lu_{}", precision.short()),
+                        &l,
+                    );
+                }
+            }
+            "mixed" => {
+                let scale = args.scale.max(1);
+                // Two regimes on the 4×A100 node: CPU-critical-path-bound
+                // (small nt, mixed wins) and GPU-bound (large nt, break-
+                // even on A100 because FP64 tensor ≈ FP32 peak).
+                for (nt, config) in [(6usize, "HHHH"), (6, "BBBB"), (16, "HHHH"), (16, "BBBB")] {
+                    let nt = (nt / scale).max(3);
+                    let s = ex::ext_mixed::run(config, nt, 2880, 2);
+                    println!("{}", ex::ext_mixed::render(&s));
+                    write_json(
+                        &args.json_dir,
+                        &format!("ext_mixed_a100_{config}_nt{nt}"),
+                        &s,
+                    );
+                }
+            }
+            "placements" => {
+                for canonical in ["HHHB", "HHBB"] {
+                    let s = ex::placements::run(canonical, args.scale);
+                    println!("{}", ex::placements::render(&s));
+                    write_json(&args.json_dir, &format!("placements_{canonical}"), &s);
+                }
+            }
+            "models" => {
+                let stale = ex::ext_models::run_stale_ablation(args.scale);
+                println!("{}", ex::ext_models::render("Stale-model ablation", &stale));
+                write_json(&args.json_dir, "ext_models_stale", &stale);
+                let noise = ex::ext_models::run_noise_ablation(args.scale);
+                println!("{}", ex::ext_models::render("Calibration-noise ablation", &noise));
+                write_json(&args.json_dir, "ext_models_noise", &noise);
+            }
+            "ablation" => {
+                for op in ugpc_hwsim::OpKind::ALL {
+                    let a = ex::ablation::run_scheduler_ablation(op, args.scale);
+                    println!("{}", ex::ablation::render_schedulers(&a));
+                    write_json(
+                        &args.json_dir,
+                        &format!("ablation_sched_{}", op.name().to_lowercase()),
+                        &a,
+                    );
+                }
+                let d = ex::ablation::run_dynamic_ablation();
+                println!("{}", ex::ablation::render_dynamic(&d));
+                write_json(&args.json_dir, "ablation_dynamic", &d);
+            }
+            _ => unreachable!("validated in parse_args"),
+        }
+        eprintln!("[{exp} done in {:.1} s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,273 @@
+//! Extension experiment: mixed-precision iterative refinement as an energy
+//! lever — the paper's §VII future work ("mixed precision computations as
+//! a complementary way to find the best tradeoff").
+//!
+//! Solving the same SPD system two ways on the simulated 4×A100 node:
+//!
+//! * **dp POSV** — factor + sweeps, all double precision;
+//! * **mixed** — factor + sweeps in single precision (the O(n³) work at
+//!   single's higher rate and lower energy), then `iters` refinement
+//!   passes (double-precision residual + single-precision correction
+//!   sweep — O(n²) work).
+//!
+//! Phases run sequentially; times and energies add. The useful work
+//! credited to both is the double-precision operation's flops (the same
+//! system is solved to the same accuracy — `ugpc-linalg`'s native
+//! `posv_refine_native` demonstrates the accuracy claim numerically).
+
+use crate::format::{f, pct, TextTable};
+use serde::{Deserialize, Serialize};
+use ugpc_capping::{apply_gpu_caps, CapConfig};
+use ugpc_hwsim::{Node, OpKind, PlatformId, Precision};
+use ugpc_linalg::build_posv;
+use ugpc_runtime::{
+    simulate, AccessMode, DataRegistry, KernelKind, SimOptions, TaskDesc, TaskGraph,
+};
+
+/// Residual phase: `r[i] = b[i] − Σ_j A[i][j]·x[j]` — nt chains of nt
+/// double-precision GEMMs.
+fn residual_graph(nt: usize, nb: usize, reg: &mut DataRegistry) -> TaskGraph {
+    let bytes = ugpc_hwsim::Bytes((nb * nb * Precision::Double.elem_bytes()) as f64);
+    let a: Vec<_> = (0..nt * nt).map(|_| reg.register(bytes)).collect();
+    let x: Vec<_> = (0..nt).map(|_| reg.register(bytes)).collect();
+    let r: Vec<_> = (0..nt).map(|_| reg.register(bytes)).collect();
+    let mut g = TaskGraph::new();
+    for i in 0..nt {
+        for j in 0..nt {
+            g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Double, nb)
+                    .access(a[i + j * nt], AccessMode::Read)
+                    .access(x[j], AccessMode::Read)
+                    .access(r[i], AccessMode::ReadWrite),
+            );
+        }
+    }
+    g
+}
+
+/// Correction sweep phase: forward + backward triangular sweeps in single
+/// precision over the residual block column.
+fn sweep_graph(nt: usize, nb: usize, reg: &mut DataRegistry) -> TaskGraph {
+    let bytes = ugpc_hwsim::Bytes((nb * nb * Precision::Single.elem_bytes()) as f64);
+    let l: Vec<_> = (0..nt * nt).map(|_| reg.register(bytes)).collect();
+    let r: Vec<_> = (0..nt).map(|_| reg.register(bytes)).collect();
+    let mut g = TaskGraph::new();
+    for k in 0..nt {
+        g.submit(
+            TaskDesc::new(KernelKind::Trsm, Precision::Single, nb)
+                .access(l[k + k * nt], AccessMode::Read)
+                .access(r[k], AccessMode::ReadWrite),
+        );
+        for i in (k + 1)..nt {
+            g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Single, nb)
+                    .access(l[i + k * nt], AccessMode::Read)
+                    .access(r[k], AccessMode::Read)
+                    .access(r[i], AccessMode::ReadWrite),
+            );
+        }
+    }
+    for k in (0..nt).rev() {
+        g.submit(
+            TaskDesc::new(KernelKind::Trsm, Precision::Single, nb)
+                .access(l[k + k * nt], AccessMode::Read)
+                .access(r[k], AccessMode::ReadWrite),
+        );
+        for i in 0..k {
+            g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Single, nb)
+                    .access(l[k + i * nt], AccessMode::Read)
+                    .access(r[k], AccessMode::Read)
+                    .access(r[i], AccessMode::ReadWrite),
+            );
+        }
+    }
+    g
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedRow {
+    pub method: String,
+    pub time_s: f64,
+    pub energy_j: f64,
+    /// Efficiency crediting the dp operation's useful flops.
+    pub efficiency_gflops_w: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedStudy {
+    pub platform: String,
+    pub config: String,
+    pub nt: usize,
+    pub nb: usize,
+    pub refinement_iters: usize,
+    pub rows: Vec<MixedRow>,
+}
+
+fn run_phases(node: &mut Node, graphs: Vec<(TaskGraph, DataRegistry)>) -> (f64, f64) {
+    let mut time = 0.0;
+    let mut energy = 0.0;
+    for (graph, mut reg) in graphs {
+        let trace = simulate(node, &graph, &mut reg, SimOptions::default());
+        time += trace.makespan.value();
+        energy += trace.total_energy().value();
+    }
+    (time, energy)
+}
+
+/// 32-AMD-4-A100 shorthand (see [`run_on`]).
+pub fn run(config: &str, nt: usize, nb: usize, iters: usize) -> MixedStudy {
+    run_on(PlatformId::Amd4A100, config, nt, nb, iters)
+}
+
+/// Compare dp POSV against sp POSV + `iters` refinement passes under one
+/// cap configuration.
+pub fn run_on(
+    platform: PlatformId,
+    config: &str,
+    nt: usize,
+    nb: usize,
+    iters: usize,
+) -> MixedStudy {
+    let caps: CapConfig = config.parse().expect("valid config");
+    let useful = {
+        let n = (nt * nb) as f64;
+        n * n * n / 3.0 + 2.0 * n * n * nb as f64
+    };
+
+    let make_node = || {
+        let mut node = Node::new(platform);
+        apply_gpu_caps(&mut node, &caps, OpKind::Potrf, Precision::Double)
+            .expect("config length matches GPU count");
+        node
+    };
+
+    // Pure double-precision solve.
+    let mut node = make_node();
+    let mut phases = Vec::new();
+    {
+        let mut reg = DataRegistry::new();
+        let op = build_posv(nt, nb, Precision::Double, &mut reg);
+        phases.push((op.graph, reg));
+    }
+    let (t_dp, e_dp) = run_phases(&mut node, phases);
+
+    // Mixed: sp factor+sweeps, then iters × (dp residual + sp sweep).
+    let mut node = make_node();
+    let mut phases = Vec::new();
+    {
+        let mut reg = DataRegistry::new();
+        let op = build_posv(nt, nb, Precision::Single, &mut reg);
+        phases.push((op.graph, reg));
+    }
+    for _ in 0..iters {
+        let mut reg = DataRegistry::new();
+        let g = residual_graph(nt, nb, &mut reg);
+        phases.push((g, reg));
+        let mut reg = DataRegistry::new();
+        let g = sweep_graph(nt, nb, &mut reg);
+        phases.push((g, reg));
+    }
+    let (t_mx, e_mx) = run_phases(&mut node, phases);
+
+    MixedStudy {
+        platform: platform.name().to_string(),
+        config: config.to_string(),
+        nt,
+        nb,
+        refinement_iters: iters,
+        rows: vec![
+            MixedRow {
+                method: "POSV double".into(),
+                time_s: t_dp,
+                energy_j: e_dp,
+                efficiency_gflops_w: useful / e_dp / 1e9,
+            },
+            MixedRow {
+                method: format!("POSV single + {iters}× refinement"),
+                time_s: t_mx,
+                energy_j: e_mx,
+                efficiency_gflops_w: useful / e_mx / 1e9,
+            },
+        ],
+    }
+}
+
+pub fn render(s: &MixedStudy) -> String {
+    let mut out = format!(
+        "Mixed-precision refinement — {}, config {}, N = {}\n\n",
+        s.platform,
+        s.config,
+        s.nt * s.nb
+    );
+    let base = &s.rows[0];
+    let mut table = TextTable::new(&["method", "time (s)", "energy (kJ)", "vs dp", "eff (Gflop/s/W)"]);
+    for r in &s.rows {
+        table.row(vec![
+            r.method.clone(),
+            f(r.time_s, 2),
+            f(r.energy_j / 1e3, 2),
+            pct((1.0 - r.energy_j / base.energy_j) * 100.0),
+            f(r.efficiency_gflops_w, 2),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_saves_modestly_on_a100() {
+        // A100's FP64 tensor peak is close to its FP32 peak, so the win
+        // is mostly single's lower power draw — a real, if modest, saving.
+        let s = run("HHHH", 12, 2880, 2);
+        let dp = &s.rows[0];
+        let mx = &s.rows[1];
+        assert!(mx.time_s < dp.time_s, "{} vs {}", mx.time_s, dp.time_s);
+        assert!(mx.energy_j < dp.energy_j, "{} vs {}", mx.energy_j, dp.energy_j);
+        assert!(mx.efficiency_gflops_w > dp.efficiency_gflops_w);
+    }
+
+    #[test]
+    fn mixed_win_shrinks_as_gpus_dominate() {
+        // The nuance this study surfaces: on A100 the FP64 tensor peak is
+        // close to the FP32 peak, so GPU-dominated phases barely speed up
+        // in single precision — the mixed win comes from the CPU-bound
+        // critical path (CPU single rate is 2× double). Small problems
+        // (CPU-bound) save ~20 %; large GPU-bound ones approach break-even
+        // because the dp residual passes add real work.
+        let saving = |nt: usize| {
+            let s = run("HHHH", nt, 2880, 2);
+            1.0 - s.rows[1].energy_j / s.rows[0].energy_j
+        };
+        let small = saving(6);
+        let large = saving(16);
+        assert!(small > 0.10, "small-problem saving {small:.3}");
+        assert!(small > large + 0.05, "saving should shrink: {small:.3} vs {large:.3}");
+    }
+
+    #[test]
+    fn capping_and_mixed_compose() {
+        // Both levers together: B caps + mixed precision beat dp uncapped
+        // on energy by a wide margin.
+        let dp_h = run("HHHH", 10, 2880, 2).rows[0].clone();
+        let mx_b = run("BBBB", 10, 2880, 2).rows[1].clone();
+        assert!(
+            mx_b.energy_j < dp_h.energy_j * 0.90,
+            "{} vs {}",
+            mx_b.energy_j,
+            dp_h.energy_j
+        );
+    }
+
+    #[test]
+    fn render_has_both_methods() {
+        let s = run("HHHH", 6, 2880, 1);
+        let text = render(&s);
+        assert!(text.contains("POSV double"));
+        assert!(text.contains("refinement"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 1: power-capping impact on energy efficiency, performance and
+//! energy for a single-tile cuBLAS-like GEMM on A100-SXM4-40GB, across
+//! matrix sizes and both precisions, cap varied from 104 W to 400 W.
+
+use crate::format::{f, TextTable};
+use serde::{Deserialize, Serialize};
+use ugpc_capping::{best_point, cap_sweep, SweepPoint};
+use ugpc_hwsim::{GpuModel, Precision};
+
+/// The matrix sizes of the figure.
+pub const SIZES: [usize; 5] = [1024, 2048, 3072, 4096, 5120];
+
+/// One size's sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Series {
+    pub precision: Precision,
+    pub size: usize,
+    pub points: Vec<SweepPoint>,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    pub gpu: String,
+    pub series: Vec<Fig1Series>,
+}
+
+/// Regenerate the figure's data.
+pub fn run(model: GpuModel, step_frac: f64) -> Fig1 {
+    let mut series = Vec::new();
+    for precision in Precision::ALL {
+        for &size in &SIZES {
+            series.push(Fig1Series {
+                precision,
+                size,
+                points: cap_sweep(model, size, precision, step_frac),
+            });
+        }
+    }
+    Fig1 {
+        gpu: model.name().to_string(),
+        series,
+    }
+}
+
+/// Render the figure as text: per series, the best point plus a coarse
+/// profile (every 4th sweep point).
+pub fn render(fig: &Fig1) -> String {
+    let mut out = format!("Fig. 1 — cap sweep of one-tile GEMM on {}\n\n", fig.gpu);
+    let mut table = TextTable::new(&[
+        "precision",
+        "size",
+        "best cap (%TDP)",
+        "best eff (Gflop/s/W)",
+        "eff gain vs uncapped",
+        "slowdown at best",
+    ]);
+    for s in &fig.series {
+        let best = best_point(&s.points);
+        let free = s.points.last().expect("non-empty sweep");
+        table.row(vec![
+            s.precision.to_string(),
+            s.size.to_string(),
+            f(best.cap_frac * 100.0, 1),
+            f(best.efficiency, 2),
+            format!("{:+.2} %", (best.efficiency / free.efficiency - 1.0) * 100.0),
+            format!("{:.2} %", (1.0 - best.gflops / free.gflops) * 100.0),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nprofiles (cap %TDP -> eff Gflop/s/W | Gflop/s | J):\n");
+    for s in &fig.series {
+        out.push_str(&format!("  {} n={}: ", s.precision.short(), s.size));
+        for p in s.points.iter().step_by(6) {
+            out.push_str(&format!(
+                "{:.0}%:{:.1}|{:.0}|{:.1} ",
+                p.cap_frac * 100.0,
+                p.efficiency,
+                p.gflops,
+                p.energy.value()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_series() {
+        let fig = run(GpuModel::A100Sxm4_40, 0.05);
+        assert_eq!(fig.series.len(), 2 * SIZES.len());
+        for s in &fig.series {
+            assert!(s.points.len() > 10);
+        }
+    }
+
+    #[test]
+    fn bigger_sizes_more_efficient() {
+        // The figure's visible trend.
+        let fig = run(GpuModel::A100Sxm4_40, 0.05);
+        for precision in Precision::ALL {
+            let effs: Vec<f64> = SIZES
+                .iter()
+                .map(|&n| {
+                    let s = fig
+                        .series
+                        .iter()
+                        .find(|s| s.precision == precision && s.size == n)
+                        .unwrap();
+                    best_point(&s.points).efficiency
+                })
+                .collect();
+            for w in effs.windows(2) {
+                assert!(w[1] > w[0], "{precision}: {effs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_headline_numbers() {
+        let fig = run(GpuModel::A100Sxm4_40, 0.02);
+        let text = render(&fig);
+        assert!(text.contains("A100-SXM4-40GB"));
+        assert!(text.contains("5120"));
+        assert!(text.contains("single") && text.contains("double"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Figures 3 (double precision) and 4 (single precision): performance and
+//! energy analysis of GEMM and POTRF under every cap configuration on the
+//! three platforms.
+
+use crate::unbalanced::{render, run_ladder, Ladder};
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+/// All six subplots of one figure (3 platforms × 2 operations).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure34 {
+    pub precision: Precision,
+    pub ladders: Vec<Ladder>,
+}
+
+/// Regenerate Fig. 3 (`Precision::Double`) or Fig. 4 (`Precision::Single`).
+pub fn run(precision: Precision, scale: usize) -> Figure34 {
+    let mut ladders = Vec::new();
+    for op in OpKind::ALL {
+        for platform in PlatformId::ALL {
+            ladders.push(run_ladder(platform, op, precision, scale, None));
+        }
+    }
+    Figure34 { precision, ladders }
+}
+
+pub fn render_figure(fig: &Figure34) -> String {
+    let figno = match fig.precision {
+        Precision::Double => 3,
+        Precision::Single => 4,
+    };
+    let mut out = format!(
+        "Fig. {figno} — GEMM and POTRF under cap configurations, {} precision\n\n",
+        fig.precision
+    );
+    for l in &fig.ladders {
+        out.push_str(&render(l));
+        out.push('\n');
+    }
+    out
+}
+
+impl Figure34 {
+    pub fn ladder(&self, platform: PlatformId, op: OpKind) -> &Ladder {
+        self.ladders
+            .iter()
+            .find(|l| l.platform == platform.name() && l.op == op.name())
+            .expect("all six subplots present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_has_six_subplots() {
+        let fig = run(Precision::Double, 6);
+        assert_eq!(fig.ladders.len(), 6);
+        // Each platform appears twice (GEMM + POTRF).
+        for pf in PlatformId::ALL {
+            let n = fig
+                .ladders
+                .iter()
+                .filter(|l| l.platform == pf.name())
+                .count();
+            assert_eq!(n, 2);
+        }
+        let _ = fig.ladder(PlatformId::Amd4A100, OpKind::Potrf);
+    }
+
+    #[test]
+    fn single_precision_more_efficient_than_double() {
+        // §V-B: "higher energy efficiency when using lower precision" —
+        // at every configuration, sp beats dp in absolute Gflop/s/W.
+        let dp = run_ladder_quick(Precision::Double);
+        let sp = run_ladder_quick(Precision::Single);
+        for (s, d) in sp.rows.iter().zip(&dp.rows) {
+            assert!(
+                s.report.efficiency_gflops_w > d.report.efficiency_gflops_w,
+                "{}: sp {} vs dp {}",
+                s.config,
+                s.report.efficiency_gflops_w,
+                d.report.efficiency_gflops_w
+            );
+        }
+        // And capping to B still improves efficiency in both precisions.
+        assert!(sp.row("BBBB").vs_default.eff_gain_pct > 10.0);
+        assert!(dp.row("BBBB").vs_default.eff_gain_pct > 10.0);
+    }
+
+    fn run_ladder_quick(p: Precision) -> Ladder {
+        crate::unbalanced::run_ladder(PlatformId::Amd4A100, OpKind::Gemm, p, 3, None)
+    }
+
+    #[test]
+    fn render_mentions_figure_number() {
+        let fig = run(Precision::Single, 8);
+        let text = render_figure(&fig);
+        assert!(text.starts_with("Fig. 4"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 5: per-device energy breakdown on 24-Intel-2-V100, both
+//! operations, double precision, across the cap ladder — showing how GPU
+//! capping shifts consumption (and tasks) toward the CPUs.
+
+use crate::format::{f, TextTable};
+use crate::unbalanced::{run_ladder, Ladder};
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    pub ladders: Vec<Ladder>,
+}
+
+pub fn run(scale: usize) -> Fig5 {
+    let ladders = OpKind::ALL
+        .into_iter()
+        .map(|op| run_ladder(PlatformId::Intel2V100, op, Precision::Double, scale, None))
+        .collect();
+    Fig5 { ladders }
+}
+
+pub fn render(fig: &Fig5) -> String {
+    let mut out =
+        String::from("Fig. 5 — energy breakdown per device, 24-Intel-2-V100, double precision\n\n");
+    for l in &fig.ladders {
+        out.push_str(&format!("{}:\n", l.op));
+        let mut table = TextTable::new(&[
+            "config",
+            "CPU0 J",
+            "CPU1 J",
+            "GPU0 J",
+            "GPU1 J",
+            "CPU share %",
+            "cpu tasks",
+            "gpu tasks",
+        ]);
+        for r in &l.rows {
+            table.row(vec![
+                r.config.clone(),
+                f(r.report.energy_per_cpu[0], 0),
+                f(r.report.energy_per_cpu[1], 0),
+                f(r.report.energy_per_gpu[0], 0),
+                f(r.report.energy_per_gpu[1], 0),
+                f(r.report.cpu_energy_share() * 100.0, 1),
+                r.report.cpu_tasks.to_string(),
+                r.report.gpu_tasks.to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_share_grows_under_gpu_capping() {
+        // §V-C: "when we impose power caps on the GPUs, the ratio of tasks
+        // computed by the CPUs relative to the GPUs increases".
+        let fig = run(4);
+        let gemm = &fig.ladders[0];
+        let h = gemm.rows.iter().find(|r| r.config == "HH").unwrap();
+        let l = gemm.rows.iter().find(|r| r.config == "LL").unwrap();
+        assert!(
+            l.report.cpu_energy_share() > h.report.cpu_energy_share(),
+            "LL share {} vs HH share {}",
+            l.report.cpu_energy_share(),
+            h.report.cpu_energy_share()
+        );
+        assert!(l.report.cpu_tasks >= h.report.cpu_tasks);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let fig = run(6);
+        for l in &fig.ladders {
+            for r in &l.rows {
+                let sum: f64 = r.report.energy_per_cpu.iter().sum::<f64>()
+                    + r.report.energy_per_gpu.iter().sum::<f64>();
+                assert!(
+                    (sum - r.report.total_energy_j).abs() / r.report.total_energy_j < 1e-9,
+                    "{}: {sum} vs {}",
+                    r.config,
+                    r.report.total_energy_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_device_columns() {
+        let text = render(&run(8));
+        assert!(text.contains("CPU0 J"));
+        assert!(text.contains("GPU1 J"));
+        assert!(text.contains("GEMM") && text.contains("POTRF"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 6: energy-efficiency improvement from capping one CPU package
+//! (60 W of 125 W, the measured stability floor) on 24-Intel-2-V100, for
+//! both operations and precisions, across the cap ladder.
+
+use crate::format::{f, pct, TextTable};
+use crate::unbalanced::{run_ladder, Ladder};
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{OpKind, PlatformId, Precision, Watts};
+
+/// The paper's CPU cap: package 1 at 60 W (§V-C).
+pub const CPU_CAP: (usize, Watts) = (1, Watts(60.0));
+
+/// One (op, precision) pair's ladders with and without the CPU cap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Case {
+    pub op: String,
+    pub precision: String,
+    pub uncapped: Ladder,
+    pub capped: Ladder,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    pub cases: Vec<Fig6Case>,
+}
+
+pub fn run(scale: usize) -> Fig6 {
+    let mut cases = Vec::new();
+    for op in OpKind::ALL {
+        for precision in Precision::ALL {
+            cases.push(Fig6Case {
+                op: op.name().to_string(),
+                precision: precision.to_string(),
+                uncapped: run_ladder(PlatformId::Intel2V100, op, precision, scale, None),
+                capped: run_ladder(PlatformId::Intel2V100, op, precision, scale, Some(CPU_CAP)),
+            });
+        }
+    }
+    Fig6 { cases }
+}
+
+pub fn render(fig: &Fig6) -> String {
+    let mut out = String::from(
+        "Fig. 6 — efficiency improvement from capping one CPU (60 W), 24-Intel-2-V100\n\n",
+    );
+    for c in &fig.cases {
+        out.push_str(&format!("{} / {}:\n", c.op, c.precision));
+        let mut table = TextTable::new(&[
+            "config",
+            "eff no CPU cap",
+            "eff CPU capped",
+            "improvement",
+            "perf change",
+        ]);
+        for (u, k) in c.uncapped.rows.iter().zip(&c.capped.rows) {
+            assert_eq!(u.config, k.config);
+            let gain =
+                (k.report.efficiency_gflops_w / u.report.efficiency_gflops_w - 1.0) * 100.0;
+            let perf = (k.report.gflops / u.report.gflops - 1.0) * 100.0;
+            table.row(vec![
+                u.config.clone(),
+                f(u.report.efficiency_gflops_w, 2),
+                f(k.report.efficiency_gflops_w, 2),
+                pct(gain),
+                pct(perf),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_capping_improves_efficiency_everywhere() {
+        // §V-C: "an overall improvement in energy efficiency across all
+        // configurations, regardless of the operation and precision".
+        let fig = run(4);
+        for c in &fig.cases {
+            for (u, k) in c.uncapped.rows.iter().zip(&c.capped.rows) {
+                assert!(
+                    k.report.efficiency_gflops_w > u.report.efficiency_gflops_w,
+                    "{}/{} {}: capped {} <= uncapped {}",
+                    c.op,
+                    c.precision,
+                    u.config,
+                    k.report.efficiency_gflops_w,
+                    u.report.efficiency_gflops_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_capping_costs_little_performance() {
+        // §V-C: "does not delay critical tasks" — no meaningful perf loss.
+        let fig = run(4);
+        for c in &fig.cases {
+            let u = c.uncapped.row("HH");
+            let k = c.capped.row("HH");
+            let perf_change = (k.report.gflops / u.report.gflops - 1.0) * 100.0;
+            assert!(
+                perf_change > -8.0,
+                "{}/{}: perf change {perf_change:+.1} %",
+                c.op,
+                c.precision
+            );
+        }
+    }
+
+    #[test]
+    fn four_cases() {
+        let fig = run(8);
+        assert_eq!(fig.cases.len(), 4);
+        let text = render(&fig);
+        assert!(text.contains("GEMM / double"));
+        assert!(text.contains("POTRF / single"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str("| ");
+                out.push_str(c);
+                out.push_str(&" ".repeat(width[i] - c.len() + 1));
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        out.push('|');
+        for w in &width {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a float with fixed decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Format a percentage with sign.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.2} %")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["config", "eff"]);
+        t.row(vec!["HHHH".into(), "41.2".into()]);
+        t.row(vec!["BBBB".into(), "52.04".into()]);
+        let s = t.render();
+        assert!(s.contains("| config | eff   |"), "{s}");
+        assert!(s.contains("| BBBB   | 52.04 |"), "{s}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn number_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(-12.345), "-12.35 %");
+        assert_eq!(pct(9.5), "+9.50 %");
+    }
+}

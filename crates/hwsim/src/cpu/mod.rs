@@ -1,0 +1,5 @@
+//! CPU package models: specs, RAPL counters and caps, per-core execution.
+
+pub mod package;
+pub mod rapl;
+pub mod spec;

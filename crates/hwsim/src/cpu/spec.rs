@@ -1,0 +1,195 @@
+//! The CPU catalog: the three processor models of the paper's platforms.
+
+use crate::gpu::spec::PerPrecision;
+use crate::units::{FlopRate, Secs, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CPU models of the paper's three platforms (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuModel {
+    /// Intel Xeon Gold 6126 (Skylake-SP), 12 cores @ 2.60 GHz.
+    XeonGold6126,
+    /// AMD EPYC 7452 (Zen2), 32 cores @ 2.35 GHz.
+    Epyc7452,
+    /// AMD EPYC 7513 (Zen3), 32 cores @ 2.60 GHz.
+    Epyc7513,
+}
+
+impl CpuModel {
+    pub const ALL: [CpuModel; 3] = [CpuModel::XeonGold6126, CpuModel::Epyc7452, CpuModel::Epyc7513];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuModel::XeonGold6126 => "Xeon Gold 6126",
+            CpuModel::Epyc7452 => "EPYC 7452",
+            CpuModel::Epyc7513 => "EPYC 7513",
+        }
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full specification of a CPU package model.
+///
+/// The package power model is `P = uncore + Σ_active core_power · V(x)²·x`
+/// with the same voltage-floor shape as the GPU model. RAPL capping solves
+/// for the largest `x` that keeps the all-active draw under the limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    pub model: CpuModel,
+    pub cores: usize,
+    /// Package TDP — the default RAPL power limit.
+    pub tdp: Watts,
+    /// Uncore + LLC + memory-controller power, drawn whenever powered.
+    pub uncore_power: Watts,
+    /// Dynamic power of one active core at nominal frequency.
+    pub core_power: Watts,
+    /// Voltage floor fraction and V/f slope (shared across cores).
+    pub vmin: f64,
+    pub k: f64,
+    /// Lowest sustainable clock fraction.
+    pub x_min: f64,
+    /// RAPL caps below `stability_floor` hang the node — the paper reports
+    /// instability below 48 % TDP on the Xeon 6126 (§V-C).
+    pub stability_floor: Watts,
+    /// Whether RAPL capping is available at all. The paper could not cap
+    /// the AMD EPYC packages on Grid'5000.
+    pub supports_capping: bool,
+    /// Sustained per-core GEMM rate at nominal frequency.
+    pub core_rate: PerPrecision<FlopRate>,
+    /// Per-task scheduling/launch overhead on a CPU worker.
+    pub task_overhead: Secs,
+    /// Fraction of active-core power drawn by a core busy-waiting in the
+    /// runtime's polling loop (StarPU workers spin; they never sleep
+    /// during a run). This is why capping a mostly-idle CPU package still
+    /// saves real energy (§V-C).
+    pub spin_factor: f64,
+}
+
+impl CpuSpec {
+    pub fn of(model: CpuModel) -> Self {
+        match model {
+            // 35 W uncore + 12 × 7.5 W = 125 W TDP. AVX-512 GEMM.
+            CpuModel::XeonGold6126 => CpuSpec {
+                model,
+                cores: 12,
+                tdp: Watts(125.0),
+                uncore_power: Watts(35.0),
+                core_power: Watts(7.5),
+                vmin: 0.72,
+                k: 0.85,
+                x_min: 0.35,
+                stability_floor: Watts(60.0), // 48 % of 125 W, as measured
+                supports_capping: true,
+                core_rate: PerPrecision::new(FlopRate::from_gflops(60.0), FlopRate::from_gflops(30.0)),
+                task_overhead: Secs(5e-6),
+                spin_factor: 0.5,
+            },
+            // 75 W uncore + 32 × 1.5625 W = 125 W (the paper states 125 W
+            // TDP; Zen2's separate IO die makes uncore the dominant share).
+            CpuModel::Epyc7452 => CpuSpec {
+                model,
+                cores: 32,
+                tdp: Watts(125.0),
+                uncore_power: Watts(75.0),
+                core_power: Watts(1.5625),
+                vmin: 0.72,
+                k: 0.85,
+                x_min: 0.35,
+                stability_floor: Watts(60.0),
+                supports_capping: false,
+                core_rate: PerPrecision::new(FlopRate::from_gflops(36.0), FlopRate::from_gflops(18.0)),
+                task_overhead: Secs(5e-6),
+                spin_factor: 0.5,
+            },
+            // 60 W uncore + 32 × 4.375 W = 200 W.
+            CpuModel::Epyc7513 => CpuSpec {
+                model,
+                cores: 32,
+                tdp: Watts(200.0),
+                uncore_power: Watts(60.0),
+                core_power: Watts(4.375),
+                vmin: 0.72,
+                k: 0.85,
+                x_min: 0.35,
+                stability_floor: Watts(96.0),
+                supports_capping: false,
+                core_rate: PerPrecision::new(FlopRate::from_gflops(50.0), FlopRate::from_gflops(25.0)),
+                task_overhead: Secs(5e-6),
+                spin_factor: 0.5,
+            },
+        }
+    }
+
+    /// Efficiency of the cache-blocked kernel on a tile of dimension `nb`
+    /// (small tiles pay relatively more loop and pack overhead).
+    #[inline]
+    pub fn tile_efficiency(&self, nb: usize) -> f64 {
+        let n = nb as f64;
+        n / (n + 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Precision;
+
+    #[test]
+    fn power_budget_adds_up_to_tdp() {
+        for m in CpuModel::ALL {
+            let s = CpuSpec::of(m);
+            let full = s.uncore_power + s.core_power * s.cores as f64;
+            assert!(
+                (full.value() - s.tdp.value()).abs() < 1e-9,
+                "{m}: {full} vs TDP {}",
+                s.tdp
+            );
+        }
+    }
+
+    #[test]
+    fn paper_platform_core_counts() {
+        assert_eq!(CpuSpec::of(CpuModel::XeonGold6126).cores, 12);
+        assert_eq!(CpuSpec::of(CpuModel::Epyc7452).cores, 32);
+        assert_eq!(CpuSpec::of(CpuModel::Epyc7513).cores, 32);
+    }
+
+    #[test]
+    fn only_intel_supports_capping() {
+        assert!(CpuSpec::of(CpuModel::XeonGold6126).supports_capping);
+        assert!(!CpuSpec::of(CpuModel::Epyc7452).supports_capping);
+        assert!(!CpuSpec::of(CpuModel::Epyc7513).supports_capping);
+    }
+
+    #[test]
+    fn stability_floor_matches_paper() {
+        // 60 W over 125 W = 48 % TDP (§V-C).
+        let s = CpuSpec::of(CpuModel::XeonGold6126);
+        assert!((s.stability_floor / s.tdp - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_precision_twice_double() {
+        for m in CpuModel::ALL {
+            let s = CpuSpec::of(m);
+            let r = s.core_rate.get(Precision::Single).value()
+                / s.core_rate.get(Precision::Double).value();
+            assert!((r - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tile_efficiency_monotone() {
+        let s = CpuSpec::of(CpuModel::XeonGold6126);
+        assert!(s.tile_efficiency(2880) > s.tile_efficiency(288));
+        assert!(s.tile_efficiency(2880) > 0.95);
+        assert!(s.tile_efficiency(64)
+            < 0.6);
+    }
+}

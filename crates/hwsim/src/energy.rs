@@ -1,0 +1,194 @@
+//! Per-device energy accounting.
+//!
+//! The simulator integrates power over virtual time exactly: every kernel
+//! or busy period is recorded as a `(start, end, power)` interval, and all
+//! remaining time is charged at the device's idle power. This mirrors the
+//! paper's measurement protocol (energy counters read at the start and end
+//! of the run, §IV-C) while staying exact under caps that change mid-run.
+
+use crate::units::{Joules, Secs, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One recorded busy interval at a constant power draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    pub start: Secs,
+    pub end: Secs,
+    pub power: Watts,
+}
+
+impl BusyInterval {
+    #[inline]
+    pub fn duration(&self) -> Secs {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn energy(&self) -> Joules {
+        self.power * self.duration()
+    }
+}
+
+/// Energy ledger of a single serial execution resource (a GPU, a CPU core).
+///
+/// Busy intervals must be recorded in non-decreasing time order and must
+/// not overlap — the resource executes one thing at a time. Idle time in
+/// between is charged at `idle_power` (zero for CPU cores, whose package
+/// base power is accounted separately by [`crate::cpu::package::CpuPackage`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    idle_power: Watts,
+    busy_energy: Joules,
+    busy_time: Secs,
+    last_end: Secs,
+    intervals: Vec<BusyInterval>,
+    /// When false, individual intervals are not retained (saves memory on
+    /// large runs); aggregates are always kept.
+    keep_intervals: bool,
+}
+
+impl EnergyLedger {
+    pub fn new(idle_power: Watts) -> Self {
+        Self {
+            idle_power,
+            busy_energy: Joules::ZERO,
+            busy_time: Secs::ZERO,
+            last_end: Secs::ZERO,
+            intervals: Vec::new(),
+            keep_intervals: true,
+        }
+    }
+
+    /// Disable retention of per-interval history (aggregates only).
+    pub fn aggregates_only(mut self) -> Self {
+        self.keep_intervals = false;
+        self
+    }
+
+    pub fn idle_power(&self) -> Watts {
+        self.idle_power
+    }
+
+    /// Record a busy interval. Panics if it overlaps a previous one or runs
+    /// backwards — both indicate executor bugs, not recoverable conditions.
+    pub fn record(&mut self, start: Secs, end: Secs, power: Watts) {
+        assert!(
+            start.value() >= self.last_end.value() - 1e-12,
+            "busy interval overlaps previous (start {start} < last end {})",
+            self.last_end
+        );
+        assert!(end >= start, "interval runs backwards: {start}..{end}");
+        assert!(power.is_valid(), "invalid power {power}");
+        let iv = BusyInterval { start, end, power };
+        self.busy_energy += iv.energy();
+        self.busy_time += iv.duration();
+        self.last_end = end;
+        if self.keep_intervals {
+            self.intervals.push(iv);
+        }
+    }
+
+    /// Total energy consumed from time 0 to `until` (busy intervals at their
+    /// recorded power, all other time at idle power).
+    pub fn energy_until(&self, until: Secs) -> Joules {
+        assert!(
+            until.value() >= self.last_end.value() - 1e-9,
+            "query time {until} precedes last recorded activity {}",
+            self.last_end
+        );
+        let idle_time = until - self.busy_time;
+        self.busy_energy + self.idle_power * idle_time
+    }
+
+    /// Energy of the busy intervals alone.
+    pub fn busy_energy(&self) -> Joules {
+        self.busy_energy
+    }
+
+    /// Total recorded busy time.
+    pub fn busy_time(&self) -> Secs {
+        self.busy_time
+    }
+
+    /// End of the last recorded interval.
+    pub fn last_end(&self) -> Secs {
+        self.last_end
+    }
+
+    /// Recorded intervals (empty if retention is disabled).
+    pub fn intervals(&self) -> &[BusyInterval] {
+        &self.intervals
+    }
+
+    /// Clear all recorded activity (NVML energy counters survive this; the
+    /// simulation uses it between measured runs).
+    pub fn reset(&mut self) {
+        self.busy_energy = Joules::ZERO;
+        self.busy_time = Secs::ZERO;
+        self.last_end = Secs::ZERO;
+        self.intervals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_only() {
+        let l = EnergyLedger::new(Watts(50.0));
+        assert_eq!(l.energy_until(Secs(10.0)), Joules(500.0));
+    }
+
+    #[test]
+    fn busy_plus_idle() {
+        let mut l = EnergyLedger::new(Watts(50.0));
+        l.record(Secs(2.0), Secs(4.0), Watts(300.0));
+        // 2 s busy at 300 W + 8 s idle at 50 W.
+        assert_eq!(l.energy_until(Secs(10.0)), Joules(600.0 + 400.0));
+        assert_eq!(l.busy_time(), Secs(2.0));
+    }
+
+    #[test]
+    fn multiple_intervals_in_order() {
+        let mut l = EnergyLedger::new(Watts(10.0));
+        l.record(Secs(0.0), Secs(1.0), Watts(100.0));
+        l.record(Secs(1.0), Secs(2.0), Watts(200.0));
+        l.record(Secs(5.0), Secs(6.0), Watts(300.0));
+        // busy: 100+200+300, idle: 3 s * 10 W.
+        assert_eq!(l.energy_until(Secs(6.0)), Joules(630.0));
+        assert_eq!(l.intervals().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_interval_panics() {
+        let mut l = EnergyLedger::new(Watts::ZERO);
+        l.record(Secs(0.0), Secs(2.0), Watts(1.0));
+        l.record(Secs(1.0), Secs(3.0), Watts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn backwards_interval_panics() {
+        let mut l = EnergyLedger::new(Watts::ZERO);
+        l.record(Secs(2.0), Secs(1.0), Watts(1.0));
+    }
+
+    #[test]
+    fn aggregates_only_mode() {
+        let mut l = EnergyLedger::new(Watts(5.0)).aggregates_only();
+        l.record(Secs(0.0), Secs(1.0), Watts(100.0));
+        assert!(l.intervals().is_empty());
+        assert_eq!(l.busy_energy(), Joules(100.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut l = EnergyLedger::new(Watts(5.0));
+        l.record(Secs(0.0), Secs(1.0), Watts(100.0));
+        l.reset();
+        assert_eq!(l.energy_until(Secs(2.0)), Joules(10.0));
+        assert_eq!(l.last_end(), Secs::ZERO);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the hardware substrate.
+
+use crate::units::Watts;
+use std::fmt;
+
+/// Errors surfaced by the device models and the NVML/PAPI façades.
+///
+/// The NVML-shaped variants mirror the real library's return codes so that
+/// code written against this façade ports to `nvml-wrapper` unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// Device index out of range (NVML: `NVML_ERROR_INVALID_ARGUMENT`).
+    InvalidDeviceIndex { index: usize, count: usize },
+    /// Requested power limit outside the device's constraint window
+    /// (NVML: `NVML_ERROR_INVALID_ARGUMENT` from
+    /// `nvmlDeviceSetPowerManagementLimit`).
+    PowerLimitOutOfRange {
+        requested: Watts,
+        min: Watts,
+        max: Watts,
+    },
+    /// Capping this device is not supported (NVML: `NVML_ERROR_NOT_SUPPORTED`;
+    /// the paper hit this on AMD CPU packages).
+    NotSupported(String),
+    /// Operation requires elevated privileges (NVML: `NVML_ERROR_NO_PERMISSION`).
+    NoPermission(String),
+    /// A cap below the stability floor was requested on a CPU package; the
+    /// paper reports instability below 48 % TDP on the Xeon 6126.
+    UnstableCpuCap { requested: Watts, floor: Watts },
+    /// Model parameterization is unphysical (calibration failure).
+    BadModel(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidDeviceIndex { index, count } => {
+                write!(f, "invalid device index {index} (device count {count})")
+            }
+            HwError::PowerLimitOutOfRange { requested, min, max } => write!(
+                f,
+                "power limit {requested:.0} outside constraints [{min:.0}, {max:.0}]"
+            ),
+            HwError::NotSupported(what) => write!(f, "operation not supported: {what}"),
+            HwError::NoPermission(what) => write!(f, "insufficient permissions: {what}"),
+            HwError::UnstableCpuCap { requested, floor } => write!(
+                f,
+                "CPU cap {requested:.0} below stability floor {floor:.0}"
+            ),
+            HwError::BadModel(why) => write!(f, "unphysical model: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+pub type HwResult<T> = Result<T, HwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HwError::PowerLimitOutOfRange {
+            requested: Watts(500.0),
+            min: Watts(100.0),
+            max: Watts(400.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("500"), "{s}");
+        assert!(s.contains("100"), "{s}");
+
+        let e = HwError::InvalidDeviceIndex { index: 4, count: 4 };
+        assert!(e.to_string().contains("index 4"));
+
+        let e = HwError::UnstableCpuCap {
+            requested: Watts(40.0),
+            floor: Watts(60.0),
+        };
+        assert!(e.to_string().contains("stability floor"));
+    }
+}

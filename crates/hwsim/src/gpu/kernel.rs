@@ -1,0 +1,224 @@
+//! GPU kernel execution model: roofline timing × occupancy, and the power
+//! drawn while the kernel is resident.
+
+use crate::gpu::spec::GpuSpec;
+use crate::units::{Bytes, Flops, Precision, Secs, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The resource footprint of one kernel launch, as seen by a device model.
+///
+/// This is the interface between the linear-algebra layer (which knows how
+/// many flops a `dgemm` on an `nb × nb` tile performs) and the hardware
+/// layer (which knows how fast and at what power the device retires them).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Floating-point operations performed.
+    pub flops: Flops,
+    /// Device-memory traffic generated (reads + writes).
+    pub bytes: Bytes,
+    /// Numerical precision (selects peak rate and power profile).
+    pub precision: Precision,
+}
+
+impl KernelWork {
+    pub fn new(flops: Flops, bytes: Bytes, precision: Precision) -> Self {
+        Self {
+            flops,
+            bytes,
+            precision,
+        }
+    }
+
+    /// The footprint of a square `nb × nb` GEMM update
+    /// (`C ← αAB + βC`): `2·nb³` flops, `4·nb²` elements of traffic.
+    pub fn gemm_tile(nb: usize, precision: Precision) -> Self {
+        let n = nb as f64;
+        Self {
+            flops: Flops(2.0 * n * n * n),
+            bytes: Bytes(4.0 * n * n * precision.elem_bytes() as f64),
+            precision,
+        }
+    }
+}
+
+/// The outcome of running one kernel on a (possibly capped) GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Wall time including launch overhead.
+    pub time: Secs,
+    /// Average power drawn by the device during the kernel.
+    pub power: Watts,
+    /// Clock fraction the governor settled at.
+    pub clock_frac: f64,
+    /// True when HBM bandwidth, not compute, bounds the kernel.
+    pub memory_bound: bool,
+}
+
+impl KernelRun {
+    pub fn energy(&self) -> crate::units::Joules {
+        self.power * self.time
+    }
+}
+
+/// Evaluate a kernel on a device under a power cap.
+///
+/// Two-pass fixed point: the governor first assumes the kernel's nominal
+/// utilization; if the kernel turns out memory-bound (compute units partly
+/// idle), the effective utilization drops and the governor re-solves —
+/// memory-bound kernels leave power headroom and keep their clocks, which
+/// is why capping barely hurts them (and why the paper's small matrices are
+/// cap-insensitive, Fig. 1).
+pub fn run_kernel(spec: &GpuSpec, work: &KernelWork, cap: Watts) -> KernelRun {
+    let p = work.precision;
+    let dvfs = spec.dvfs.get(p);
+    let occ = spec.occupancy(work.flops.value(), p);
+    let u_nominal = spec.utilization(work.flops.value(), p);
+    let peak = spec.peak.get(p);
+    let t_mem = work.bytes / spec.mem_bandwidth;
+
+    let eval = |u: f64| -> (f64, Secs, f64) {
+        let x = dvfs.freq_for_cap(cap, u);
+        let rate = peak * (x * occ);
+        let t_comp = work.flops / rate;
+        let t_kernel = t_comp.max(t_mem);
+        // Fraction of the kernel during which the compute units are active.
+        let compute_frac = if t_kernel.value() > 0.0 {
+            t_comp / t_kernel
+        } else {
+            1.0
+        };
+        (x, t_kernel, compute_frac)
+    };
+
+    let (_, _, compute_frac) = eval(u_nominal);
+    let u_eff = u_nominal * compute_frac;
+    let (x, t_kernel, compute_frac) = eval(u_eff);
+    let u_final = u_nominal * compute_frac;
+
+    let time = t_kernel + spec.launch_overhead;
+    // Average power over the kernel: active draw weighted by the busy
+    // fraction of the launch window (overhead draws idle-ish power).
+    let busy_frac = if time.value() > 0.0 {
+        t_kernel / time
+    } else {
+        0.0
+    };
+    let active = dvfs.power(x, u_final);
+    let power = Watts(
+        active.value() * busy_frac + dvfs.static_power.value() * (1.0 - busy_frac),
+    );
+    KernelRun {
+        time,
+        power,
+        clock_frac: x,
+        memory_bound: t_mem > t_kernel * 0.999 && compute_frac < 0.999,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::spec::GpuModel;
+
+    fn sxm4() -> GpuSpec {
+        GpuSpec::of(GpuModel::A100Sxm4_40)
+    }
+
+    #[test]
+    fn gemm_tile_footprint() {
+        let w = KernelWork::gemm_tile(1000, Precision::Double);
+        assert_eq!(w.flops, Flops(2e9));
+        assert_eq!(w.bytes, Bytes(4.0 * 1e6 * 8.0));
+    }
+
+    #[test]
+    fn big_dgemm_near_peak_uncapped() {
+        let spec = sxm4();
+        let w = KernelWork::gemm_tile(5760, Precision::Double);
+        let r = run_kernel(&spec, &w, spec.tdp);
+        let rate = w.flops / r.time;
+        // ~17 Tflop/s peak × ~0.9 occupancy.
+        assert!(rate.as_tflops() > 13.0, "rate {rate}");
+        assert!(rate.as_tflops() < 17.0, "rate {rate}");
+        assert_eq!(r.clock_frac, 1.0);
+        assert!(!r.memory_bound);
+        // A saturating DGEMM draws close to the calibrated P_kmax (≈361 W).
+        assert!(r.power.value() > 330.0, "power {}", r.power);
+        assert!(r.power.value() <= 400.0, "power {}", r.power);
+    }
+
+    #[test]
+    fn capping_slows_and_saves() {
+        let spec = sxm4();
+        let w = KernelWork::gemm_tile(5760, Precision::Double);
+        let free = run_kernel(&spec, &w, spec.tdp);
+        let capped = run_kernel(&spec, &w, Watts(216.0)); // 54 % TDP
+        assert!(capped.time > free.time);
+        assert!(capped.power < free.power);
+        // The slowdown at the paper's best cap is ~23 %.
+        let slowdown = 1.0 - free.time / capped.time;
+        assert!((0.15..=0.32).contains(&slowdown), "slowdown {slowdown}");
+        // But efficiency improves.
+        let eff_free = w.flops.value() / free.energy().value();
+        let eff_capped = w.flops.value() / capped.energy().value();
+        assert!(
+            eff_capped > eff_free * 1.15,
+            "gain {}",
+            eff_capped / eff_free
+        );
+    }
+
+    #[test]
+    fn small_tile_cap_insensitive() {
+        let spec = sxm4();
+        let w = KernelWork::gemm_tile(512, Precision::Double);
+        let free = run_kernel(&spec, &w, spec.tdp);
+        let capped = run_kernel(&spec, &w, Watts(250.0));
+        // Small kernels do not reach the cap; timing is unchanged.
+        let ratio = capped.time / free.time;
+        assert!(ratio < 1.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_tile_less_efficient_than_large() {
+        // Fig. 1: smaller matrices have worse Gflop/s/W everywhere.
+        let spec = sxm4();
+        let eff = |nb: usize| {
+            let w = KernelWork::gemm_tile(nb, Precision::Double);
+            let r = run_kernel(&spec, &w, spec.tdp);
+            w.flops.value() / r.energy().value()
+        };
+        assert!(eff(5120) > eff(2048));
+        assert!(eff(2048) > eff(512));
+    }
+
+    #[test]
+    fn tiny_transfer_bound_kernel_is_memory_bound() {
+        let spec = sxm4();
+        // Pathological: almost no flops, lots of bytes.
+        let w = KernelWork::new(Flops(1e6), Bytes(1e9), Precision::Double);
+        let r = run_kernel(&spec, &w, spec.tdp);
+        assert!(r.memory_bound);
+        // Memory-bound kernels keep max clocks under moderate caps.
+        let r2 = run_kernel(&spec, &w, Watts(200.0));
+        assert!((r2.time.value() - r.time.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_precision_faster_than_double() {
+        let spec = sxm4();
+        let wd = KernelWork::gemm_tile(5760, Precision::Double);
+        let ws = KernelWork::gemm_tile(5760, Precision::Single);
+        let rd = run_kernel(&spec, &wd, spec.tdp);
+        let rs = run_kernel(&spec, &ws, spec.tdp);
+        assert!(rs.time < rd.time);
+    }
+
+    #[test]
+    fn energy_consistency() {
+        let spec = sxm4();
+        let w = KernelWork::gemm_tile(2880, Precision::Single);
+        let r = run_kernel(&spec, &w, Watts(160.0));
+        assert!((r.energy().value() - r.power.value() * r.time.value()).abs() < 1e-9);
+    }
+}

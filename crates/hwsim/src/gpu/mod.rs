@@ -1,0 +1,6 @@
+//! GPU device models: specs, DVFS under power caps, kernel timing, devices.
+
+pub mod device;
+pub mod dvfs;
+pub mod kernel;
+pub mod spec;

@@ -1,0 +1,47 @@
+//! # ugpc-hwsim — simulated heterogeneous-node hardware substrate
+//!
+//! Everything the paper's experiments need from hardware, as faithful
+//! simulations:
+//!
+//! * [`gpu`] — the three NVIDIA GPU models with a **voltage-floor DVFS
+//!   model** whose energy-efficiency optimum under power capping sits at
+//!   the V/f knee, calibrated in closed form ([`calibrate`]) from the
+//!   paper's Table I measurements.
+//! * [`cpu`] — the three CPU packages with RAPL-style counters and caps.
+//! * [`nvml`] / [`papi`] — management/measurement façades shaped like the
+//!   libraries the paper uses, so higher layers are written exactly as
+//!   they would be against real NVML and PAPI.
+//! * [`platform`] — the three Grid'5000 nodes and the Table II constants.
+//! * [`link`] — PCIe/NVLink transfer models.
+//! * [`energy`] — exact interval-based power integration.
+//!
+//! The simulation is deterministic: identical inputs give bit-identical
+//! timings and energies.
+
+pub mod calibrate;
+pub mod cpu;
+pub mod energy;
+pub mod error;
+pub mod gpu;
+pub mod link;
+pub mod nvml;
+pub mod papi;
+pub mod platform;
+pub mod units;
+
+pub use calibrate::{fit_dvfs, sweep_optimum, EfficiencyTarget};
+pub use cpu::package::{CpuPackage, CpuRun};
+pub use cpu::spec::{CpuModel, CpuSpec};
+pub use energy::{BusyInterval, EnergyLedger};
+pub use error::{HwError, HwResult};
+pub use gpu::device::GpuDevice;
+pub use gpu::dvfs::DvfsParams;
+pub use gpu::kernel::{run_kernel, KernelRun, KernelWork};
+pub use gpu::spec::{GpuModel, GpuSpec, PerPrecision};
+pub use link::LinkTopology;
+pub use nvml::Nvml;
+pub use papi::{EnergyProbe, EnergyReading};
+pub use platform::{table_ii, table_ii_entry, Node, OpKind, PlatformId, PlatformSpec, TableIIEntry};
+pub use units::{
+    Bandwidth, Bytes, Efficiency, FlopRate, Flops, Hertz, Joules, Precision, Secs, Watts,
+};

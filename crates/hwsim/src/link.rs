@@ -1,0 +1,122 @@
+//! Host↔device interconnect model (PCIe / NVLink).
+//!
+//! Each GPU has a dedicated full-duplex link to host memory; transfers on
+//! the same link direction serialize (the runtime's DMA engines enforce
+//! this), different directions and different GPUs proceed concurrently.
+//! SXM4 boards additionally have NVLink for direct device↔device copies.
+
+use crate::units::{Bandwidth, Bytes, Secs};
+use serde::{Deserialize, Serialize};
+
+/// Link characteristics of one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkTopology {
+    /// Host → device bandwidth per GPU.
+    pub h2d: Bandwidth,
+    /// Device → host bandwidth per GPU.
+    pub d2h: Bandwidth,
+    /// Direct device↔device bandwidth (NVLink), if present.
+    pub d2d: Option<Bandwidth>,
+    /// Per-transfer setup latency (driver + DMA programming).
+    pub latency: Secs,
+}
+
+impl LinkTopology {
+    /// PCIe gen3 x16 (V100 platform): ~12 GB/s effective.
+    pub fn pcie_gen3() -> Self {
+        LinkTopology {
+            h2d: Bandwidth::from_gb_s(12.0),
+            d2h: Bandwidth::from_gb_s(12.0),
+            d2d: None,
+            latency: Secs(15e-6),
+        }
+    }
+
+    /// PCIe gen4 x16 (A100-PCIe platform): ~24 GB/s effective.
+    pub fn pcie_gen4() -> Self {
+        LinkTopology {
+            h2d: Bandwidth::from_gb_s(24.0),
+            d2h: Bandwidth::from_gb_s(24.0),
+            d2d: None,
+            latency: Secs(15e-6),
+        }
+    }
+
+    /// SXM4 with NVLink3 between devices; host link is still PCIe gen4.
+    pub fn sxm4_nvlink() -> Self {
+        LinkTopology {
+            h2d: Bandwidth::from_gb_s(24.0),
+            d2h: Bandwidth::from_gb_s(24.0),
+            d2d: Some(Bandwidth::from_gb_s(250.0)),
+            latency: Secs(10e-6),
+        }
+    }
+
+    /// Time to move `bytes` host → device.
+    pub fn h2d_time(&self, bytes: Bytes) -> Secs {
+        self.latency + bytes / self.h2d
+    }
+
+    /// Time to move `bytes` device → host.
+    pub fn d2h_time(&self, bytes: Bytes) -> Secs {
+        self.latency + bytes / self.d2h
+    }
+
+    /// Time to move `bytes` between two devices: direct over NVLink when
+    /// present, otherwise staged through host memory (two hops).
+    pub fn d2d_time(&self, bytes: Bytes) -> Secs {
+        match self.d2d {
+            Some(bw) => self.latency + bytes / bw,
+            None => self.d2h_time(bytes) + self.h2d_time(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_times_scale_with_bytes() {
+        let l = LinkTopology::pcie_gen4();
+        let t1 = l.h2d_time(Bytes(24e9));
+        assert!((t1.value() - (15e-6 + 1.0)).abs() < 1e-9, "{t1}");
+        let t2 = l.h2d_time(Bytes(48e9));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn gen3_slower_than_gen4() {
+        let b = Bytes(1e9);
+        assert!(LinkTopology::pcie_gen3().h2d_time(b) > LinkTopology::pcie_gen4().h2d_time(b));
+    }
+
+    #[test]
+    fn nvlink_beats_staging() {
+        let b = Bytes(1e9);
+        let nv = LinkTopology::sxm4_nvlink();
+        let pcie = LinkTopology::pcie_gen4();
+        assert!(nv.d2d_time(b) < pcie.d2d_time(b) / 2.0);
+        // Without NVLink, d2d is two hops.
+        let staged = pcie.d2d_time(b);
+        let one_hop = pcie.h2d_time(b);
+        assert!((staged.value() - 2.0 * one_hop.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let l = LinkTopology::pcie_gen3();
+        assert_eq!(l.h2d_time(Bytes::ZERO), l.latency);
+    }
+
+    #[test]
+    fn tile_transfer_magnitude() {
+        // A 5760² f64 tile is ~265 MB -> ~11 ms on gen4. This is the same
+        // order as a GEMM task on it (~25 ms on A100), which is why
+        // data-aware scheduling (dmda/dmdas) matters.
+        let l = LinkTopology::pcie_gen4();
+        let bytes = Bytes((5760.0f64 * 5760.0) * 8.0);
+        let t = l.h2d_time(bytes);
+        assert!((0.008..0.020).contains(&t.value()), "{t}");
+    }
+}

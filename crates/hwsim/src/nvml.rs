@@ -1,0 +1,145 @@
+//! NVML-shaped management façade.
+//!
+//! Mirrors the subset of the NVIDIA Management Library the paper uses:
+//! power-limit constraints, `nvmlDeviceSetPowerManagementLimit`, and the
+//! total-energy counter (`nvmlDeviceGetTotalEnergyConsumption`, in mJ).
+//! Units follow NVML conventions (milliwatts in, millijoules out) so code
+//! written against this façade ports to `nvml-wrapper` mechanically. The
+//! one deviation: reads take the current *virtual* time, since this NVML
+//! observes a simulated node.
+
+use crate::error::{HwError, HwResult};
+use crate::gpu::device::GpuDevice;
+use crate::units::{Joules, Secs, Watts};
+
+/// Borrowed NVML handle over a node's GPUs.
+pub struct Nvml<'a> {
+    gpus: &'a mut [GpuDevice],
+}
+
+impl<'a> Nvml<'a> {
+    pub fn new(gpus: &'a mut [GpuDevice]) -> Self {
+        Self { gpus }
+    }
+
+    /// `nvmlDeviceGetCount`.
+    pub fn device_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    fn device(&self, index: usize) -> HwResult<&GpuDevice> {
+        self.gpus.get(index).ok_or(HwError::InvalidDeviceIndex {
+            index,
+            count: self.gpus.len(),
+        })
+    }
+
+    fn device_mut(&mut self, index: usize) -> HwResult<&mut GpuDevice> {
+        let count = self.gpus.len();
+        self.gpus
+            .get_mut(index)
+            .ok_or(HwError::InvalidDeviceIndex { index, count })
+    }
+
+    /// `nvmlDeviceGetName`.
+    pub fn device_name(&self, index: usize) -> HwResult<&'static str> {
+        Ok(self.device(index)?.model().name())
+    }
+
+    /// `nvmlDeviceGetPowerManagementLimitConstraints`, in milliwatts.
+    pub fn power_management_limit_constraints(&self, index: usize) -> HwResult<(u64, u64)> {
+        let d = self.device(index)?;
+        Ok((d.spec().min_cap.as_milliwatts(), d.spec().tdp.as_milliwatts()))
+    }
+
+    /// `nvmlDeviceGetPowerManagementLimit`, in milliwatts.
+    pub fn power_management_limit(&self, index: usize) -> HwResult<u64> {
+        Ok(self.device(index)?.power_limit().as_milliwatts())
+    }
+
+    /// `nvmlDeviceSetPowerManagementLimit`, in milliwatts. Requires root on
+    /// real hardware; always permitted here (the simulation is "root").
+    pub fn set_power_management_limit(&mut self, index: usize, limit_mw: u64) -> HwResult<()> {
+        self.device_mut(index)?
+            .set_power_limit(Watts::from_milliwatts(limit_mw))
+    }
+
+    /// `nvmlDeviceGetTotalEnergyConsumption`, in millijoules since the
+    /// ledger was last reset.
+    pub fn total_energy_consumption(&self, index: usize, now: Secs) -> HwResult<u64> {
+        Ok(self.device(index)?.energy(now).as_millijoules())
+    }
+
+    /// Energy in joules (convenience over the mJ counter).
+    pub fn energy(&self, index: usize, now: Secs) -> HwResult<Joules> {
+        Ok(Joules::from_millijoules(self.total_energy_consumption(index, now)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::kernel::KernelWork;
+    use crate::gpu::spec::GpuModel;
+    use crate::units::Precision;
+
+    fn two_gpus() -> Vec<GpuDevice> {
+        vec![
+            GpuDevice::new(0, GpuModel::A100Sxm4_40),
+            GpuDevice::new(1, GpuModel::A100Sxm4_40),
+        ]
+    }
+
+    #[test]
+    fn device_count_and_names() {
+        let mut gpus = two_gpus();
+        let nvml = Nvml::new(&mut gpus);
+        assert_eq!(nvml.device_count(), 2);
+        assert_eq!(nvml.device_name(0).unwrap(), "A100-SXM4-40GB");
+        assert!(matches!(
+            nvml.device_name(2),
+            Err(HwError::InvalidDeviceIndex { index: 2, count: 2 })
+        ));
+    }
+
+    #[test]
+    fn constraints_in_milliwatts() {
+        let mut gpus = two_gpus();
+        let nvml = Nvml::new(&mut gpus);
+        let (min, max) = nvml.power_management_limit_constraints(0).unwrap();
+        assert_eq!(min, 100_000);
+        assert_eq!(max, 400_000);
+    }
+
+    #[test]
+    fn set_and_read_limit() {
+        let mut gpus = two_gpus();
+        let mut nvml = Nvml::new(&mut gpus);
+        nvml.set_power_management_limit(0, 216_000).unwrap();
+        assert_eq!(nvml.power_management_limit(0).unwrap(), 216_000);
+        // Other device untouched.
+        assert_eq!(nvml.power_management_limit(1).unwrap(), 400_000);
+        // Out-of-window limits rejected with NVML-like error.
+        assert!(matches!(
+            nvml.set_power_management_limit(0, 50_000),
+            Err(HwError::PowerLimitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_counter_in_millijoules() {
+        let mut gpus = two_gpus();
+        let w = KernelWork::gemm_tile(2880, Precision::Double);
+        let run = gpus[0].execute(&w, Secs(0.0));
+        let end = run.time;
+        let nvml = Nvml::new(&mut gpus);
+        let mj = nvml.total_energy_consumption(0, end).unwrap();
+        let j = nvml.energy(0, end).unwrap();
+        assert_eq!(mj, j.as_millijoules());
+        assert!((j.value() - run.energy().value()).abs() < 1e-3);
+        // The idle sibling device still burned idle power.
+        let idle = nvml.energy(1, end).unwrap();
+        assert!(idle.value() > 0.0);
+        assert!(idle.value() < j.value());
+    }
+}

@@ -1,0 +1,143 @@
+//! PAPI-shaped whole-application energy measurement.
+//!
+//! The paper's protocol (§IV-C): read the CPU package energy counters
+//! (PAPI → RAPL native events) and the GPU counters (NVML) at the start
+//! and the end of the run, and subtract. [`EnergyProbe`] implements exactly
+//! that, including RAPL counter wrap handling.
+
+use crate::cpu::rapl;
+use crate::platform::Node;
+use crate::units::{Joules, Secs};
+use serde::{Deserialize, Serialize};
+
+/// A started measurement: counter snapshots at `t_start`.
+#[derive(Debug, Clone)]
+pub struct EnergyProbe {
+    t_start: Secs,
+    cpu_counters: Vec<u32>,
+    gpu_energy: Vec<Joules>,
+}
+
+/// Per-device energy totals of one measured run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReading {
+    pub duration: Secs,
+    pub per_cpu: Vec<Joules>,
+    pub per_gpu: Vec<Joules>,
+}
+
+impl EnergyReading {
+    pub fn cpu_total(&self) -> Joules {
+        self.per_cpu.iter().copied().sum()
+    }
+
+    pub fn gpu_total(&self) -> Joules {
+        self.per_gpu.iter().copied().sum()
+    }
+
+    /// Total energy of all processing units — the paper's metric.
+    pub fn total(&self) -> Joules {
+        self.cpu_total() + self.gpu_total()
+    }
+}
+
+impl EnergyProbe {
+    /// Snapshot all counters at virtual time `t_start` (PAPI_start +
+    /// initial reads).
+    pub fn start(node: &Node, t_start: Secs) -> Self {
+        EnergyProbe {
+            t_start,
+            cpu_counters: node
+                .cpus()
+                .iter()
+                .map(|p| rapl::read_counter(p, t_start))
+                .collect(),
+            gpu_energy: node.gpus().iter().map(|g| g.energy(t_start)).collect(),
+        }
+    }
+
+    /// Read all counters at `t_end` and return per-device deltas.
+    pub fn stop(self, node: &Node, t_end: Secs) -> EnergyReading {
+        assert!(
+            t_end >= self.t_start,
+            "measurement ends before it starts: {} < {}",
+            t_end,
+            self.t_start
+        );
+        let per_cpu = node
+            .cpus()
+            .iter()
+            .zip(&self.cpu_counters)
+            .map(|(p, &c0)| rapl::delta_joules(c0, rapl::read_counter(p, t_end)))
+            .collect();
+        let per_gpu = node
+            .gpus()
+            .iter()
+            .zip(&self.gpu_energy)
+            .map(|(g, &e0)| g.energy(t_end) - e0)
+            .collect();
+        EnergyReading {
+            duration: t_end - self.t_start,
+            per_cpu,
+            per_gpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::kernel::KernelWork;
+    use crate::platform::PlatformId;
+    use crate::units::Precision;
+
+    #[test]
+    fn idle_node_measures_idle_power() {
+        let node = Node::new(PlatformId::Intel2V100);
+        let probe = EnergyProbe::start(&node, Secs(0.0));
+        let reading = probe.stop(&node, Secs(10.0));
+        // 2 CPUs at 35 W uncore + 2 V100 at 40 W idle for 10 s.
+        let expect = 2.0 * 35.0 * 10.0 + 2.0 * 40.0 * 10.0;
+        assert!(
+            (reading.total().value() - expect).abs() < 0.5,
+            "{} vs {expect}",
+            reading.total()
+        );
+        assert_eq!(reading.per_cpu.len(), 2);
+        assert_eq!(reading.per_gpu.len(), 2);
+        assert_eq!(reading.duration, Secs(10.0));
+    }
+
+    #[test]
+    fn measures_gpu_activity() {
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let probe = EnergyProbe::start(&node, Secs(0.0));
+        let w = KernelWork::gemm_tile(5760, Precision::Double);
+        let run = node.gpu_mut(0).execute(&w, Secs(0.0));
+        let reading = probe.stop(&node, run.time);
+        assert!(reading.per_gpu[0].value() > reading.per_gpu[1].value());
+        assert!((reading.per_gpu[0].value() - run.energy().value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measurement_window_offsets() {
+        // Starting the probe late must exclude earlier activity.
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let w = KernelWork::gemm_tile(2880, Precision::Double);
+        let run = node.gpu_mut(0).execute(&w, Secs(0.0));
+        let after = run.time;
+        let probe = EnergyProbe::start(&node, after);
+        let reading = probe.stop(&node, after + Secs(1.0));
+        // Only idle power in the window.
+        let idle = node.gpu(0).spec().idle_power;
+        assert!((reading.per_gpu[0].value() - idle.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn backwards_window_panics() {
+        let node = Node::new(PlatformId::Intel2V100);
+        let probe = EnergyProbe::start(&node, Secs(5.0));
+        let _ = probe.stop(&node, Secs(1.0));
+    }
+}

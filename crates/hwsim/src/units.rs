@@ -1,0 +1,550 @@
+//! Type-safe physical units used throughout the simulator.
+//!
+//! All quantities are `f64` newtypes in SI base units (watts, joules,
+//! seconds, hertz, flop counts). Arithmetic is only defined where it is
+//! physically meaningful — `Power * Time = Energy`, `Flops / Time =
+//! FlopRate`, and so on — which catches most unit bugs at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw value in the unit's SI base.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True when the value is finite and non-negative.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dimensionless ratio of two quantities of the same unit.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Duration / virtual time in seconds.
+    Secs,
+    "s"
+);
+unit!(
+    /// Clock frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// A number of floating point operations.
+    Flops,
+    "flop"
+);
+unit!(
+    /// A number of bytes.
+    Bytes,
+    "B"
+);
+
+impl Watts {
+    #[inline]
+    pub fn from_milliwatts(mw: u64) -> Self {
+        Watts(mw as f64 / 1e3)
+    }
+
+    #[inline]
+    pub fn as_milliwatts(self) -> u64 {
+        (self.0 * 1e3).round() as u64
+    }
+}
+
+impl Joules {
+    #[inline]
+    pub fn from_millijoules(mj: u64) -> Self {
+        Joules(mj as f64 / 1e3)
+    }
+
+    #[inline]
+    pub fn as_millijoules(self) -> u64 {
+        (self.0 * 1e3).round() as u64
+    }
+
+    #[inline]
+    pub fn as_microjoules(self) -> u64 {
+        (self.0 * 1e6).round() as u64
+    }
+}
+
+impl Secs {
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Secs(ms / 1e3)
+    }
+
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Hertz {
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Flops {
+    #[inline]
+    pub fn from_gflop(g: f64) -> Self {
+        Flops(g * 1e9)
+    }
+
+    #[inline]
+    pub fn as_gflop(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Bytes {
+    #[inline]
+    pub fn from_mib(m: f64) -> Self {
+        Bytes(m * 1024.0 * 1024.0)
+    }
+
+    #[inline]
+    pub fn from_gib(g: f64) -> Self {
+        Bytes(g * 1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// Power * Time = Energy.
+impl Mul<Secs> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Secs) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Time * Power = Energy.
+impl Mul<Watts> for Secs {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Energy / Time = Power.
+impl Div<Secs> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Secs) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// Energy / Power = Time.
+impl Div<Watts> for Joules {
+    type Output = Secs;
+    #[inline]
+    fn div(self, rhs: Watts) -> Secs {
+        Secs(self.0 / rhs.0)
+    }
+}
+
+/// Compute rate in flop/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct FlopRate(pub f64);
+
+impl FlopRate {
+    pub const ZERO: Self = Self(0.0);
+
+    #[inline]
+    pub fn from_gflops(g: f64) -> Self {
+        FlopRate(g * 1e9)
+    }
+
+    #[inline]
+    pub fn from_tflops(t: f64) -> Self {
+        FlopRate(t * 1e12)
+    }
+
+    #[inline]
+    pub fn as_gflops(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    #[inline]
+    pub fn as_tflops(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<f64> for FlopRate {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        FlopRate(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for FlopRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*} Gflop/s", p, self.as_gflops())
+        } else {
+            write!(f, "{} Gflop/s", self.as_gflops())
+        }
+    }
+}
+
+/// Flops / Time = rate.
+impl Div<Secs> for Flops {
+    type Output = FlopRate;
+    #[inline]
+    fn div(self, rhs: Secs) -> FlopRate {
+        FlopRate(self.0 / rhs.0)
+    }
+}
+
+/// Flops / rate = time.
+impl Div<FlopRate> for Flops {
+    type Output = Secs;
+    #[inline]
+    fn div(self, rhs: FlopRate) -> Secs {
+        Secs(self.0 / rhs.0)
+    }
+}
+
+/// Memory bandwidth in bytes/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    #[inline]
+    pub fn from_gib_s(g: f64) -> Self {
+        Bandwidth(g * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    #[inline]
+    pub fn from_gb_s(g: f64) -> Self {
+        Bandwidth(g * 1e9)
+    }
+
+    #[inline]
+    pub fn as_gb_s(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// Bytes / bandwidth = time.
+impl Div<Bandwidth> for Bytes {
+    type Output = Secs;
+    #[inline]
+    fn div(self, rhs: Bandwidth) -> Secs {
+        Secs(self.0 / rhs.0)
+    }
+}
+
+/// Energy efficiency in flop/s/W (reported as Gflop/s/W like the paper).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Efficiency(pub f64);
+
+impl Efficiency {
+    /// Flops per joule == (flop/s) / W.
+    #[inline]
+    pub fn from_work_energy(work: Flops, energy: Joules) -> Self {
+        Efficiency(work.0 / energy.0)
+    }
+
+    #[inline]
+    pub fn as_gflops_per_watt(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Efficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*} Gflop/s/W", p, self.as_gflops_per_watt())
+        } else {
+            write!(f, "{} Gflop/s/W", self.as_gflops_per_watt())
+        }
+    }
+}
+
+/// Floating-point precision of a computation, as in the paper (single vs
+/// double). Affects peak rates, power draw and data footprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    Single,
+    Double,
+}
+
+impl Precision {
+    /// Size in bytes of one element.
+    #[inline]
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    pub const ALL: [Precision; 2] = [Precision::Single, Precision::Double];
+
+    pub fn short(self) -> &'static str {
+        match self {
+            Precision::Single => "sp",
+            Precision::Double => "dp",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Single => write!(f, "single"),
+            Precision::Double => write!(f, "double"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(250.0) * Secs(4.0);
+        assert_eq!(e, Joules(1000.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules(1000.0) / Secs(4.0);
+        assert_eq!(p, Watts(250.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Joules(1000.0) / Watts(250.0);
+        assert_eq!(t, Secs(4.0));
+    }
+
+    #[test]
+    fn flops_over_time_is_rate() {
+        let r = Flops(2e12) / Secs(2.0);
+        assert_eq!(r.as_tflops(), 1.0);
+    }
+
+    #[test]
+    fn flops_over_rate_is_time() {
+        let t = Flops(2e12) / FlopRate::from_tflops(1.0);
+        assert!((t.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_same_unit_is_dimensionless() {
+        let frac: f64 = Watts(100.0) / Watts(400.0);
+        assert_eq!(frac, 0.25);
+    }
+
+    #[test]
+    fn milliwatt_round_trip() {
+        let w = Watts::from_milliwatts(215_500);
+        assert_eq!(w, Watts(215.5));
+        assert_eq!(w.as_milliwatts(), 215_500);
+    }
+
+    #[test]
+    fn efficiency_gflops_per_watt() {
+        // 1 Tflop of work on 25 J -> 40 Gflop/s/W.
+        let eff = Efficiency::from_work_energy(Flops(1e12), Joules(25.0));
+        assert!((eff.as_gflops_per_watt() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let t = Bytes(32e9) / Bandwidth::from_gb_s(16.0);
+        assert!((t.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_sizes() {
+        assert_eq!(Precision::Single.elem_bytes(), 4);
+        assert_eq!(Precision::Double.elem_bytes(), 8);
+    }
+
+    #[test]
+    fn unit_display_precision() {
+        assert_eq!(format!("{:.1}", Watts(215.55)), "215.6 W");
+        assert_eq!(format!("{:.2}", FlopRate::from_tflops(19.5)), "19500.00 Gflop/s");
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Joules = [Joules(1.0), Joules(2.5), Joules(3.5)].into_iter().sum();
+        assert_eq!(total, Joules(7.0));
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        assert_eq!(Watts(500.0).clamp(Watts(100.0), Watts(400.0)), Watts(400.0));
+        assert_eq!(Watts(50.0).max(Watts(100.0)), Watts(100.0));
+        assert_eq!(Secs(2.0).min(Secs(1.0)), Secs(1.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Reference GEMM tile kernel: `C ← α·op(A)·op(B) + β·C`.
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Transposition of an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    No,
+    Yes,
+}
+
+/// `C ← α·op(A)·op(B) + β·C` on square tiles of equal dimension.
+///
+/// Column-major loops ordered j-k-i so the innermost loop streams down a
+/// column of `C` and (in the no-transpose case) a column of `A`.
+pub fn gemm<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    alpha: T,
+    a: &Tile<T>,
+    b: &Tile<T>,
+    beta: T,
+    c: &mut Tile<T>,
+) {
+    let n = c.n();
+    assert_eq!(a.n(), n, "tile dimensions must agree");
+    assert_eq!(b.n(), n, "tile dimensions must agree");
+
+    // Scale C by beta first.
+    if beta != T::ONE {
+        for x in c.as_mut_slice() {
+            *x *= beta;
+        }
+    }
+    if alpha == T::ZERO {
+        return;
+    }
+
+    match (transa, transb) {
+        (Trans::No, Trans::No) => {
+            for j in 0..n {
+                for k in 0..n {
+                    let bkj = alpha * b[(k, j)];
+                    if bkj == T::ZERO {
+                        continue;
+                    }
+                    let (acol, ccol) = (a.col(k).to_vec(), c.col_mut(j));
+                    for i in 0..n {
+                        ccol[i] += acol[i] * bkj;
+                    }
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            for j in 0..n {
+                for k in 0..n {
+                    let bkj = alpha * b[(j, k)];
+                    if bkj == T::ZERO {
+                        continue;
+                    }
+                    let (acol, ccol) = (a.col(k).to_vec(), c.col_mut(j));
+                    for i in 0..n {
+                        ccol[i] += acol[i] * bkj;
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            for j in 0..n {
+                for i in 0..n {
+                    let mut s = T::ZERO;
+                    for k in 0..n {
+                        s += a[(k, i)] * b[(k, j)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            for j in 0..n {
+                for i in 0..n {
+                    let mut s = T::ZERO;
+                    for k in 0..n {
+                        s += a[(k, i)] * b[(j, k)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive<T: Scalar>(
+        transa: Trans,
+        transb: Trans,
+        alpha: T,
+        a: &Tile<T>,
+        b: &Tile<T>,
+        beta: T,
+        c: &Tile<T>,
+    ) -> Tile<T> {
+        let n = c.n();
+        Tile::from_fn(n, |i, j| {
+            let mut s = T::ZERO;
+            for k in 0..n {
+                let av = match transa {
+                    Trans::No => a[(i, k)],
+                    Trans::Yes => a[(k, i)],
+                };
+                let bv = match transb {
+                    Trans::No => b[(k, j)],
+                    Trans::Yes => b[(j, k)],
+                };
+                s += av * bv;
+            }
+            alpha * s + beta * c[(i, j)]
+        })
+    }
+
+    fn demo(n: usize, seed: u64) -> Tile<f64> {
+        // Cheap deterministic pseudo-random fill.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn identity_product() {
+        let a = Tile::<f64>::scaled_identity(4, 1.0);
+        let b = demo(4, 7);
+        let mut c = Tile::zeros(4);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&b) < 1e-14);
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        let (a, b, c0) = (demo(5, 1), demo(5, 2), demo(5, 3));
+        for ta in [Trans::No, Trans::Yes] {
+            for tb in [Trans::No, Trans::Yes] {
+                let mut c = c0.clone();
+                gemm(ta, tb, 1.5, &a, &b, 0.5, &mut c);
+                let want = naive(ta, tb, 1.5, &a, &b, 0.5, &c0);
+                assert!(
+                    c.max_abs_diff(&want) < 1e-12,
+                    "mismatch for {ta:?} {tb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = demo(3, 4);
+        let b = demo(3, 5);
+        let mut c = Tile::from_fn(3, |_, _| f64::NAN * 0.0 + 99.0);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        let want = naive(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &Tile::zeros(3));
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_scaling_only() {
+        let a = demo(3, 4);
+        let b = demo(3, 5);
+        let c0 = demo(3, 6);
+        let mut c = c0.clone();
+        gemm(Trans::No, Trans::No, 0.0, &a, &b, 2.0, &mut c);
+        for j in 0..3 {
+            for i in 0..3 {
+                assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_works() {
+        let a = Tile::<f32>::scaled_identity(3, 2.0);
+        let b = Tile::<f32>::scaled_identity(3, 3.0);
+        let mut c = Tile::<f32>::zeros(3);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c[(0, 0)], 6.0);
+        assert_eq!(c[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Tile::<f64>::zeros(3);
+        let b = Tile::<f64>::zeros(4);
+        let mut c = Tile::<f64>::zeros(3);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+    }
+}

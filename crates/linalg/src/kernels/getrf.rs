@@ -1,0 +1,194 @@
+//! Tile LU factorization without pivoting, plus the two triangular solves
+//! of the tiled right-looking LU update.
+//!
+//! No-pivot LU is numerically safe for diagonally dominant (and SPD)
+//! matrices — the standard assumption of tiled `getrf_nopiv` in Chameleon
+//! and PLASMA. The test-matrix generator (`verify::dd_tiled`) produces
+//! such inputs.
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Error: a zero (or non-finite) pivot was hit — the no-pivot
+/// factorization does not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroPivot {
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for ZeroPivot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zero pivot at {} in no-pivot LU", self.pivot)
+    }
+}
+
+impl std::error::Error for ZeroPivot {}
+
+/// In-place LU without pivoting: on return the tile holds `U` in its
+/// upper triangle (including diagonal) and the strictly-lower part of the
+/// unit-lower `L` (LAPACK `dgetrf` storage, `ipiv = identity`).
+pub fn getrf_nopiv<T: Scalar>(a: &mut Tile<T>) -> Result<(), ZeroPivot> {
+    let n = a.n();
+    for k in 0..n {
+        let pivot = a[(k, k)];
+        if pivot.to_f64() == 0.0 || !pivot.to_f64().is_finite() {
+            return Err(ZeroPivot { pivot: k });
+        }
+        for i in (k + 1)..n {
+            let lik = a[(i, k)] / pivot;
+            a[(i, k)] = lik;
+            for j in (k + 1)..n {
+                let akj = a[(k, j)];
+                a[(i, j)] -= lik * akj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L·X = B` in place with `L` *unit* lower triangular (diagonal
+/// implied 1; the stored diagonal belongs to `U`). LAPACK
+/// `dtrsm('L', 'L', 'N', 'U', ...)` — the U-panel update of tiled LU.
+pub fn trsm_left_lower_unit<T: Scalar>(l: &Tile<T>, b: &mut Tile<T>) {
+    let n = b.n();
+    assert_eq!(l.n(), n, "tile dimensions must agree");
+    // Forward substitution, row i depends on rows < i.
+    for j in 0..n {
+        for i in 0..n {
+            let mut s = b[(i, j)];
+            for k in 0..i {
+                s -= l[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = s;
+        }
+    }
+}
+
+/// Solve `X·U = B` in place with `U` upper triangular (non-unit diagonal).
+/// LAPACK `dtrsm('R', 'U', 'N', 'N', ...)` — the L-panel update of tiled LU.
+pub fn trsm_right_upper<T: Scalar>(u: &Tile<T>, b: &mut Tile<T>) {
+    let n = b.n();
+    assert_eq!(u.n(), n, "tile dimensions must agree");
+    // (X·U)[i][j] = Σ_{k≤j} X[i][k]·U[k][j]; columns resolve in increasing j.
+    for j in 0..n {
+        let ujj = u[(j, j)];
+        assert!(ujj != T::ZERO, "singular upper factor at {j}");
+        for i in 0..n {
+            let mut s = b[(i, j)];
+            for k in 0..j {
+                s -= b[(i, k)] * u[(k, j)];
+            }
+            b[(i, j)] = s / ujj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::{gemm, Trans};
+
+    /// Diagonally dominant tile.
+    fn dd(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = (state % 1000) as f64 / 500.0 - 1.0;
+            if i == j {
+                v + 2.0 * n as f64
+            } else {
+                v
+            }
+        })
+    }
+
+    fn split_lu(a: &Tile<f64>) -> (Tile<f64>, Tile<f64>) {
+        let n = a.n();
+        let l = Tile::from_fn(n, |i, j| {
+            if i > j {
+                a[(i, j)]
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let u = Tile::from_fn(n, |i, j| if i <= j { a[(i, j)] } else { 0.0 });
+        (l, u)
+    }
+
+    #[test]
+    fn lu_reconstructs() {
+        let a0 = dd(8, 3);
+        let mut a = a0.clone();
+        getrf_nopiv(&mut a).unwrap();
+        let (l, u) = split_lu(&a);
+        let mut back = Tile::zeros(8);
+        gemm(Trans::No, Trans::No, 1.0, &l, &u, 0.0, &mut back);
+        assert!(back.max_abs_diff(&a0) < 1e-10, "{}", back.max_abs_diff(&a0));
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let mut a = Tile::<f64>::scaled_identity(4, 1.0);
+        getrf_nopiv(&mut a).unwrap();
+        assert!(a.max_abs_diff(&Tile::scaled_identity(4, 1.0)) < 1e-15);
+    }
+
+    #[test]
+    fn zero_pivot_reported() {
+        let mut a = Tile::<f64>::zeros(3);
+        a[(0, 0)] = 1.0;
+        // a[(1,1)] stays 0 after elimination.
+        let err = getrf_nopiv(&mut a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("zero pivot at 1"));
+    }
+
+    #[test]
+    fn left_lower_unit_solve_round_trips() {
+        let a = dd(6, 9);
+        let mut f = a.clone();
+        getrf_nopiv(&mut f).unwrap();
+        let (l, _) = split_lu(&f);
+        let b0 = dd(6, 10);
+        let mut x = b0.clone();
+        trsm_left_lower_unit(&f, &mut x); // uses strictly-lower of f + unit diag
+        let mut back = Tile::zeros(6);
+        gemm(Trans::No, Trans::No, 1.0, &l, &x, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-9, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    fn right_upper_solve_round_trips() {
+        let a = dd(6, 11);
+        let mut f = a.clone();
+        getrf_nopiv(&mut f).unwrap();
+        let (_, u) = split_lu(&f);
+        let b0 = dd(6, 12);
+        let mut x = b0.clone();
+        trsm_right_upper(&f, &mut x);
+        let mut back = Tile::zeros(6);
+        gemm(Trans::No, Trans::No, 1.0, &x, &u, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-9, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_upper_panics() {
+        let mut u = Tile::<f64>::scaled_identity(3, 1.0);
+        u[(2, 2)] = 0.0;
+        let mut b = Tile::from_fn(3, |_, _| 1.0);
+        trsm_right_upper(&u, &mut b);
+    }
+
+    #[test]
+    fn single_precision() {
+        let mut a = Tile::<f32>::scaled_identity(4, 2.0);
+        getrf_nopiv(&mut a).unwrap();
+        assert_eq!(a[(0, 0)], 2.0); // U diagonal, L unit
+        assert_eq!(a[(1, 0)], 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Reference tile kernels (the CPU implementations a Chameleon codelet
+//! would call; timing on simulated devices comes from `ugpc-hwsim`).
+
+pub mod gemm;
+pub mod getrf;
+pub mod potrf;
+pub mod solve;
+pub mod syrk;
+pub mod trsm;
+
+pub use gemm::{gemm, Trans};
+pub use getrf::{getrf_nopiv, trsm_left_lower_unit, trsm_right_upper, ZeroPivot};
+pub use potrf::{potrf_lower, NotSpd};
+pub use solve::{trsm_left_lower, trsm_left_lower_trans};
+pub use syrk::syrk_lower;
+pub use trsm::trsm_right_lower_trans;

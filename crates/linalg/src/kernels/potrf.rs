@@ -1,0 +1,132 @@
+//! Tile Cholesky factorization: `A = L·Lᵀ` in place (lower).
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Error: the tile is not (numerically) symmetric positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotSpd {
+    /// Index of the failing pivot (LAPACK `info`).
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotSpd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotSpd {}
+
+/// In-place lower Cholesky of a tile (LAPACK `dpotrf('L', ...)`). The
+/// strictly upper triangle is left untouched. Returns the failing pivot
+/// for non-SPD input.
+pub fn potrf_lower<T: Scalar>(a: &mut Tile<T>) -> Result<(), NotSpd> {
+    let n = a.n();
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        if d.to_f64() <= 0.0 {
+            return Err(NotSpd { pivot: j });
+        }
+        let ljj = d.sqrt();
+        a[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::{gemm, Trans};
+
+    /// A well-conditioned SPD tile: M·Mᵀ + n·I.
+    fn spd(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let m = Tile::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        });
+        let mut a = Tile::scaled_identity(n, n as f64);
+        gemm(Trans::No, Trans::Yes, 1.0, &m, &m, 1.0, &mut a);
+        a
+    }
+
+    fn lower_of(a: &Tile<f64>) -> Tile<f64> {
+        Tile::from_fn(a.n(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a0 = spd(8, 42);
+        let mut a = a0.clone();
+        potrf_lower(&mut a).unwrap();
+        let l = lower_of(&a);
+        let mut back = Tile::zeros(8);
+        gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut back);
+        // Compare the lower triangles (syrk convention).
+        for j in 0..8 {
+            for i in j..8 {
+                assert!(
+                    (back[(i, j)] - a0[(i, j)]).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    back[(i, j)],
+                    a0[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let mut a = Tile::<f64>::scaled_identity(5, 1.0);
+        potrf_lower(&mut a).unwrap();
+        assert!(a.max_abs_diff(&Tile::scaled_identity(5, 1.0)) < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_matrix_factors_to_sqrt() {
+        let mut a = Tile::<f64>::scaled_identity(3, 9.0);
+        potrf_lower(&mut a).unwrap();
+        assert!((a[(0, 0)] - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_spd_reports_pivot() {
+        let mut a = Tile::<f64>::scaled_identity(4, 1.0);
+        a[(2, 2)] = -1.0;
+        let err = potrf_lower(&mut a).unwrap_err();
+        assert_eq!(err.pivot, 2);
+        assert!(err.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let a0 = spd(6, 3);
+        let mut a = a0.clone();
+        potrf_lower(&mut a).unwrap();
+        for j in 0..6 {
+            for i in 0..j {
+                assert_eq!(a[(i, j)], a0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn works_in_single_precision() {
+        let mut a = Tile::<f32>::scaled_identity(4, 4.0);
+        potrf_lower(&mut a).unwrap();
+        assert!((a[(1, 1)] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Triangular-solve kernels for the tiled POSV (Cholesky solve) sweep:
+//! after `A = L·Lᵀ`, solving `A·X = B` is a forward sweep `L·Y = B`
+//! followed by a backward sweep `Lᵀ·X = Y`.
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Solve `L·X = B` in place with `L` lower triangular, non-unit diagonal
+/// (LAPACK `dtrsm('L', 'L', 'N', 'N', ...)`): the forward sweep's
+/// diagonal kernel.
+pub fn trsm_left_lower<T: Scalar>(l: &Tile<T>, b: &mut Tile<T>) {
+    let n = b.n();
+    assert_eq!(l.n(), n, "tile dimensions must agree");
+    for j in 0..n {
+        for i in 0..n {
+            let dii = l[(i, i)];
+            assert!(dii != T::ZERO, "singular lower factor at {i}");
+            let mut s = b[(i, j)];
+            for k in 0..i {
+                s -= l[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = s / dii;
+        }
+    }
+}
+
+/// Solve `Lᵀ·X = B` in place with `L` lower triangular, non-unit diagonal
+/// (LAPACK `dtrsm('L', 'L', 'T', 'N', ...)`): the backward sweep's
+/// diagonal kernel.
+pub fn trsm_left_lower_trans<T: Scalar>(l: &Tile<T>, b: &mut Tile<T>) {
+    let n = b.n();
+    assert_eq!(l.n(), n, "tile dimensions must agree");
+    // (Lᵀ)[i][k] = L[k][i]; upper triangular in effect, so rows resolve in
+    // decreasing i.
+    for j in 0..n {
+        for i in (0..n).rev() {
+            let dii = l[(i, i)];
+            assert!(dii != T::ZERO, "singular lower factor at {i}");
+            let mut s = b[(i, j)];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * b[(k, j)];
+            }
+            b[(i, j)] = s / dii;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::{gemm, Trans};
+
+    fn lower_demo(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if i > j {
+                (state % 1000) as f64 / 500.0 - 1.0
+            } else if i == j {
+                2.0 + (state % 100) as f64 / 100.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn demo(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn forward_solve_round_trips() {
+        let l = lower_demo(6, 31);
+        let b0 = demo(6, 32);
+        let mut x = b0.clone();
+        trsm_left_lower(&l, &mut x);
+        let mut back = Tile::zeros(6);
+        gemm(Trans::No, Trans::No, 1.0, &l, &x, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-10, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    fn backward_solve_round_trips() {
+        let l = lower_demo(6, 33);
+        let b0 = demo(6, 34);
+        let mut x = b0.clone();
+        trsm_left_lower_trans(&l, &mut x);
+        let mut back = Tile::zeros(6);
+        gemm(Trans::Yes, Trans::No, 1.0, &l, &x, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-10, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    fn forward_then_backward_solves_spd_system() {
+        // A = L·Lᵀ; solving the two sweeps gives A⁻¹·B.
+        let l = lower_demo(5, 35);
+        let mut a = Tile::zeros(5);
+        gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut a);
+        let b0 = demo(5, 36);
+        let mut x = b0.clone();
+        trsm_left_lower(&l, &mut x);
+        trsm_left_lower_trans(&l, &mut x);
+        let mut back = Tile::zeros(5);
+        gemm(Trans::No, Trans::No, 1.0, &a, &x, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-9, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_diagonal_panics() {
+        let mut l = Tile::<f64>::scaled_identity(3, 1.0);
+        l[(1, 1)] = 0.0;
+        let mut b = Tile::from_fn(3, |_, _| 1.0);
+        trsm_left_lower(&l, &mut b);
+    }
+
+    #[test]
+    fn identity_is_noop_for_both() {
+        let l = Tile::<f64>::scaled_identity(4, 1.0);
+        let b0 = demo(4, 37);
+        let mut b = b0.clone();
+        trsm_left_lower(&l, &mut b);
+        trsm_left_lower_trans(&l, &mut b);
+        assert!(b.max_abs_diff(&b0) < 1e-15);
+    }
+}

@@ -1,0 +1,78 @@
+//! Symmetric rank-k update: `C ← α·A·Aᵀ + β·C` (lower triangle).
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Update the lower triangle of `C` with `α·A·Aᵀ + β·C`. The strictly
+/// upper triangle is left untouched (LAPACK `dsyrk('L', 'N', ...)`).
+pub fn syrk_lower<T: Scalar>(alpha: T, a: &Tile<T>, beta: T, c: &mut Tile<T>) {
+    let n = c.n();
+    assert_eq!(a.n(), n, "tile dimensions must agree");
+    for j in 0..n {
+        for i in j..n {
+            let mut s = T::ZERO;
+            for k in 0..n {
+                s += a[(i, k)] * a[(j, k)];
+            }
+            c[(i, j)] = alpha * s + beta * c[(i, j)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::{gemm, Trans};
+
+    fn demo(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn matches_gemm_on_lower_triangle() {
+        let a = demo(6, 11);
+        let c0 = demo(6, 12);
+        let mut c_syrk = c0.clone();
+        syrk_lower(-1.0, &a, 1.0, &mut c_syrk);
+        let mut c_gemm = c0.clone();
+        gemm(Trans::No, Trans::Yes, -1.0, &a, &a, 1.0, &mut c_gemm);
+        for j in 0..6 {
+            for i in j..6 {
+                assert!(
+                    (c_syrk[(i, j)] - c_gemm[(i, j)]).abs() < 1e-12,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let a = demo(5, 3);
+        let c0 = demo(5, 4);
+        let mut c = c0.clone();
+        syrk_lower(1.0, &a, 0.5, &mut c);
+        for j in 0..5 {
+            for i in 0..j {
+                assert_eq!(c[(i, j)], c0[(i, j)], "({i},{j}) modified");
+            }
+        }
+    }
+
+    #[test]
+    fn result_diagonal_nonnegative_for_psd_update() {
+        // C = A·Aᵀ has non-negative diagonal.
+        let a = demo(4, 9);
+        let mut c = Tile::zeros(4);
+        syrk_lower(1.0, &a, 0.0, &mut c);
+        for i in 0..4 {
+            assert!(c[(i, i)] >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Triangular solve: `X ← B·L⁻ᵀ` with `L` lower triangular — the panel
+//! update of right-looking Cholesky (`A[i][k] ← A[i][k]·L[k][k]⁻ᵀ`).
+
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+
+/// Solve `X·Lᵀ = B` in place (`B` becomes `X`), with `L` lower triangular
+/// and non-singular. LAPACK `dtrsm('R', 'L', 'T', 'N', ...)`.
+pub fn trsm_right_lower_trans<T: Scalar>(l: &Tile<T>, b: &mut Tile<T>) {
+    let n = b.n();
+    assert_eq!(l.n(), n, "tile dimensions must agree");
+    // (X·Lᵀ)[i][j] = Σ_k X[i][k]·L[j][k]; L lower ⇒ k ≤ j, so columns of X
+    // resolve in increasing j.
+    for j in 0..n {
+        let djj = l[(j, j)];
+        assert!(djj != T::ZERO, "singular triangular factor at {j}");
+        for i in 0..n {
+            let mut s = b[(i, j)];
+            for k in 0..j {
+                s -= b[(i, k)] * l[(j, k)];
+            }
+            b[(i, j)] = s / djj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::{gemm, Trans};
+
+    fn lower_demo(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if i > j {
+                (state % 1000) as f64 / 500.0 - 1.0
+            } else if i == j {
+                2.0 + (state % 100) as f64 / 100.0 // well-conditioned diagonal
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn demo(n: usize, seed: u64) -> Tile<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tile::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn solve_then_multiply_round_trips() {
+        let l = lower_demo(6, 21);
+        let b0 = demo(6, 22);
+        let mut x = b0.clone();
+        trsm_right_lower_trans(&l, &mut x);
+        // X·Lᵀ must reproduce B.
+        let mut back = Tile::zeros(6);
+        gemm(Trans::No, Trans::Yes, 1.0, &x, &l, 0.0, &mut back);
+        assert!(back.max_abs_diff(&b0) < 1e-10, "{}", back.max_abs_diff(&b0));
+    }
+
+    #[test]
+    fn identity_factor_is_noop() {
+        let l = Tile::<f64>::scaled_identity(4, 1.0);
+        let b0 = demo(4, 5);
+        let mut b = b0.clone();
+        trsm_right_lower_trans(&l, &mut b);
+        assert!(b.max_abs_diff(&b0) < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_factor_divides_columns() {
+        let l = Tile::<f64>::scaled_identity(3, 2.0);
+        let mut b = Tile::from_fn(3, |_, _| 4.0);
+        trsm_right_lower_trans(&l, &mut b);
+        for j in 0..3 {
+            for i in 0..3 {
+                assert_eq!(b[(i, j)], 2.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_factor_panics() {
+        let mut l = Tile::<f64>::scaled_identity(3, 1.0);
+        l[(1, 1)] = 0.0;
+        let mut b = Tile::from_fn(3, |_, _| 1.0);
+        trsm_right_lower_trans(&l, &mut b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Scalar abstraction over the two precisions of the paper.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use ugpc_hwsim::Precision;
+
+/// Floating-point element type of a tiled matrix.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    /// The hardware-level precision class.
+    fn precision() -> Precision;
+    /// Unit roundoff, for residual thresholds.
+    fn epsilon() -> f64;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    fn precision() -> Precision {
+        Precision::Single
+    }
+
+    fn epsilon() -> f64 {
+        f32::EPSILON as f64
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    fn precision() -> Precision {
+        Precision::Double
+    }
+
+    fn epsilon() -> f64 {
+        f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_mapping() {
+        assert_eq!(<f32 as Scalar>::precision(), Precision::Single);
+        assert_eq!(<f64 as Scalar>::precision(), Precision::Double);
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(f64::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f32::from_f64(0.25).to_f64(), 0.25);
+        assert_eq!(Scalar::sqrt(4.0f64), 2.0);
+        assert_eq!(Scalar::abs(-3.0f32), 3.0);
+    }
+
+    #[test]
+    fn epsilon_ordering() {
+        assert!(<f64 as Scalar>::epsilon() < <f32 as Scalar>::epsilon());
+    }
+}

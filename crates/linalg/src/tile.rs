@@ -1,0 +1,143 @@
+//! A dense column-major tile.
+
+use crate::scalar::Scalar;
+
+/// An `n × n` column-major tile (Chameleon/LAPACK layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tile<T> {
+    pub fn zeros(n: usize) -> Self {
+        Tile {
+            n,
+            data: vec![T::ZERO; n * n],
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut t = Tile::zeros(n);
+        for j in 0..n {
+            for i in 0..n {
+                t[(i, j)] = f(i, j);
+            }
+        }
+        t
+    }
+
+    /// Identity scaled by `alpha`.
+    pub fn scaled_identity(n: usize, alpha: T) -> Self {
+        Tile::from_fn(n, |i, j| if i == j { alpha } else { T::ZERO })
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// One column as a slice (column-major makes this contiguous).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|x| {
+                let v = x.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Max absolute elementwise difference to another tile.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Tile<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.n && j < self.n);
+        &self.data[j * self.n + i]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Tile<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.n && j < self.n);
+        &mut self.data[j * self.n + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tile::<f64>::zeros(3);
+        assert_eq!(t[(2, 1)], 0.0);
+        t[(2, 1)] = 7.0;
+        assert_eq!(t[(2, 1)], 7.0);
+        // Column-major: element (2,1) sits at offset 1*3+2.
+        assert_eq!(t.as_slice()[5], 7.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = Tile::<f64>::from_fn(2, |i, j| (10 * i + j) as f64);
+        assert_eq!(t[(0, 0)], 0.0);
+        assert_eq!(t[(1, 0)], 10.0);
+        assert_eq!(t[(0, 1)], 1.0);
+        assert_eq!(t[(1, 1)], 11.0);
+        assert_eq!(t.col(1), &[1.0, 11.0]);
+    }
+
+    #[test]
+    fn identity_and_norm() {
+        let t = Tile::<f64>::scaled_identity(4, 2.0);
+        assert_eq!(t[(1, 1)], 2.0);
+        assert_eq!(t[(0, 1)], 0.0);
+        assert!((t.norm_fro() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Tile::<f32>::scaled_identity(2, 1.0);
+        let mut b = a.clone();
+        b[(1, 0)] = 0.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Test-matrix generators and residual checks.
+
+use crate::kernels::gemm::{gemm, Trans};
+use crate::matrix::TiledMatrix;
+use crate::scalar::Scalar;
+use crate::tile::Tile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random tiled matrix in [−1, 1), seeded for reproducibility.
+pub fn random_tiled<T: Scalar>(nt: usize, nb: usize, seed: u64) -> TiledMatrix<T> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    TiledMatrix::from_fn(nt, nb, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
+}
+
+/// A diagonally dominant tiled matrix (safe for no-pivot LU): random in
+/// [−1, 1) plus `2n` on the diagonal.
+pub fn dd_tiled<T: Scalar>(nt: usize, nb: usize, seed: u64) -> TiledMatrix<T> {
+    let n = nt * nb;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    TiledMatrix::from_fn(nt, nb, |i, j| {
+        let v = rng.gen_range(-1.0..1.0);
+        T::from_f64(if i == j { v + 2.0 * n as f64 } else { v })
+    })
+}
+
+/// A well-conditioned SPD tiled matrix: `M·Mᵀ + n·I` with random `M`.
+pub fn spd_tiled<T: Scalar>(nt: usize, nb: usize, seed: u64) -> TiledMatrix<T> {
+    let n = nt * nb;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = Tile::<T>::from_fn(n, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)));
+    let mut dense = Tile::<T>::scaled_identity(n, T::from_f64(n as f64));
+    gemm(Trans::No, Trans::Yes, T::ONE, &m, &m, T::ONE, &mut dense);
+    TiledMatrix::from_fn(nt, nb, |i, j| dense[(i, j)])
+}
+
+/// Relative GEMM residual `‖C − (A·B + C₀)‖_F / (n·‖A‖‖B‖ + ‖C₀‖)`.
+pub fn gemm_residual<T: Scalar>(
+    a: &TiledMatrix<T>,
+    b: &TiledMatrix<T>,
+    c0: &Tile<T>,
+    c: &TiledMatrix<T>,
+) -> f64 {
+    let ad = a.to_dense();
+    let bd = b.to_dense();
+    let mut want = c0.clone();
+    gemm(Trans::No, Trans::No, T::ONE, &ad, &bd, T::ONE, &mut want);
+    let diff = diff_norm(&c.to_dense(), &want);
+    let n = ad.n() as f64;
+    diff / (n * ad.norm_fro() * bd.norm_fro() + c0.norm_fro()).max(1e-300)
+}
+
+/// Relative Cholesky residual `‖L·Lᵀ − A₀‖_F / ‖A₀‖_F` over the lower
+/// triangle (`a` holds L in its lower triangle after factorization).
+pub fn potrf_residual<T: Scalar>(a0: &Tile<T>, a: &TiledMatrix<T>) -> f64 {
+    let n = a0.n();
+    let l = Tile::from_fn(n, |i, j| if i >= j { a.get(i, j) } else { T::ZERO });
+    let mut back = Tile::zeros(n);
+    gemm(Trans::No, Trans::Yes, T::ONE, &l, &l, T::ZERO, &mut back);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for j in 0..n {
+        for i in j..n {
+            let d = back[(i, j)].to_f64() - a0[(i, j)].to_f64();
+            num += d * d;
+            let v = a0[(i, j)].to_f64();
+            den += v * v;
+        }
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+fn diff_norm<T: Scalar>(x: &Tile<T>, y: &Tile<T>) -> f64 {
+    let n = x.n();
+    let mut sum = 0.0;
+    for j in 0..n {
+        for i in 0..n {
+            let d = x[(i, j)].to_f64() - y[(i, j)].to_f64();
+            sum += d * d;
+        }
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::potrf::potrf_lower;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = random_tiled::<f64>(2, 4, 9);
+        let b = random_tiled::<f64>(2, 4, 9);
+        assert_eq!(a.to_dense().max_abs_diff(&b.to_dense()), 0.0);
+        let c = random_tiled::<f64>(2, 4, 10);
+        assert!(a.to_dense().max_abs_diff(&c.to_dense()) > 0.0);
+    }
+
+    #[test]
+    fn dd_is_diagonally_dominant() {
+        let a = dd_tiled::<f64>(2, 6, 8);
+        let d = a.to_dense();
+        for i in 0..12 {
+            let row_sum: f64 = (0..12)
+                .filter(|&j| j != i)
+                .map(|j| d[(i, j)].abs())
+                .sum();
+            assert!(d[(i, i)].abs() > row_sum, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn spd_is_symmetric_and_factorizable() {
+        let a = spd_tiled::<f64>(2, 6, 5);
+        let d = a.to_dense();
+        for j in 0..12 {
+            for i in 0..12 {
+                assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12, "not symmetric");
+            }
+        }
+        let mut f = d.clone();
+        potrf_lower(&mut f).expect("SPD generator produced non-SPD matrix");
+    }
+
+    #[test]
+    fn residuals_are_small_for_correct_results() {
+        // Build an exact GEMM result and check the residual is ~eps.
+        let nt = 2;
+        let nb = 5;
+        let a = random_tiled::<f64>(nt, nb, 1);
+        let b = random_tiled::<f64>(nt, nb, 2);
+        let c0 = random_tiled::<f64>(nt, nb, 3).to_dense();
+        let mut cd = c0.clone();
+        gemm(Trans::No, Trans::No, 1.0, &a.to_dense(), &b.to_dense(), 1.0, &mut cd);
+        let c = TiledMatrix::from_fn(nt, nb, |i, j| cd[(i, j)]);
+        assert!(gemm_residual(&a, &b, &c0, &c) < 1e-14);
+    }
+
+    #[test]
+    fn residuals_catch_wrong_results() {
+        let nt = 2;
+        let nb = 5;
+        let a = random_tiled::<f64>(nt, nb, 1);
+        let b = random_tiled::<f64>(nt, nb, 2);
+        let c0 = Tile::zeros(10);
+        // "Result" that is just zeros: residual must be large.
+        let c = TiledMatrix::<f64>::zeros(nt, nb);
+        assert!(gemm_residual(&a, &b, &c0, &c) > 1e-6);
+    }
+
+    #[test]
+    fn potrf_residual_detects_good_and_bad() {
+        let a = spd_tiled::<f64>(2, 4, 11);
+        let a0 = a.to_dense();
+        let mut f = a0.clone();
+        potrf_lower(&mut f).unwrap();
+        let good = TiledMatrix::from_fn(2, 4, |i, j| f[(i, j)]);
+        assert!(potrf_residual(&a0, &good) < 1e-12);
+        let bad = TiledMatrix::<f64>::from_fn(2, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert!(potrf_residual(&a0, &bad) > 1e-3);
+    }
+}

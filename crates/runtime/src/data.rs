@@ -1,0 +1,254 @@
+//! Data handles and replica tracking.
+//!
+//! Each tile of a matrix is registered as a data handle. During execution
+//! the runtime tracks which memory nodes (host RAM, each GPU's HBM) hold a
+//! valid replica — an MSI-like protocol: reads create shared replicas,
+//! writes invalidate all other copies. The scheduler's transfer estimates
+//! and the simulator's DMA engine both consult this state.
+
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::Bytes;
+
+pub type DataId = usize;
+
+/// A memory node of the heterogeneous platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemNode {
+    Host,
+    Gpu(usize),
+}
+
+impl MemNode {
+    pub fn is_gpu(self) -> bool {
+        matches!(self, MemNode::Gpu(_))
+    }
+}
+
+/// Registry of all data handles of an application run.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    handles: Vec<DataState>,
+}
+
+/// Replica state of one handle.
+#[derive(Debug, Clone)]
+pub struct DataState {
+    bytes: Bytes,
+    /// Memory nodes currently holding a valid replica. Never empty.
+    valid: Vec<MemNode>,
+}
+
+impl DataRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handle whose initial valid copy lives in host memory
+    /// (`starpu_matrix_data_register` on a host buffer).
+    pub fn register(&mut self, bytes: Bytes) -> DataId {
+        let id = self.handles.len();
+        self.handles.push(DataState {
+            bytes,
+            valid: vec![MemNode::Host],
+        });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    pub fn bytes(&self, id: DataId) -> Bytes {
+        self.handles[id].bytes
+    }
+
+    /// Is a valid replica present at `node`?
+    pub fn is_valid_at(&self, id: DataId, node: MemNode) -> bool {
+        self.handles[id].valid.contains(&node)
+    }
+
+    /// All nodes holding a valid replica.
+    pub fn valid_nodes(&self, id: DataId) -> &[MemNode] {
+        &self.handles[id].valid
+    }
+
+    /// Pick the transfer source for a replica needed at `dst`: prefer host
+    /// (cheapest single hop from any GPU's perspective and always reachable),
+    /// otherwise the first GPU holder.
+    ///
+    /// Returns `None` when `dst` already holds a valid copy.
+    pub fn transfer_source(&self, id: DataId, dst: MemNode) -> Option<MemNode> {
+        let st = &self.handles[id];
+        if st.valid.contains(&dst) {
+            return None;
+        }
+        debug_assert!(!st.valid.is_empty(), "handle {id} has no valid replica");
+        if st.valid.contains(&MemNode::Host) {
+            Some(MemNode::Host)
+        } else {
+            st.valid.first().copied()
+        }
+    }
+
+    /// Record that a replica has been copied to `node` (read sharing).
+    pub fn add_replica(&mut self, id: DataId, node: MemNode) {
+        let st = &mut self.handles[id];
+        if !st.valid.contains(&node) {
+            st.valid.push(node);
+        }
+    }
+
+    /// Record a write at `node`: all other replicas become invalid.
+    pub fn write_at(&mut self, id: DataId, node: MemNode) {
+        let st = &mut self.handles[id];
+        st.valid.clear();
+        st.valid.push(node);
+    }
+
+    /// Drop the replica at `node` (eviction). The handle must remain valid
+    /// somewhere else — evicting a sole owner requires a writeback first.
+    pub fn invalidate_at(&mut self, id: DataId, node: MemNode) {
+        let st = &mut self.handles[id];
+        st.valid.retain(|&n| n != node);
+        assert!(
+            !st.valid.is_empty(),
+            "evicted the sole replica of handle {id}; write it back first"
+        );
+    }
+
+    /// Is `node` the only holder of a valid replica (eviction needs a
+    /// writeback)?
+    pub fn is_sole_owner(&self, id: DataId, node: MemNode) -> bool {
+        let st = &self.handles[id];
+        st.valid.len() == 1 && st.valid[0] == node
+    }
+
+    /// Bytes of the task's operands already resident at `node` — the
+    /// locality score dmdas uses to break ties.
+    pub fn resident_bytes(&self, ids: impl Iterator<Item = DataId>, node: MemNode) -> Bytes {
+        let mut total = Bytes::ZERO;
+        for id in ids {
+            if self.is_valid_at(id, node) {
+                total += self.bytes(id);
+            }
+        }
+        total
+    }
+
+    /// Reset all handles to host-only validity (between measured runs).
+    pub fn reset_to_host(&mut self) {
+        for st in &mut self.handles {
+            st.valid.clear();
+            st.valid.push(MemNode::Host);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_starts_host_valid() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(1024.0));
+        assert!(reg.is_valid_at(id, MemNode::Host));
+        assert!(!reg.is_valid_at(id, MemNode::Gpu(0)));
+        assert_eq!(reg.bytes(id), Bytes(1024.0));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn read_sharing_keeps_all_replicas() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.add_replica(id, MemNode::Gpu(0));
+        reg.add_replica(id, MemNode::Gpu(1));
+        assert!(reg.is_valid_at(id, MemNode::Host));
+        assert!(reg.is_valid_at(id, MemNode::Gpu(0)));
+        assert!(reg.is_valid_at(id, MemNode::Gpu(1)));
+        // Idempotent.
+        reg.add_replica(id, MemNode::Gpu(0));
+        assert_eq!(reg.valid_nodes(id).len(), 3);
+    }
+
+    #[test]
+    fn write_invalidates_other_replicas() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.add_replica(id, MemNode::Gpu(0));
+        reg.write_at(id, MemNode::Gpu(0));
+        assert!(reg.is_valid_at(id, MemNode::Gpu(0)));
+        assert!(!reg.is_valid_at(id, MemNode::Host));
+        assert_eq!(reg.valid_nodes(id), &[MemNode::Gpu(0)]);
+    }
+
+    #[test]
+    fn transfer_source_prefers_host() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.add_replica(id, MemNode::Gpu(0));
+        // Valid at host and GPU 0; GPU 1 should fetch from host.
+        assert_eq!(reg.transfer_source(id, MemNode::Gpu(1)), Some(MemNode::Host));
+        // Already valid at GPU 0: no transfer.
+        assert_eq!(reg.transfer_source(id, MemNode::Gpu(0)), None);
+        // After a GPU-exclusive write, the GPU is the only source.
+        reg.write_at(id, MemNode::Gpu(0));
+        assert_eq!(
+            reg.transfer_source(id, MemNode::Host),
+            Some(MemNode::Gpu(0))
+        );
+        assert_eq!(
+            reg.transfer_source(id, MemNode::Gpu(1)),
+            Some(MemNode::Gpu(0))
+        );
+    }
+
+    #[test]
+    fn resident_bytes_scores_locality() {
+        let mut reg = DataRegistry::new();
+        let a = reg.register(Bytes(100.0));
+        let b = reg.register(Bytes(10.0));
+        let c = reg.register(Bytes(1.0));
+        reg.add_replica(a, MemNode::Gpu(0));
+        reg.add_replica(c, MemNode::Gpu(0));
+        let score = reg.resident_bytes([a, b, c].into_iter(), MemNode::Gpu(0));
+        assert_eq!(score, Bytes(101.0));
+        let score_host = reg.resident_bytes([a, b, c].into_iter(), MemNode::Host);
+        assert_eq!(score_host, Bytes(111.0));
+    }
+
+    #[test]
+    fn invalidate_drops_one_replica() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.add_replica(id, MemNode::Gpu(0));
+        assert!(!reg.is_sole_owner(id, MemNode::Gpu(0)));
+        reg.invalidate_at(id, MemNode::Gpu(0));
+        assert!(!reg.is_valid_at(id, MemNode::Gpu(0)));
+        assert!(reg.is_valid_at(id, MemNode::Host));
+        assert!(reg.is_sole_owner(id, MemNode::Host));
+    }
+
+    #[test]
+    #[should_panic(expected = "sole replica")]
+    fn evicting_sole_owner_panics() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.write_at(id, MemNode::Gpu(1));
+        reg.invalidate_at(id, MemNode::Gpu(1));
+    }
+
+    #[test]
+    fn reset_to_host_restores_initial_state() {
+        let mut reg = DataRegistry::new();
+        let id = reg.register(Bytes(8.0));
+        reg.write_at(id, MemNode::Gpu(1));
+        reg.reset_to_host();
+        assert_eq!(reg.valid_nodes(id), &[MemNode::Host]);
+    }
+}

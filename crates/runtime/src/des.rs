@@ -1,0 +1,139 @@
+//! Deterministic discrete-event queue.
+//!
+//! A min-heap over `(time, sequence)` — ties in virtual time resolve in
+//! insertion order, which makes every simulation run bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use ugpc_hwsim::Secs;
+
+struct Event<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-queue of timed events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: Secs, payload: T) {
+        debug_assert!(time.value().is_finite(), "non-finite event time");
+        self.heap.push(Event {
+            time: time.value(),
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    pub fn pop(&mut self) -> Option<(Secs, T)> {
+        self.heap.pop().map(|e| (Secs(e.time), e.payload))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Secs> {
+        self.heap.peek().map(|e| Secs(e.time))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Secs(3.0), "c");
+        q.push(Secs(1.0), "a");
+        q.push(Secs(2.0), "b");
+        assert_eq!(q.pop(), Some((Secs(1.0), "a")));
+        assert_eq!(q.pop(), Some((Secs(2.0), "b")));
+        assert_eq!(q.pop(), Some((Secs(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Secs(1.0), 10);
+        q.push(Secs(1.0), 20);
+        q.push(Secs(1.0), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Secs(5.0), ());
+        assert_eq!(q.peek_time(), Some(Secs(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Secs(2.0), 2);
+        q.push(Secs(4.0), 4);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.push(Secs(1.0), 1);
+        q.push(Secs(3.0), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Trace export in the Chrome trace-event format (`chrome://tracing`,
+//! Perfetto) — the simulator's counterpart to StarPU's FxT/Paje traces.
+//!
+//! Each worker becomes a "thread"; each executed task a complete (`"X"`)
+//! event with microsecond timestamps. The output opens directly in
+//! `ui.perfetto.dev`.
+
+use crate::graph::TaskGraph;
+use crate::trace::RunTrace;
+use crate::worker::Worker;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal (the subset we emit: names are
+/// ASCII identifiers, but be safe anyway).
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Render the per-task records of `trace` as a Chrome trace-event JSON
+/// document. Requires the run to have kept records
+/// (`SimOptions::keep_records`); returns `None` otherwise.
+pub fn chrome_trace(trace: &RunTrace, graph: &TaskGraph, workers: &[Worker]) -> Option<String> {
+    if trace.records.is_empty() && !graph.is_empty() {
+        return None;
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    // Thread names.
+    for w in workers {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},",
+            w.id,
+            esc(&w.short_name())
+        );
+    }
+    let mut first = true;
+    for r in &trace.records {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let desc = graph.task(r.task);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"task\":{},\"nb\":{},\"priority\":{}}}}}",
+            esc(desc.kind.name()),
+            desc.precision.short(),
+            r.worker,
+            r.start.value() * 1e6,
+            (r.end - r.start).value() * 1e6,
+            r.task,
+            desc.nb,
+            desc.priority,
+        );
+    }
+    out.push_str("\n]}\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataRegistry;
+    use crate::sim::{simulate, SimOptions};
+    use crate::task::{AccessMode, KernelKind, TaskDesc};
+    use ugpc_hwsim::{Bytes, Node, PlatformId, Precision};
+
+    fn run(keep: bool) -> (RunTrace, TaskGraph, Vec<Worker>) {
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let mut g = TaskGraph::new();
+        let t = data.register(Bytes(8.0 * 960.0 * 960.0));
+        for _ in 0..3 {
+            g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Double, 960)
+                    .access(t, AccessMode::ReadWrite),
+            );
+        }
+        let trace = simulate(
+            &mut node,
+            &g,
+            &mut data,
+            SimOptions {
+                keep_records: keep,
+                ..Default::default()
+            },
+        );
+        let (workers, _) = crate::worker::build_workers(node.spec());
+        (trace, g, workers)
+    }
+
+    #[test]
+    fn exports_valid_json_shape() {
+        let (trace, g, workers) = run(true);
+        let json = chrome_trace(&trace, &g, &workers).expect("records kept");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // One X event per task plus thread metadata.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), workers.len());
+        assert!(json.contains("\"name\":\"gemm\""));
+        assert!(json.contains("\"cat\":\"dp\""));
+        // Balanced braces — a cheap well-formedness smoke check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn requires_records() {
+        let (trace, g, workers) = run(false);
+        assert!(chrome_trace(&trace, &g, &workers).is_none());
+    }
+
+    #[test]
+    fn empty_graph_exports_empty_trace() {
+        let g = TaskGraph::new();
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+        let (workers, _) = crate::worker::build_workers(node.spec());
+        let json = chrome_trace(&trace, &g, &workers).expect("empty graph is fine");
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+        assert_eq!(esc("a\nb"), "a\\u000ab");
+    }
+}

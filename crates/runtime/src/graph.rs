@@ -1,0 +1,273 @@
+//! The task DAG with StarPU-style implicit dependency inference.
+//!
+//! Tasks are submitted in program order; dependencies are inferred from
+//! overlapping data accesses under sequential consistency (StarPU's
+//! default): a reader depends on the last writer of each operand (RAW), a
+//! writer depends on the last writer (WAW) and on every reader since
+//! (WAR). Explicit edges can be added on top.
+
+use crate::data::DataId;
+use crate::task::{TaskDesc, TaskId};
+use std::collections::HashMap;
+
+/// An immutable-after-build task graph.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<TaskDesc>,
+    succs: Vec<Vec<TaskId>>,
+    preds: Vec<Vec<TaskId>>,
+    /// Per-datum tracking used during submission.
+    last_writer: HashMap<DataId, TaskId>,
+    readers_since_write: HashMap<DataId, Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a task; dependencies on earlier tasks are inferred from its
+    /// data accesses. Returns the new task's id.
+    pub fn submit(&mut self, task: TaskDesc) -> TaskId {
+        let id = self.tasks.len();
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+
+        // Collect dependencies first to dedupe before wiring edges.
+        let mut deps: Vec<TaskId> = Vec::new();
+        for &(data, mode) in &task.data {
+            if mode.reads() {
+                if let Some(&w) = self.last_writer.get(&data) {
+                    deps.push(w); // RAW
+                }
+            }
+            if mode.writes() {
+                if let Some(&w) = self.last_writer.get(&data) {
+                    deps.push(w); // WAW
+                }
+                if let Some(readers) = self.readers_since_write.get(&data) {
+                    deps.extend(readers.iter().copied()); // WAR
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        for d in deps {
+            debug_assert!(d < id);
+            self.succs[d].push(id);
+            self.preds[id].push(d);
+        }
+
+        // Update per-datum tracking.
+        for &(data, mode) in &task.data {
+            if mode.writes() {
+                self.last_writer.insert(data, id);
+                self.readers_since_write.insert(data, Vec::new());
+            } else {
+                self.readers_since_write.entry(data).or_default().push(id);
+            }
+        }
+
+        self.tasks.push(task);
+        id
+    }
+
+    /// Add an explicit edge `from → to` (StarPU tag dependencies).
+    ///
+    /// Panics on forward edges (`from >= to`): submission order is the
+    /// topological order and must stay acyclic by construction.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
+        assert!(
+            from < to,
+            "explicit edge must follow submission order ({from} -> {to})"
+        );
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+            self.preds[to].push(from);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    pub fn task(&self, id: TaskId) -> &TaskDesc {
+        &self.tasks[id]
+    }
+
+    pub fn tasks(&self) -> &[TaskDesc] {
+        &self.tasks
+    }
+
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id]
+    }
+
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id]
+    }
+
+    /// In-degree vector (cloned for executor bookkeeping).
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.preds.iter().map(Vec::len).collect()
+    }
+
+    /// Tasks with no predecessors.
+    pub fn roots(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&t| self.preds[t].is_empty()).collect()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Total flops over all tasks.
+    pub fn total_flops(&self) -> ugpc_hwsim::Flops {
+        self.tasks.iter().map(|t| t.flops()).sum()
+    }
+
+    /// Count tasks of one kernel kind.
+    pub fn count_kind(&self, kind: crate::task::KernelKind) -> usize {
+        self.tasks.iter().filter(|t| t.kind == kind).count()
+    }
+
+    /// Length (in tasks) of the longest path — the critical path in task
+    /// counts. Computed over the submission order, which is topological.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.len()];
+        for id in 0..self.len() {
+            let d = self.preds[id]
+                .iter()
+                .map(|&p| depth[p] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[id] = d;
+        }
+        depth.into_iter().max().map_or(0, |d| d + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, KernelKind};
+    use ugpc_hwsim::Precision;
+
+    fn gemm_on(data: &[(DataId, AccessMode)]) -> TaskDesc {
+        let mut t = TaskDesc::new(KernelKind::Gemm, Precision::Double, 64);
+        for &(d, m) in data {
+            t = t.access(d, m);
+        }
+        t
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        let r = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        assert_eq!(g.predecessors(r), &[w]);
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut g = TaskGraph::new();
+        let r = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        assert_eq!(g.predecessors(w), &[r]);
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut g = TaskGraph::new();
+        let w1 = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        let w2 = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        assert_eq!(g.predecessors(w2), &[w1]);
+    }
+
+    #[test]
+    fn independent_readers_run_concurrently() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        let r1 = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        let r2 = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        // Both readers depend only on the writer, not on each other.
+        assert_eq!(g.predecessors(r1), &[w]);
+        assert_eq!(g.predecessors(r2), &[w]);
+        // A subsequent writer depends on both readers (WAR) and w (WAW).
+        let w2 = g.submit(gemm_on(&[(0, AccessMode::ReadWrite)]));
+        let mut preds = g.predecessors(w2).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![w, r1, r2]);
+    }
+
+    #[test]
+    fn readwrite_chain_serializes() {
+        // A chain of GEMM updates to the same C tile serializes — the
+        // GEMM operation's K-chains rely on this.
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = (0..5)
+            .map(|_| g.submit(gemm_on(&[(7, AccessMode::ReadWrite)])))
+            .collect();
+        for w in ids.windows(2) {
+            assert_eq!(g.predecessors(w[1]), &[w[0]]);
+        }
+        assert_eq!(g.critical_path_len(), 5);
+    }
+
+    #[test]
+    fn disjoint_data_no_edges() {
+        let mut g = TaskGraph::new();
+        g.submit(gemm_on(&[(0, AccessMode::ReadWrite)]));
+        g.submit(gemm_on(&[(1, AccessMode::ReadWrite)]));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.roots(), vec![0, 1]);
+        assert_eq!(g.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn duplicate_deps_are_merged() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write), (1, AccessMode::Write)]));
+        // Reads both data written by the same task: one edge, not two.
+        let r = g.submit(gemm_on(&[(0, AccessMode::Read), (1, AccessMode::Read)]));
+        assert_eq!(g.predecessors(r), &[w]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn explicit_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(gemm_on(&[]));
+        let b = g.submit(gemm_on(&[]));
+        g.add_edge(a, b);
+        g.add_edge(a, b); // idempotent
+        assert_eq!(g.successors(a), &[b]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "submission order")]
+    fn forward_explicit_edge_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(gemm_on(&[]));
+        let b = g.submit(gemm_on(&[]));
+        g.add_edge(b, a);
+    }
+
+    #[test]
+    fn indegrees_match_preds() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        let _r1 = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        let _r2 = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        assert_eq!(g.indegrees(), vec![0, 1, 1]);
+        assert_eq!(g.roots(), vec![w]);
+    }
+}

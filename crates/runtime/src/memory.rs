@@ -1,0 +1,234 @@
+//! GPU memory management for the virtual-time executor.
+//!
+//! Real runs at the paper's sizes (a 172 800² f64 POTRF is ~239 GB) far
+//! exceed a 40 GB HBM, so StarPU continuously evicts and re-fetches tile
+//! replicas. This module models that: every GPU has a capacity-limited
+//! resident set; making room evicts least-recently-used, unpinned replicas,
+//! with a device-to-host writeback when the GPU holds the sole valid copy.
+//! Operands of queued-but-not-yet-executed tasks are pinned and never
+//! evicted.
+
+use crate::data::{DataId, DataRegistry, MemNode};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    bytes: f64,
+    last_use: u64,
+    pins: u32,
+}
+
+/// The resident set of one GPU's device memory.
+#[derive(Debug, Clone)]
+pub struct GpuMemory {
+    device: usize,
+    capacity: f64,
+    used: f64,
+    resident: HashMap<DataId, Entry>,
+    clock: u64,
+    /// Replicas dropped to make room.
+    pub evictions: usize,
+    /// Evictions that required writing the sole copy back to host.
+    pub writebacks: usize,
+    /// Set when a task's own operands exceed capacity even after evicting
+    /// everything else — the model then over-subscribes rather than
+    /// deadlocking (and reports it).
+    pub over_subscribed: bool,
+}
+
+impl GpuMemory {
+    pub fn new(device: usize, capacity: f64) -> Self {
+        assert!(capacity > 0.0);
+        GpuMemory {
+            device,
+            capacity,
+            used: 0.0,
+            resident: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+            writebacks: 0,
+            over_subscribed: false,
+        }
+    }
+
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    pub fn is_resident(&self, id: DataId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Mark a replica resident (after a transfer or an allocation for a
+    /// write) and update its recency. Idempotent on already-resident ids.
+    pub fn note_resident(&mut self, id: DataId, bytes: f64) {
+        let t = self.tick();
+        match self.resident.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_use = t;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Entry {
+                    bytes,
+                    last_use: t,
+                    pins: 0,
+                });
+                self.used += bytes;
+            }
+        }
+    }
+
+    /// Pin a resident replica (operand of a queued task).
+    pub fn pin(&mut self, id: DataId) {
+        self.resident
+            .get_mut(&id)
+            .expect("pinning a non-resident replica")
+            .pins += 1;
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, id: DataId) {
+        if let Some(e) = self.resident.get_mut(&id) {
+            debug_assert!(e.pins > 0, "unpin without pin");
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drop a replica if present (invalidated by a remote write). Must not
+    /// be pinned — dependency order guarantees readers completed.
+    pub fn drop_if_present(&mut self, id: DataId) {
+        if let Some(e) = self.resident.remove(&id) {
+            debug_assert_eq!(e.pins, 0, "dropping a pinned replica");
+            self.used -= e.bytes;
+        }
+    }
+
+    /// Evict least-recently-used unpinned replicas until `incoming` new
+    /// bytes fit. Returns the evicted ids with a flag for those needing a
+    /// writeback (sole valid copy). The caller performs the registry
+    /// invalidation and schedules the writeback transfers.
+    pub fn make_room(&mut self, incoming: f64, reg: &DataRegistry) -> Vec<(DataId, bool)> {
+        let mut out = Vec::new();
+        while self.used + incoming > self.capacity {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else {
+                self.over_subscribed = true;
+                break;
+            };
+            let e = self.resident.remove(&id).expect("victim is resident");
+            self.used -= e.bytes;
+            let writeback = reg.is_sole_owner(id, MemNode::Gpu(self.device));
+            self.evictions += 1;
+            if writeback {
+                self.writebacks += 1;
+            }
+            out.push((id, writeback));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::Bytes;
+
+    fn reg_with(n: usize) -> DataRegistry {
+        let mut reg = DataRegistry::new();
+        for _ in 0..n {
+            reg.register(Bytes(100.0));
+        }
+        reg
+    }
+
+    #[test]
+    fn resident_accounting() {
+        let mut m = GpuMemory::new(0, 250.0);
+        m.note_resident(0, 100.0);
+        m.note_resident(1, 100.0);
+        assert_eq!(m.used(), 200.0);
+        assert!(m.is_resident(0));
+        // Re-noting does not double count.
+        m.note_resident(0, 100.0);
+        assert_eq!(m.used(), 200.0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let reg = reg_with(3);
+        let mut m = GpuMemory::new(0, 250.0);
+        m.note_resident(0, 100.0);
+        m.note_resident(1, 100.0);
+        // Touch 0 so 1 becomes LRU.
+        m.note_resident(0, 100.0);
+        let evicted = m.make_room(100.0, &reg);
+        assert_eq!(evicted, vec![(1, false)]); // host still valid: no writeback
+        assert!(!m.is_resident(1));
+        assert_eq!(m.used(), 100.0);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.writebacks, 0);
+    }
+
+    #[test]
+    fn sole_owner_needs_writeback() {
+        let mut reg = reg_with(1);
+        reg.write_at(0, MemNode::Gpu(0)); // GPU 0 sole owner
+        let mut m = GpuMemory::new(0, 100.0);
+        m.note_resident(0, 100.0);
+        let evicted = m.make_room(100.0, &reg);
+        assert_eq!(evicted, vec![(0, true)]);
+        assert_eq!(m.writebacks, 1);
+    }
+
+    #[test]
+    fn pinned_replicas_survive() {
+        let reg = reg_with(2);
+        let mut m = GpuMemory::new(0, 200.0);
+        m.note_resident(0, 100.0);
+        m.note_resident(1, 100.0);
+        m.pin(0);
+        let evicted = m.make_room(100.0, &reg);
+        // Only the unpinned one goes.
+        assert_eq!(evicted, vec![(1, false)]);
+        // Pinning everything and asking for more over-subscribes.
+        m.pin(0); // second pin
+        let evicted = m.make_room(150.0, &reg);
+        assert!(evicted.is_empty());
+        assert!(m.over_subscribed);
+        // Unpinning twice releases the entry for future eviction.
+        m.unpin(0);
+        m.unpin(0);
+        m.over_subscribed = false;
+        let evicted = m.make_room(150.0, &reg);
+        assert_eq!(evicted.len(), 1);
+    }
+
+    #[test]
+    fn remote_write_drops_replica() {
+        let mut m = GpuMemory::new(0, 200.0);
+        m.note_resident(0, 100.0);
+        m.drop_if_present(0);
+        assert!(!m.is_resident(0));
+        assert_eq!(m.used(), 0.0);
+        // Dropping an absent id is a no-op.
+        m.drop_if_present(42);
+    }
+}

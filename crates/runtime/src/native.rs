@@ -1,0 +1,260 @@
+//! Native threaded execution of a task graph.
+//!
+//! The virtual-time executor ([`crate::sim`]) answers "what would this run
+//! cost on that platform"; this executor actually runs the DAG on host
+//! threads with real kernels, which is how the numerical correctness of
+//! the tiled operations is validated (see `ugpc-linalg`).
+//!
+//! Work-stealing runtime in the Rayon/Tokio mold: a global injector feeds
+//! per-thread deques; idle threads steal; dependency counters are atomics
+//! decremented by whichever thread completes the last predecessor
+//! (release/acquire pairs via the deque operations order the kernel
+//! effects).
+
+use crate::graph::TaskGraph;
+use crate::task::{TaskDesc, TaskId};
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use crossbeam::utils::Backoff;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Statistics of one native run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Tasks executed (always the graph size on success).
+    pub executed: usize,
+    /// Tasks executed by each thread.
+    pub per_thread: Vec<usize>,
+}
+
+/// A threaded DAG executor.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeExecutor {
+    threads: usize,
+}
+
+impl Default for NativeExecutor {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl NativeExecutor {
+    pub fn new(threads: usize) -> Self {
+        NativeExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every task of `graph` exactly once, respecting all
+    /// dependency edges. `kernel` is called concurrently from worker
+    /// threads; disjoint-data safety is the caller's contract (the linalg
+    /// layer hands out interior-mutable tiles keyed by the task id).
+    pub fn execute<F>(&self, graph: &TaskGraph, kernel: F) -> NativeStats
+    where
+        F: Fn(TaskId, &TaskDesc) + Sync,
+    {
+        let n = graph.len();
+        if n == 0 {
+            return NativeStats {
+                executed: 0,
+                per_thread: vec![0; self.threads],
+            };
+        }
+
+        let indeg: Vec<AtomicUsize> = graph
+            .indegrees()
+            .into_iter()
+            .map(AtomicUsize::new)
+            .collect();
+        let completed = AtomicUsize::new(0);
+        let injector = Injector::new();
+        for t in graph.roots() {
+            injector.push(t);
+        }
+
+        let deques: Vec<Deque<TaskId>> = (0..self.threads).map(|_| Deque::new_fifo()).collect();
+        let stealers: Vec<Stealer<TaskId>> = deques.iter().map(Deque::stealer).collect();
+        let counts: Vec<AtomicUsize> = (0..self.threads).map(|_| AtomicUsize::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            for (me, local) in deques.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                let indeg = &indeg;
+                let completed = &completed;
+                let counts = &counts;
+                let kernel = &kernel;
+                scope.spawn(move || {
+                    let backoff = Backoff::new();
+                    loop {
+                        if completed.load(Ordering::Acquire) == n {
+                            break;
+                        }
+                        let task = local.pop().or_else(|| {
+                            // Drain the injector, then try stealing.
+                            std::iter::repeat_with(|| {
+                                injector.steal_batch_and_pop(&local).or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .map(|s| s.steal())
+                                        .collect::<crossbeam::deque::Steal<_>>()
+                                })
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(|s| s.success())
+                        });
+                        let Some(task) = task else {
+                            backoff.snooze();
+                            continue;
+                        };
+                        backoff.reset();
+
+                        kernel(task, graph.task(task));
+                        counts[me].fetch_add(1, Ordering::Relaxed);
+
+                        for &s in graph.successors(task) {
+                            // The last predecessor to finish releases the
+                            // successor.
+                            if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                local.push(s);
+                            }
+                        }
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                });
+            }
+        });
+
+        NativeStats {
+            executed: completed.load(Ordering::Acquire),
+            per_thread: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, KernelKind};
+    use std::sync::atomic::AtomicBool;
+    use ugpc_hwsim::Precision;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> {1, 2} -> 3 via data deps on tiles.
+        let mut g = TaskGraph::new();
+        let t = |accesses: &[(usize, AccessMode)]| {
+            let mut d = TaskDesc::new(KernelKind::Gemm, Precision::Double, 4);
+            for &(id, m) in accesses {
+                d = d.access(id, m);
+            }
+            d
+        };
+        g.submit(t(&[(0, AccessMode::Write)]));
+        g.submit(t(&[(0, AccessMode::Read), (1, AccessMode::Write)]));
+        g.submit(t(&[(0, AccessMode::Read), (2, AccessMode::Write)]));
+        g.submit(t(&[(1, AccessMode::Read), (2, AccessMode::Read)]));
+        g
+    }
+
+    #[test]
+    fn executes_every_task_once() {
+        let g = diamond();
+        let hits: Vec<AtomicUsize> = (0..g.len()).map(|_| AtomicUsize::new(0)).collect();
+        let stats = NativeExecutor::new(4).execute(&g, |t, _| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.per_thread.iter().sum::<usize>(), 4);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let g = diamond();
+        let done: Vec<AtomicBool> = (0..g.len()).map(|_| AtomicBool::new(false)).collect();
+        NativeExecutor::new(4).execute(&g, |t, _| {
+            for &p in g.predecessors(t) {
+                assert!(
+                    done[p].load(Ordering::SeqCst),
+                    "task {t} ran before predecessor {p}"
+                );
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn wide_graph_dependency_stress() {
+        // 1 root -> 64 middles -> 1 sink, many times, on varying threads.
+        let mut g = TaskGraph::new();
+        let root =
+            g.submit(TaskDesc::new(KernelKind::Gemm, Precision::Double, 4).access(0, AccessMode::Write));
+        let mut mids = Vec::new();
+        for i in 0..64 {
+            mids.push(g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Double, 4)
+                    .access(0, AccessMode::Read)
+                    .access(1 + i, AccessMode::Write),
+            ));
+        }
+        let mut sink = TaskDesc::new(KernelKind::Gemm, Precision::Double, 4);
+        for i in 0..64 {
+            sink = sink.access(1 + i, AccessMode::Read);
+        }
+        let sink = g.submit(sink);
+        assert_eq!(g.predecessors(sink).len(), 64);
+        let _ = root;
+
+        for threads in [1, 2, 8] {
+            let order = AtomicUsize::new(0);
+            let stamps: Vec<AtomicUsize> = (0..g.len()).map(|_| AtomicUsize::new(0)).collect();
+            let stats = NativeExecutor::new(threads).execute(&g, |t, _| {
+                stamps[t].store(order.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            });
+            assert_eq!(stats.executed, 66);
+            let root_stamp = stamps[0].load(Ordering::SeqCst);
+            let sink_stamp = stamps[sink].load(Ordering::SeqCst);
+            assert_eq!(root_stamp, 1, "root first");
+            assert_eq!(sink_stamp, 66, "sink last");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        let stats = NativeExecutor::new(2).execute(&g, |_, _| {});
+        assert_eq!(stats.executed, 0);
+    }
+
+    #[test]
+    fn single_thread_executes_in_valid_order() {
+        let g = diamond();
+        let mut seen = Vec::new();
+        let seen_cell = std::sync::Mutex::new(&mut seen);
+        NativeExecutor::new(1).execute(&g, |t, _| {
+            seen_cell.lock().unwrap().push(t);
+        });
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[3], 3);
+    }
+
+    #[test]
+    fn kernel_sees_task_desc() {
+        let g = diamond();
+        NativeExecutor::new(2).execute(&g, |_, desc| {
+            assert_eq!(desc.kind, KernelKind::Gemm);
+            assert_eq!(desc.nb, 4);
+        });
+    }
+}

@@ -1,0 +1,61 @@
+//! The sorted data-aware dequeue model (`dmdas`) — the scheduler the paper
+//! uses for all its experiments (§III-B).
+//!
+//! On top of dmda it (1) assigns ready tasks in decreasing application
+//! priority (Chameleon's expert priorities), and (2) among workers whose
+//! expected completion times are within a small factor of the best,
+//! prefers the one already holding the most operand bytes — StarPU's
+//! "prioritizes tasks whose data buffers are already available on the
+//! target device".
+
+use crate::sched::{SchedView, Scheduler};
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+
+/// Fraction of the task's own execution time within which two expected
+/// completion times count as a tie for the locality preference. The
+/// tolerance scales with the *task*, not the queue depth — a
+/// queue-relative tolerance would let arbitrarily many tasks pile onto
+/// one device late in a long run.
+const TIE_FRACTION: f64 = 0.25;
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DmdasScheduler;
+
+impl Scheduler for DmdasScheduler {
+    fn name(&self) -> &'static str {
+        "dmdas"
+    }
+
+    fn order(&mut self, ready: &mut Vec<TaskId>, view: &SchedView) {
+        // Higher priority first; stable on submission order for equals.
+        ready.sort_by_key(|&t| std::cmp::Reverse(view.graph.task(t).priority));
+    }
+
+    fn choose(&mut self, task: TaskId, view: &SchedView) -> WorkerId {
+        let costs: Vec<(WorkerId, f64)> = view
+            .capable_workers(task)
+            .map(|w| (w.id, view.completion_estimate(task, w, true).value()))
+            .collect();
+        assert!(!costs.is_empty(), "no capable worker for task {task}");
+        let (best_id, best) = costs
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty candidate set");
+        let slack = view.exec_estimate(task, &view.workers[best_id]).value() * TIE_FRACTION;
+        // Locality tie-break among workers finishing within a fraction of
+        // one execution of the best.
+        costs
+            .iter()
+            .filter(|(_, c)| *c <= best + slack)
+            .max_by(|a, b| {
+                let ra = view.resident_bytes(task, &view.workers[a.0]).value();
+                let rb = view.resident_bytes(task, &view.workers[b.0]).value();
+                ra.total_cmp(&rb)
+                    .then_with(|| b.1.total_cmp(&a.1)) // then earliest ECT
+            })
+            .map(|(id, _)| *id)
+            .expect("non-empty candidate set")
+    }
+}

@@ -1,0 +1,21 @@
+//! The eager (greedy FIFO) baseline: a single shared queue; each task goes
+//! to whichever capable worker frees up first, with no performance model.
+
+use crate::sched::{argmin_worker, SchedView, Scheduler};
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EagerScheduler;
+
+impl Scheduler for EagerScheduler {
+    fn name(&self) -> &'static str {
+        "eager"
+    }
+
+    fn choose(&mut self, task: TaskId, view: &SchedView) -> WorkerId {
+        argmin_worker(view, task, |w| {
+            view.now.max(view.worker_free[w.id]).value()
+        })
+    }
+}

@@ -1,0 +1,583 @@
+//! The virtual-time executor: runs a task graph on a simulated node under
+//! a scheduling policy, producing exact timing and energy.
+//!
+//! Event-driven greedy list scheduling, matching StarPU's dm-family
+//! behaviour: tasks are assigned to worker queues the moment they become
+//! ready (in scheduler-defined order), using the calibrated performance
+//! models; workers drain their queues; DMA engines (one per GPU and
+//! direction) serialize transfers; devices integrate their own energy.
+
+use crate::data::{DataId, DataRegistry, MemNode};
+use crate::des::EventQueue;
+use crate::memory::GpuMemory;
+use crate::graph::TaskGraph;
+use crate::perfmodel::PerfModel;
+use crate::sched::{SchedPolicy, SchedView};
+use crate::task::{Footprint, TaskId};
+use crate::trace::{RunTrace, TaskRecord};
+use crate::worker::{build_workers, WorkerKind};
+use std::collections::BTreeSet;
+use ugpc_hwsim::{EnergyProbe, Joules, Node, Secs};
+
+/// Executor options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    pub policy: SchedPolicy,
+    /// Retain per-task records (needed for Gantt/Fig. 5-style breakdowns).
+    pub keep_records: bool,
+    /// Enforce GPU memory capacity with LRU eviction and writebacks. The
+    /// paper's problem sizes exceed HBM several times over, so real runs
+    /// continuously re-stream tiles; disable only for controlled studies.
+    pub enforce_gpu_memory: bool,
+    /// Feed observed execution times back into the history model during
+    /// the run (StarPU's online refinement). Disable to study frozen /
+    /// stale models.
+    pub refine_models: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            policy: SchedPolicy::Dmdas,
+            keep_records: false,
+            enforce_gpu_memory: true,
+            refine_models: true,
+        }
+    }
+}
+
+/// Run `graph` on `node`: calibrates a fresh performance model at the
+/// node's *current power caps* (the paper's protocol — recalibration after
+/// every cap change), then executes.
+pub fn simulate(
+    node: &mut Node,
+    graph: &TaskGraph,
+    data: &mut DataRegistry,
+    options: SimOptions,
+) -> RunTrace {
+    let mut perf = PerfModel::new();
+    simulate_with_model(node, graph, data, options, &mut perf)
+}
+
+/// Like [`simulate`] but reusing (and extending) a caller-provided
+/// performance model — the model must have been calibrated at the same
+/// power caps, or scheduling decisions will be based on stale estimates
+/// (which is itself an interesting experiment).
+pub fn simulate_with_model(
+    node: &mut Node,
+    graph: &TaskGraph,
+    data: &mut DataRegistry,
+    options: SimOptions,
+    perf: &mut PerfModel,
+) -> RunTrace {
+    let (workers, capable_cores) = build_workers(node.spec());
+    for (p, pkg) in node.cpus_mut().iter_mut().enumerate() {
+        pkg.set_active_workers(capable_cores[p]);
+    }
+
+    // Calibration runs for every distinct footprint not yet known.
+    let footprints: BTreeSet<Footprint> = graph.tasks().iter().map(|t| t.footprint()).collect();
+    let missing: Vec<Footprint> = footprints
+        .iter()
+        .copied()
+        .filter(|fp| {
+            workers.iter().any(|w| {
+                let capable = if w.is_gpu() {
+                    fp.kind.gpu_capable()
+                } else {
+                    fp.kind.cpu_capable()
+                };
+                capable && !perf.is_calibrated(*fp, w.id)
+            })
+        })
+        .collect();
+    perf.calibrate(node, &workers, &missing);
+
+    // Fresh run state.
+    data.reset_to_host();
+    node.reset_energy();
+    let probe = EnergyProbe::start(node, Secs::ZERO);
+
+    let n_gpus = node.gpus().len();
+    let mut gpu_mem: Vec<GpuMemory> = node
+        .gpus()
+        .iter()
+        .map(|g| GpuMemory::new(g.index(), g.spec().mem_capacity.value()))
+        .collect();
+    let mut task_worker: Vec<usize> = vec![usize::MAX; graph.len()];
+    let links = *node.links();
+    let mut scheduler = options.policy.build();
+    // Actual queue-drain time per worker (drives execution) and the
+    // model-predicted one (drives scheduling decisions — StarPU's
+    // `expected_end`; they coincide when models are exact, and diverge
+    // under stale or noisy calibration).
+    let mut worker_free = vec![Secs::ZERO; workers.len()];
+    let mut worker_expected = vec![Secs::ZERO; workers.len()];
+    let mut h2d_free = vec![Secs::ZERO; n_gpus];
+    let mut d2h_free = vec![Secs::ZERO; n_gpus];
+    let mut indeg = graph.indegrees();
+    let mut ready: Vec<TaskId> = graph.roots();
+    let mut events: EventQueue<TaskId> = EventQueue::new();
+    let mut now = Secs::ZERO;
+    let mut remaining = graph.len();
+
+    let mut worker_busy = vec![Secs::ZERO; workers.len()];
+    let mut worker_tasks = vec![0usize; workers.len()];
+    let mut worker_flops = vec![ugpc_hwsim::Flops::ZERO; workers.len()];
+    let mut records = Vec::new();
+    let mut cpu_tasks = 0usize;
+    let mut gpu_tasks = 0usize;
+
+    while remaining > 0 {
+        if !ready.is_empty() {
+            // Order the batch, then commit each task to a worker.
+            {
+                let view = SchedView {
+                    graph,
+                    workers: &workers,
+                    worker_free: &worker_expected,
+                    perf,
+                    data,
+                    links: &links,
+                    now,
+                };
+                scheduler.order(&mut ready, &view);
+            }
+            let batch: Vec<TaskId> = std::mem::take(&mut ready);
+            for task in batch {
+                let wid = {
+                    let view = SchedView {
+                        graph,
+                        workers: &workers,
+                        worker_free: &worker_expected,
+                        perf,
+                        data,
+                        links: &links,
+                        now,
+                    };
+                    scheduler.choose(task, &view)
+                };
+                // Advance the model-predicted queue end for the chosen
+                // worker (what the scheduler believes it just committed).
+                {
+                    let view = SchedView {
+                        graph,
+                        workers: &workers,
+                        worker_free: &worker_expected,
+                        perf,
+                        data,
+                        links: &links,
+                        now,
+                    };
+                    let est = view.transfer_estimate(task, &workers[wid])
+                        + view.exec_estimate(task, &workers[wid]);
+                    worker_expected[wid] = now.max(worker_expected[wid]) + est;
+                }
+                let worker = workers[wid];
+                let desc = graph.task(task);
+                let dst = worker.mem_node();
+                let mut data_ready = now;
+
+                // GPU memory management: make room for (and pin) every
+                // operand before planning the fetches.
+                if options.enforce_gpu_memory {
+                    if let MemNode::Gpu(g) = dst {
+                        let mut operands: Vec<DataId> =
+                            desc.data.iter().map(|&(d, _)| d).collect();
+                        operands.sort_unstable();
+                        operands.dedup();
+                        let incoming: f64 = operands
+                            .iter()
+                            .filter(|&&d| !gpu_mem[g].is_resident(d))
+                            .map(|&d| data.bytes(d).value())
+                            .sum();
+                        // Pin first so make_room cannot evict our own
+                        // already-resident operands.
+                        for &d in &operands {
+                            if gpu_mem[g].is_resident(d) {
+                                gpu_mem[g].pin(d);
+                            }
+                        }
+                        for (victim, writeback) in gpu_mem[g].make_room(incoming, data) {
+                            if writeback {
+                                let bytes = data.bytes(victim);
+                                let st = now.max(d2h_free[g]);
+                                let en = st + links.d2h_time(bytes);
+                                d2h_free[g] = en;
+                                data.add_replica(victim, MemNode::Host);
+                                // Space is free once the copy-out lands.
+                                data_ready = data_ready.max(en);
+                            }
+                            data.invalidate_at(victim, MemNode::Gpu(g));
+                        }
+                        // Allocate + pin incoming operands (transfers for
+                        // reads are planned below; writes just allocate).
+                        for &d in &operands {
+                            if !gpu_mem[g].is_resident(d) {
+                                gpu_mem[g].note_resident(d, data.bytes(d).value());
+                                gpu_mem[g].pin(d);
+                            }
+                        }
+                    }
+                }
+
+                // Plan transfers for missing read operands.
+                for &(d, mode) in &desc.data {
+                    if !mode.reads() {
+                        continue;
+                    }
+                    let Some(src) = data.transfer_source(d, dst) else {
+                        continue;
+                    };
+                    let bytes = data.bytes(d);
+                    let done = match (src, dst) {
+                        (MemNode::Host, MemNode::Gpu(g)) => {
+                            let s = now.max(h2d_free[g]);
+                            let e = s + links.h2d_time(bytes);
+                            h2d_free[g] = e;
+                            e
+                        }
+                        (MemNode::Gpu(g), MemNode::Host) => {
+                            let s = now.max(d2h_free[g]);
+                            let e = s + links.d2h_time(bytes);
+                            d2h_free[g] = e;
+                            e
+                        }
+                        (MemNode::Gpu(sg), MemNode::Gpu(dg)) => {
+                            if links.d2d.is_some() {
+                                // Direct NVLink copy occupies both engines.
+                                let s = now.max(d2h_free[sg]).max(h2d_free[dg]);
+                                let e = s + links.d2d_time(bytes);
+                                d2h_free[sg] = e;
+                                h2d_free[dg] = e;
+                                e
+                            } else {
+                                // Staged through host memory, two hops.
+                                let s1 = now.max(d2h_free[sg]);
+                                let e1 = s1 + links.d2h_time(bytes);
+                                d2h_free[sg] = e1;
+                                data.add_replica(d, MemNode::Host);
+                                let s2 = e1.max(h2d_free[dg]);
+                                let e2 = s2 + links.h2d_time(bytes);
+                                h2d_free[dg] = e2;
+                                e2
+                            }
+                        }
+                        (MemNode::Host, MemNode::Host) => now,
+                    };
+                    data.add_replica(d, dst);
+                    data_ready = data_ready.max(done);
+                }
+
+                // Execute on the device model; it records its own energy.
+                let t_start = worker_free[wid].max(data_ready);
+                let (duration, energy) = match worker.kind {
+                    WorkerKind::Gpu { device } => {
+                        let run = node.gpu_mut(device).execute(&desc.kernel_work(), t_start);
+                        gpu_tasks += 1;
+                        (run.time, run.energy())
+                    }
+                    WorkerKind::CpuCore { package, core } => {
+                        let run = node.cpus_mut()[package].execute(
+                            core,
+                            desc.flops(),
+                            desc.nb,
+                            desc.precision,
+                            t_start,
+                        );
+                        cpu_tasks += 1;
+                        (run.time, run.core_power * run.time)
+                    }
+                };
+                let t_end = t_start + duration;
+                worker_free[wid] = t_end;
+                worker_busy[wid] += duration;
+                worker_tasks[wid] += 1;
+                worker_flops[wid] += desc.flops();
+
+                // Apply write effects to the replica map; replicas on
+                // other devices are invalidated and their memory freed.
+                for &(d, mode) in &desc.data {
+                    if mode.writes() {
+                        if options.enforce_gpu_memory {
+                            for (g, mem) in gpu_mem.iter_mut().enumerate() {
+                                if MemNode::Gpu(g) != dst {
+                                    mem.drop_if_present(d);
+                                }
+                            }
+                        }
+                        data.write_at(d, dst);
+                    }
+                }
+                task_worker[task] = wid;
+
+                // Feed the history model (online refinement, like StarPU).
+                if options.refine_models {
+                    perf.observe(desc.footprint(), wid, duration, energy);
+                }
+
+                if options.keep_records {
+                    records.push(TaskRecord {
+                        task,
+                        worker: wid,
+                        start: t_start,
+                        end: t_end,
+                    });
+                }
+                events.push(t_end, task);
+            }
+        } else {
+            // Advance time to the next completion; drain all completions
+            // at that timestamp before scheduling again.
+            let (t, done) = events
+                .pop()
+                .expect("deadlock: tasks remain but nothing is in flight");
+            now = t;
+            // Resync: a worker that is actually idle has nothing pending,
+            // whatever the model predicted (StarPU refreshes expected_end
+            // when workers go idle).
+            for w in 0..workers.len() {
+                if worker_free[w] <= now && worker_expected[w] > now {
+                    worker_expected[w] = now;
+                }
+            }
+            let mut completed = vec![done];
+            while events.peek_time() == Some(now) {
+                completed.push(events.pop().expect("peeked event exists").1);
+            }
+            for task in completed {
+                remaining -= 1;
+                if options.enforce_gpu_memory {
+                    if let WorkerKind::Gpu { device } = workers[task_worker[task]].kind {
+                        let mut operands: Vec<DataId> =
+                            graph.task(task).data.iter().map(|&(d, _)| d).collect();
+                        operands.sort_unstable();
+                        operands.dedup();
+                        for d in operands {
+                            gpu_mem[device].unpin(d);
+                        }
+                    }
+                }
+                for &s in graph.successors(task) {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Makespan: last task end (transfers never outlive their consumer).
+    let makespan = worker_free
+        .iter()
+        .copied()
+        .fold(Secs::ZERO, Secs::max)
+        .max(now);
+    let energy = probe.stop(node, makespan);
+    debug_assert!(
+        energy.per_gpu.iter().all(|e| *e > Joules::ZERO) || graph.is_empty(),
+        "every GPU burns at least idle power"
+    );
+
+    RunTrace {
+        makespan,
+        total_flops: graph.total_flops(),
+        energy,
+        worker_busy,
+        worker_tasks,
+        worker_flops,
+        cpu_tasks,
+        gpu_tasks,
+        evictions: gpu_mem.iter().map(|m| m.evictions).sum(),
+        writebacks: gpu_mem.iter().map(|m| m.writebacks).sum(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, KernelKind, TaskDesc};
+    use ugpc_hwsim::{Bytes, PlatformId, Precision, Watts};
+
+    /// A tiny GEMM-like graph: `chains` independent chains of `len`
+    /// sequential updates each, on distinct tiles.
+    fn chain_graph(
+        chains: usize,
+        len: usize,
+        nb: usize,
+        data: &mut DataRegistry,
+    ) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for c in 0..chains {
+            let tile = data.register(Bytes((nb * nb * 8) as f64));
+            let a = data.register(Bytes((nb * nb * 8) as f64));
+            for _ in 0..len {
+                g.submit(
+                    TaskDesc::new(KernelKind::Gemm, Precision::Double, nb)
+                        .access(a, AccessMode::Read)
+                        .access(tile, AccessMode::ReadWrite),
+                );
+            }
+            let _ = c;
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let g = TaskGraph::new();
+        let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+        assert_eq!(trace.makespan, Secs::ZERO);
+        assert_eq!(trace.cpu_tasks + trace.gpu_tasks, 0);
+    }
+
+    #[test]
+    fn single_task_timing_matches_device() {
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let mut data = DataRegistry::new();
+        let mut g = chain_graph(1, 1, 2880, &mut data);
+        let _ = &mut g;
+        let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+        // One task: makespan = h2d transfers + exec on the best device.
+        let desc = g.task(0);
+        let exec = node.gpu(0).estimate(&desc.kernel_work()).time;
+        let transfer = node.links().h2d_time(Bytes((2880 * 2880 * 8) as f64));
+        let expect = exec + transfer * 2.0;
+        assert!(
+            (trace.makespan.value() - expect.value()).abs() / expect.value() < 0.05,
+            "makespan {} vs expected {}",
+            trace.makespan,
+            expect
+        );
+        assert_eq!(trace.gpu_tasks, 1);
+    }
+
+    #[test]
+    fn parallel_chains_use_all_gpus() {
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let mut data = DataRegistry::new();
+        let g = chain_graph(8, 4, 2880, &mut data);
+        let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+        // 32 GEMMs across 4 GPUs; every GPU should get work.
+        let (workers, _) = build_workers(node.spec());
+        let gpu_workers: Vec<_> = workers.iter().filter(|w| w.is_gpu()).collect();
+        for w in &gpu_workers {
+            assert!(
+                trace.worker_tasks[w.id] > 0,
+                "gpu worker {} got no tasks: {:?}",
+                w.id,
+                trace.worker_tasks
+            );
+        }
+        assert_eq!(trace.gpu_tasks + trace.cpu_tasks, 32);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut node = Node::new(PlatformId::Amd4A100);
+            let mut data = DataRegistry::new();
+            let g = chain_graph(6, 5, 1440, &mut data);
+            simulate(&mut node, &g, &mut data, SimOptions::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_energy(), b.total_energy());
+        assert_eq!(a.worker_tasks, b.worker_tasks);
+    }
+
+    #[test]
+    fn capped_gpus_receive_fewer_tasks() {
+        // The paper's core claim (§III-B): after recalibration the
+        // scheduler shifts load away from capped devices.
+        let run = |cap: Option<Watts>| {
+            let mut node = Node::new(PlatformId::Amd4A100);
+            if let Some(c) = cap {
+                // Cap GPUs 2 and 3 to the minimum.
+                node.gpu_mut(2).set_power_limit(c).unwrap();
+                node.gpu_mut(3).set_power_limit(c).unwrap();
+            }
+            let mut data = DataRegistry::new();
+            let g = chain_graph(16, 8, 2880, &mut data);
+            let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+            let (workers, _) = build_workers(node.spec());
+            let per_gpu: Vec<usize> = workers
+                .iter()
+                .filter(|w| w.is_gpu())
+                .map(|w| trace.worker_tasks[w.id])
+                .collect();
+            per_gpu
+        };
+        let balanced = run(None);
+        let unbalanced = run(Some(Watts(100.0)));
+        // Uncapped: roughly even split.
+        let max = *balanced.iter().max().unwrap() as f64;
+        let min = *balanced.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "balanced run skewed: {balanced:?}");
+        // Capped: GPUs 0/1 (fast) take clearly more than GPUs 2/3 (slow).
+        assert!(
+            unbalanced[0] + unbalanced[1] > (unbalanced[2] + unbalanced[3]) * 2,
+            "unbalanced run did not shift load: {unbalanced:?}"
+        );
+    }
+
+    #[test]
+    fn capping_all_gpus_saves_energy_on_saturating_work() {
+        let run = |cap: Option<Watts>| {
+            let mut node = Node::new(PlatformId::Amd4A100);
+            if let Some(c) = cap {
+                for g in 0..4 {
+                    node.gpu_mut(g).set_power_limit(c).unwrap();
+                }
+            }
+            let mut data = DataRegistry::new();
+            let g = chain_graph(16, 8, 5760, &mut data);
+            simulate(&mut node, &g, &mut data, SimOptions::default())
+        };
+        let free = run(None);
+        let best = run(Some(Watts(216.0))); // P_best dp
+        assert!(best.makespan > free.makespan, "capping must slow the run");
+        assert!(
+            best.efficiency().value() > free.efficiency().value(),
+            "efficiency should improve: {} vs {}",
+            best.efficiency(),
+            free.efficiency()
+        );
+    }
+
+    #[test]
+    fn records_kept_when_requested() {
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let g = chain_graph(2, 3, 960, &mut data);
+        let opts = SimOptions {
+            keep_records: true,
+            ..Default::default()
+        };
+        let trace = simulate(&mut node, &g, &mut data, opts);
+        assert_eq!(trace.records.len(), 6);
+        // Records are consistent: end after start, worker ids valid.
+        for r in &trace.records {
+            assert!(r.end > r.start);
+            assert!(r.worker < trace.worker_tasks.len());
+        }
+    }
+
+    #[test]
+    fn energy_accounts_whole_window() {
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let g = chain_graph(2, 2, 1920, &mut data);
+        let trace = simulate(&mut node, &g, &mut data, SimOptions::default());
+        // Total energy at least idle power × makespan for every device.
+        let idle_floor = 2.0 * 35.0 + 2.0 * 40.0; // uncore + GPU idle
+        assert!(trace.total_energy().value() >= idle_floor * trace.makespan.value() * 0.99);
+        assert_eq!(trace.energy.per_gpu.len(), 2);
+        assert_eq!(trace.energy.per_cpu.len(), 2);
+    }
+}

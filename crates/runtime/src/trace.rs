@@ -1,0 +1,177 @@
+//! Execution traces and run-level statistics.
+
+use crate::task::TaskId;
+use crate::worker::{Worker, WorkerId, WorkerKind};
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{Efficiency, EnergyReading, FlopRate, Flops, Joules, Secs};
+
+/// One executed task, for Gantt-style inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    pub task: TaskId,
+    pub worker: WorkerId,
+    pub start: Secs,
+    pub end: Secs,
+}
+
+/// The outcome of one simulated application run: timing, per-worker
+/// statistics and the paper's measurement (total energy of all devices).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// End-to-end execution time (virtual).
+    pub makespan: Secs,
+    /// Total useful flops executed.
+    pub total_flops: Flops,
+    /// Whole-node energy measurement over the run window (§IV-C).
+    pub energy: EnergyReading,
+    /// Per-worker busy time.
+    pub worker_busy: Vec<Secs>,
+    /// Per-worker task counts.
+    pub worker_tasks: Vec<usize>,
+    /// Per-worker executed flops.
+    pub worker_flops: Vec<Flops>,
+    /// Tasks that ran on CPU cores vs GPUs.
+    pub cpu_tasks: usize,
+    pub gpu_tasks: usize,
+    /// Replicas dropped from GPU memory to make room (LRU eviction).
+    pub evictions: usize,
+    /// Evictions of sole owners that required a device-to-host writeback.
+    pub writebacks: usize,
+    /// Per-task records (empty unless record-keeping was enabled).
+    pub records: Vec<TaskRecord>,
+}
+
+impl RunTrace {
+    /// Achieved rate in flop/s — the paper's "performance".
+    pub fn perf(&self) -> FlopRate {
+        self.total_flops / self.makespan
+    }
+
+    /// Total energy of all processing units.
+    pub fn total_energy(&self) -> Joules {
+        self.energy.total()
+    }
+
+    /// Energy efficiency in flop/s/W (Gflop/s/W in displays) — the
+    /// paper's headline metric.
+    pub fn efficiency(&self) -> Efficiency {
+        Efficiency::from_work_energy(self.total_flops, self.total_energy())
+    }
+
+    /// Fraction of tasks that ran on CPU workers.
+    pub fn cpu_task_fraction(&self) -> f64 {
+        let total = self.cpu_tasks + self.gpu_tasks;
+        if total == 0 {
+            0.0
+        } else {
+            self.cpu_tasks as f64 / total as f64
+        }
+    }
+
+    /// Busy fraction of one worker over the makespan.
+    pub fn utilization(&self, worker: WorkerId) -> f64 {
+        if self.makespan.value() == 0.0 {
+            0.0
+        } else {
+            self.worker_busy[worker] / self.makespan
+        }
+    }
+
+    /// Compact textual Gantt chart (one row per worker) for debugging;
+    /// requires record-keeping.
+    pub fn gantt(&self, workers: &[Worker], columns: usize) -> String {
+        let mut out = String::new();
+        if self.records.is_empty() || self.makespan.value() == 0.0 {
+            return out;
+        }
+        let scale = columns as f64 / self.makespan.value();
+        for w in workers {
+            let mut row = vec![' '; columns];
+            for r in self.records.iter().filter(|r| r.worker == w.id) {
+                let a = (r.start.value() * scale) as usize;
+                let b = ((r.end.value() * scale) as usize).min(columns.saturating_sub(1));
+                let ch = match w.kind {
+                    WorkerKind::Gpu { .. } => '#',
+                    WorkerKind::CpuCore { .. } => '+',
+                };
+                for cell in row.iter_mut().take(b + 1).skip(a) {
+                    *cell = ch;
+                }
+            }
+            out.push_str(&format!("{:>8} |", w.short_name()));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> RunTrace {
+        RunTrace {
+            makespan: Secs(10.0),
+            total_flops: Flops(4e12),
+            energy: EnergyReading {
+                duration: Secs(10.0),
+                per_cpu: vec![Joules(400.0)],
+                per_gpu: vec![Joules(600.0), Joules(1000.0)],
+            },
+            worker_busy: vec![Secs(5.0), Secs(10.0)],
+            worker_tasks: vec![3, 7],
+            worker_flops: vec![Flops(1e12), Flops(3e12)],
+            cpu_tasks: 3,
+            gpu_tasks: 7,
+            evictions: 0,
+            writebacks: 0,
+            records: vec![
+                TaskRecord {
+                    task: 0,
+                    worker: 0,
+                    start: Secs(0.0),
+                    end: Secs(5.0),
+                },
+                TaskRecord {
+                    task: 1,
+                    worker: 1,
+                    start: Secs(0.0),
+                    end: Secs(10.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let t = demo_trace();
+        assert!((t.perf().as_gflops() - 400.0).abs() < 1e-9);
+        assert_eq!(t.total_energy(), Joules(2000.0));
+        // 4e12 flop / 2000 J = 2 Gflop/s/W.
+        assert!((t.efficiency().as_gflops_per_watt() - 2.0).abs() < 1e-9);
+        assert!((t.cpu_task_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(t.utilization(0), 0.5);
+        assert_eq!(t.utilization(1), 1.0);
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let t = demo_trace();
+        let workers = vec![
+            Worker {
+                id: 0,
+                kind: WorkerKind::CpuCore { package: 0, core: 0 },
+            },
+            Worker {
+                id: 1,
+                kind: WorkerKind::Gpu { device: 0 },
+            },
+        ];
+        let g = t.gantt(&workers, 20);
+        assert!(g.contains("cpu0.0"));
+        assert!(g.contains("gpu0"));
+        assert!(g.contains('+'));
+        assert!(g.contains('#'));
+    }
+}

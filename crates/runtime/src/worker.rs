@@ -1,0 +1,157 @@
+//! Worker topology: one worker per CPU core (minus the cores StarPU
+//! dedicates to driving each GPU) plus one worker per GPU.
+
+use crate::data::MemNode;
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{CpuSpec, PlatformSpec};
+
+pub type WorkerId = usize;
+
+/// The execution resource behind a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerKind {
+    /// A CPU core: (package index, core index within the package).
+    CpuCore { package: usize, core: usize },
+    /// A whole GPU (StarPU runs one worker per CUDA device).
+    Gpu { device: usize },
+}
+
+/// One schedulable worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Worker {
+    pub id: WorkerId,
+    pub kind: WorkerKind,
+}
+
+impl Worker {
+    /// The memory node this worker computes from.
+    pub fn mem_node(&self) -> MemNode {
+        match self.kind {
+            WorkerKind::CpuCore { .. } => MemNode::Host,
+            WorkerKind::Gpu { device } => MemNode::Gpu(device),
+        }
+    }
+
+    pub fn is_gpu(&self) -> bool {
+        matches!(self.kind, WorkerKind::Gpu { .. })
+    }
+
+    pub fn short_name(&self) -> String {
+        match self.kind {
+            WorkerKind::CpuCore { package, core } => format!("cpu{package}.{core}"),
+            WorkerKind::Gpu { device } => format!("gpu{device}"),
+        }
+    }
+}
+
+/// Build the worker set for a platform, reserving one core per GPU as its
+/// driver (StarPU's default: a CUDA worker pins a host core for kernel
+/// submission and transfers; that core takes no tasks). Driver cores are
+/// taken round-robin from the packages, mirroring how `hwloc` spreads
+/// them.
+///
+/// Returns the workers and, per package, the number of task-capable cores
+/// (used to provision package frequency under RAPL caps).
+pub fn build_workers(spec: &PlatformSpec) -> (Vec<Worker>, Vec<usize>) {
+    let cores_per_pkg = CpuSpec::of(spec.cpu_model).cores;
+    let mut reserved = vec![0usize; spec.cpu_count];
+    for g in 0..spec.gpu_count {
+        reserved[g % spec.cpu_count] += 1;
+    }
+    let mut workers = Vec::new();
+    let mut capable = Vec::with_capacity(spec.cpu_count);
+    for (pkg, &resv) in reserved.iter().enumerate() {
+        assert!(
+            resv < cores_per_pkg,
+            "package {pkg} has {cores_per_pkg} cores but {resv} GPUs to drive"
+        );
+        let usable = cores_per_pkg - resv;
+        capable.push(usable);
+        for core in 0..usable {
+            workers.push(Worker {
+                id: workers.len(),
+                kind: WorkerKind::CpuCore { package: pkg, core },
+            });
+        }
+    }
+    for device in 0..spec.gpu_count {
+        workers.push(Worker {
+            id: workers.len(),
+            kind: WorkerKind::Gpu { device },
+        });
+    }
+    (workers, capable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::PlatformId;
+
+    #[test]
+    fn intel2v100_worker_count() {
+        // 24 cores − 2 driver cores + 2 GPU workers.
+        let spec = PlatformSpec::of(PlatformId::Intel2V100);
+        let (workers, capable) = build_workers(&spec);
+        assert_eq!(workers.len(), 24);
+        assert_eq!(workers.iter().filter(|w| w.is_gpu()).count(), 2);
+        assert_eq!(capable, vec![11, 11]);
+    }
+
+    #[test]
+    fn amd4a100_worker_count() {
+        // 32 cores − 4 driver cores + 4 GPU workers.
+        let spec = PlatformSpec::of(PlatformId::Amd4A100);
+        let (workers, capable) = build_workers(&spec);
+        assert_eq!(workers.len(), 32);
+        assert_eq!(workers.iter().filter(|w| w.is_gpu()).count(), 4);
+        assert_eq!(capable, vec![28]);
+    }
+
+    #[test]
+    fn amd2a100_worker_count() {
+        // 64 cores − 2 driver cores + 2 GPU workers.
+        let spec = PlatformSpec::of(PlatformId::Amd2A100);
+        let (workers, capable) = build_workers(&spec);
+        assert_eq!(workers.len(), 64);
+        assert_eq!(capable, vec![31, 31]);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let spec = PlatformSpec::of(PlatformId::Amd4A100);
+        let (workers, _) = build_workers(&spec);
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(w.id, i);
+        }
+        // CPU workers come first, GPUs last.
+        assert!(workers.last().unwrap().is_gpu());
+        assert!(!workers.first().unwrap().is_gpu());
+    }
+
+    #[test]
+    fn mem_nodes() {
+        let spec = PlatformSpec::of(PlatformId::Intel2V100);
+        let (workers, _) = build_workers(&spec);
+        for w in &workers {
+            match w.kind {
+                WorkerKind::CpuCore { .. } => assert_eq!(w.mem_node(), MemNode::Host),
+                WorkerKind::Gpu { device } => assert_eq!(w.mem_node(), MemNode::Gpu(device)),
+            }
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        let w = Worker {
+            id: 0,
+            kind: WorkerKind::CpuCore { package: 1, core: 3 },
+        };
+        assert_eq!(w.short_name(), "cpu1.3");
+        let g = Worker {
+            id: 1,
+            kind: WorkerKind::Gpu { device: 2 },
+        };
+        assert_eq!(g.short_name(), "gpu2");
+    }
+}

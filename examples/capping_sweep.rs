@@ -1,0 +1,47 @@
+//! Fig. 1-style single-kernel cap sweep: efficiency / performance / energy
+//! of a one-tile GEMM as the power cap moves from the hardware minimum to
+//! TDP, on each of the paper's three GPU models.
+//!
+//! ```text
+//! cargo run --release --example capping_sweep
+//! ```
+
+use ugpc::capping::{best_point, cap_sweep};
+use ugpc::prelude::*;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    for model in [GpuModel::V100Pcie32, GpuModel::A100Pcie40, GpuModel::A100Sxm4_40] {
+        for precision in [Precision::Double, Precision::Single] {
+            let sweep = cap_sweep(model, 5120, precision, 0.04);
+            let best = best_point(&sweep);
+            let max_eff = best.efficiency;
+            println!("\n{model} / {precision} GEMM 5120 — efficiency vs power cap");
+            for p in &sweep {
+                let marker = if (p.cap_frac - best.cap_frac).abs() < 1e-9 {
+                    "  <- best"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {:>3.0} % TDP | {:<32} {:>6.1} Gflop/s/W | {:>6.0} Gflop/s{marker}",
+                    p.cap_frac * 100.0,
+                    bar(p.efficiency / max_eff, 32),
+                    p.efficiency,
+                    p.gflops,
+                );
+            }
+            let free = sweep.last().unwrap();
+            println!(
+                "  best cap {:.0} % TDP: {:+.1} % efficiency, {:.1} % slowdown vs uncapped",
+                best.cap_frac * 100.0,
+                (best.efficiency / free.efficiency - 1.0) * 100.0,
+                (1.0 - best.gflops / free.gflops) * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: cap a GPU through the NVML-shaped API, run a tiled GEMM on
+//! the simulated 4×A100 node, and read the paper's three metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ugpc::prelude::*;
+
+fn main() {
+    // A live instance of the paper's 32-AMD-4-A100 node ("chuc-1").
+    let mut node = Node::new(PlatformId::Amd4A100);
+
+    // Talk to it exactly as the paper's tooling talks to NVML.
+    let mut nvml = Nvml::new(node.gpus_mut());
+    println!("devices:");
+    for i in 0..nvml.device_count() {
+        let (min_mw, max_mw) = nvml.power_management_limit_constraints(i).unwrap();
+        println!(
+            "  [{i}] {}  power limit window [{:.0} W, {:.0} W]",
+            nvml.device_name(i).unwrap(),
+            min_mw as f64 / 1e3,
+            max_mw as f64 / 1e3,
+        );
+    }
+    // Cap GPU 3 to 216 W (the paper's P_best for double-precision GEMM).
+    nvml.set_power_management_limit(3, 216_000).unwrap();
+    println!(
+        "\ncapped GPU 3 to {} mW\n",
+        nvml.power_management_limit(3).unwrap()
+    );
+
+    // Run the paper's GEMM (reduced 4× for a fast demo) on the default
+    // configuration and on HHHB (the cap we just chose), via the study API.
+    let base = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+        .scaled_down(4);
+    let hhhh = run_study(&base);
+    let hhhb = run_study(&base.clone().with_gpu_config("HHHB".parse().unwrap()));
+
+    for r in [&hhhh, &hhhb] {
+        println!(
+            "{}  {:>8.0} Gflop/s  {:>9.0} J  {:>6.2} Gflop/s/W   ({} tasks on CPUs, {} on GPUs)",
+            r.gpu_config, r.gflops, r.total_energy_j, r.efficiency_gflops_w, r.cpu_tasks, r.gpu_tasks
+        );
+    }
+    let c = compare(&hhhb, &hhhh);
+    println!(
+        "\nHHHB vs HHHH: perf {:+.2} %, energy {:+.2} %, efficiency {:+.2} %",
+        c.perf_pct, c.energy_pct, c.eff_gain_pct
+    );
+}

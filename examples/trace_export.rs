@@ -1,0 +1,58 @@
+//! Export a run's execution trace for Perfetto / chrome://tracing, plus a
+//! terminal Gantt sketch — the simulator's counterpart to StarPU's FxT
+//! traces.
+//!
+//! ```text
+//! cargo run --release --example trace_export
+//! # then open /tmp/ugpc_trace.json in https://ui.perfetto.dev
+//! ```
+
+use ugpc::linalg::build_potrf;
+use ugpc::prelude::*;
+use ugpc::runtime::{build_workers, chrome_trace, simulate, DataRegistry, SimOptions};
+
+fn main() {
+    let mut node = Node::new(PlatformId::Amd4A100);
+    // Unbalanced caps make the Gantt interesting: two GPUs run slow.
+    ugpc::capping::apply_gpu_caps(
+        &mut node,
+        &"HHLL".parse().unwrap(),
+        OpKind::Potrf,
+        Precision::Double,
+    )
+    .unwrap();
+
+    let mut reg = DataRegistry::new();
+    let op = build_potrf(12, 2880, Precision::Double, &mut reg);
+    let trace = simulate(
+        &mut node,
+        &op.graph,
+        &mut reg,
+        SimOptions {
+            keep_records: true,
+            ..Default::default()
+        },
+    );
+    let (workers, _) = build_workers(node.spec());
+
+    println!(
+        "POTRF 12×2880 under HHLL: {:.2} s, {:.0} J, {} tasks ({} on CPUs)",
+        trace.makespan.value(),
+        trace.total_energy().value(),
+        trace.cpu_tasks + trace.gpu_tasks,
+        trace.cpu_tasks,
+    );
+    println!("\nGantt (last 4 rows are the GPUs; note the capped gpu2/gpu3):\n");
+    let gantt = trace.gantt(&workers, 100);
+    // Print only workers that did something, to keep the demo readable.
+    for line in gantt.lines() {
+        if line.contains('#') || line.contains('+') {
+            println!("{line}");
+        }
+    }
+
+    let json = chrome_trace(&trace, &op.graph, &workers).expect("records kept");
+    let path = "/tmp/ugpc_trace.json";
+    std::fs::write(path, &json).expect("write trace");
+    println!("\nwrote {path} ({} bytes) — open it in https://ui.perfetto.dev", json.len());
+}

@@ -1,0 +1,28 @@
+//! The headline experiment: the full unbalanced-capping ladder
+//! (`LLLL … HHHH … BBBB`) for GEMM and POTRF on the 4-GPU platform, at the
+//! paper's problem sizes.
+//!
+//! ```text
+//! cargo run --release --example unbalanced_capping
+//! ```
+
+use ugpc::experiments::unbalanced::{render, run_ladder};
+use ugpc::prelude::*;
+
+fn main() {
+    for op in [OpKind::Gemm, OpKind::Potrf] {
+        for precision in [Precision::Double, Precision::Single] {
+            let ladder = run_ladder(PlatformId::Amd4A100, op, precision, 1, None);
+            println!("{}", render(&ladder));
+            let best = ladder.best_config();
+            let hhhh = ladder.row(&"H".repeat(4));
+            println!(
+                "best efficiency: {} at {:.2} Gflop/s/W ({:+.2} % vs default, perf {:+.2} %)\n",
+                best.config,
+                best.report.efficiency_gflops_w,
+                (best.report.efficiency_gflops_w / hhhh.report.efficiency_gflops_w - 1.0) * 100.0,
+                best.vs_default.perf_pct,
+            );
+        }
+    }
+}

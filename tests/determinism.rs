@@ -1,0 +1,71 @@
+//! Reproducibility: identical inputs give bit-identical results across
+//! the whole stack, and experiment data serializes losslessly.
+
+use ugpc::prelude::*;
+
+#[test]
+fn studies_are_bit_reproducible() {
+    let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Potrf, Precision::Double)
+        .scaled_down(4)
+        .with_gpu_config("HHBB".parse().unwrap());
+    let a = run_study(&cfg);
+    let b = run_study(&cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn random_scheduler_reproducible_with_seed() {
+    let base = RunConfig::paper(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single)
+        .scaled_down(4);
+    let s1 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 9 }));
+    let s2 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 9 }));
+    assert_eq!(s1, s2);
+    let s3 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 10 }));
+    // A different seed virtually always places differently.
+    assert_ne!(s1.makespan_s, s3.makespan_s);
+}
+
+#[test]
+fn sweeps_are_reproducible() {
+    use ugpc::capping::cap_sweep;
+    let a = cap_sweep(GpuModel::A100Sxm4_40, 4096, Precision::Double, 0.02);
+    let b = cap_sweep(GpuModel::A100Sxm4_40, 4096, Precision::Double, 0.02);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_config_serde_round_trip() {
+    let cfg = RunConfig::paper(PlatformId::Amd2A100, OpKind::Gemm, Precision::Single)
+        .with_gpu_config("HB".parse().unwrap())
+        .with_cpu_cap(0, Watts(100.0));
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: RunConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.n, cfg.n);
+    assert_eq!(back.gpu_config, cfg.gpu_config);
+    assert_eq!(back.cpu_cap, cfg.cpu_cap);
+}
+
+#[test]
+fn run_report_serde_round_trip() {
+    let cfg = RunConfig::paper(PlatformId::Intel2V100, OpKind::Potrf, Precision::Double)
+        .scaled_down(6);
+    let report = run_study(&cfg);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn ladder_data_serializes() {
+    let ladder = ugpc::experiments::run_ladder(
+        PlatformId::Intel2V100,
+        OpKind::Gemm,
+        Precision::Double,
+        6,
+        None,
+    );
+    let json = serde_json::to_string(&ladder).unwrap();
+    assert!(json.contains("\"HH\""));
+    let back: ugpc::experiments::Ladder = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.rows.len(), ladder.rows.len());
+}

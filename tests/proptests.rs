@@ -1,0 +1,211 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use ugpc::hwsim::{DvfsParams, EnergyLedger, Joules, Secs, Watts};
+use ugpc::linalg::{build_potrf, PotrfOp};
+use ugpc::prelude::*;
+use ugpc::runtime::{
+    AccessMode, DataRegistry, KernelKind, NativeExecutor, TaskDesc, TaskGraph,
+};
+
+fn arb_dvfs() -> impl Strategy<Value = DvfsParams> {
+    // Physical parameter ranges; constrain so the knee is interior.
+    (
+        20.0..80.0f64,   // static W
+        100.0..350.0f64, // dynamic W
+        0.70..0.95f64,   // vmin
+        0.05..0.30f64,   // knee depth d: knee = 1 - d
+        0.05..0.40f64,   // x_min
+    )
+        .prop_map(|(s, d, vmin, depth, x_min)| DvfsParams {
+            static_power: Watts(s),
+            dyn_power: Watts(d),
+            vmin,
+            k: (1.0 - vmin) / depth,
+            x_min: x_min.min(1.0 - depth - 0.05).max(0.01),
+        })
+        .prop_filter("valid model", |p| p.validate().is_ok())
+}
+
+proptest! {
+    /// The governor never exceeds the cap (unless pinned at x_min) and is
+    /// monotone in the cap.
+    #[test]
+    fn governor_respects_and_is_monotone(params in arb_dvfs(), caps in proptest::collection::vec(10.0..500.0f64, 2..20)) {
+        let mut sorted = caps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut last_x = 0.0;
+        for c in sorted {
+            let cap = Watts(c);
+            let x = params.freq_for_cap(cap, 1.0);
+            prop_assert!(x >= params.x_min - 1e-12 && x <= 1.0);
+            prop_assert!(x >= last_x - 1e-9, "not monotone");
+            last_x = x;
+            let draw = params.power(x, 1.0);
+            prop_assert!(
+                draw.value() <= cap.value() + 1e-6 || (x - params.x_min).abs() < 1e-9,
+                "draw {draw} over cap {cap} at x={x}"
+            );
+        }
+    }
+
+    /// Below the voltage floor, efficiency is strictly increasing in the
+    /// clock (capping below the knee is a pure loss) — true for every
+    /// physical parameterization.
+    #[test]
+    fn efficiency_increasing_below_knee(params in arb_dvfs()) {
+        let knee = params.knee();
+        let mut last = 0.0;
+        for i in 0..=30 {
+            let x = params.x_min + (knee - params.x_min) * i as f64 / 30.0;
+            let e = params.relative_efficiency(x);
+            prop_assert!(e >= last, "not increasing at x={x}");
+            last = e;
+        }
+    }
+
+    /// When the super-linear branch is steep enough
+    /// (`2·D·Vmin·k·knee² > S`, satisfied by every calibrated model in the
+    /// catalog), the efficiency optimum of a saturating kernel sits
+    /// exactly at the knee.
+    #[test]
+    fn efficiency_peak_at_knee_for_steep_models(
+        params in arb_dvfs().prop_filter("steep", |p| {
+            let knee = p.knee();
+            2.0 * p.dyn_power.value() * p.vmin * p.k * knee * knee
+                > p.static_power.value()
+        })
+    ) {
+        let knee = params.knee();
+        let e_knee = params.relative_efficiency(knee);
+        for i in 0..50 {
+            let x = params.x_min + (1.0 - params.x_min) * (i as f64 + 0.5) / 50.0;
+            prop_assert!(params.relative_efficiency(x) <= e_knee + 1e-12);
+        }
+    }
+
+    /// Every calibrated catalog model satisfies the steepness condition,
+    /// so its sweep optimum is its knee.
+    #[test]
+    fn catalog_models_are_steep(idx in 0usize..3, dp in proptest::bool::ANY) {
+        let model = GpuModel::ALL[idx];
+        let spec = ugpc::hwsim::GpuSpec::of(model);
+        let p = spec.dvfs.get(if dp { Precision::Double } else { Precision::Single });
+        let knee = p.knee();
+        prop_assert!(
+            2.0 * p.dyn_power.value() * p.vmin * p.k * knee * knee
+                > p.static_power.value(),
+            "{model}: calibrated model not knee-optimal"
+        );
+    }
+
+    /// Energy ledger: total energy equals busy + idle integration, and is
+    /// monotone in the query time.
+    #[test]
+    fn ledger_integration(
+        idle in 0.0..100.0f64,
+        intervals in proptest::collection::vec((0.0..10.0f64, 0.0..5.0f64, 1.0..400.0f64), 0..20),
+    ) {
+        let mut ledger = EnergyLedger::new(Watts(idle));
+        let mut t = 0.0;
+        let mut busy_e = 0.0;
+        let mut busy_t = 0.0;
+        for (gap, dur, w) in intervals {
+            let start = t + gap;
+            let end = start + dur;
+            ledger.record(Secs(start), Secs(end), Watts(w));
+            busy_e += w * dur;
+            busy_t += dur;
+            t = end;
+        }
+        let horizon = t + 1.0;
+        let total = ledger.energy_until(Secs(horizon));
+        let expect = busy_e + idle * (horizon - busy_t);
+        prop_assert!((total.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        let later = ledger.energy_until(Secs(horizon + 5.0));
+        prop_assert!(later.value() >= total.value() - 1e-9);
+    }
+
+    /// Dependency inference: for any random sequence of accesses, the
+    /// native executor runs each task exactly once, after its
+    /// predecessors, and data-conflicting tasks are ordered.
+    #[test]
+    fn random_graphs_execute_correctly(
+        accesses in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, 0u8..3), 1..4),
+            1..40,
+        ),
+        threads in 1usize..5,
+    ) {
+        let mut g = TaskGraph::new();
+        for task_accesses in &accesses {
+            let mut t = TaskDesc::new(KernelKind::Gemm, Precision::Double, 4);
+            let mut seen = std::collections::HashSet::new();
+            for &(data, mode) in task_accesses {
+                if !seen.insert(data) {
+                    continue; // one access per handle per task
+                }
+                let mode = match mode {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    _ => AccessMode::ReadWrite,
+                };
+                t = t.access(data, mode);
+            }
+            g.submit(t);
+        }
+        let n = g.len();
+        let done: Vec<std::sync::atomic::AtomicBool> =
+            (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        let stats = NativeExecutor::new(threads).execute(&g, |t, _| {
+            for &p in g.predecessors(t) {
+                assert!(done[p].load(std::sync::atomic::Ordering::SeqCst));
+            }
+            done[t].store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        prop_assert_eq!(stats.executed, n);
+    }
+
+    /// The simulator conserves sanity for arbitrary small GEMM problems:
+    /// energy ≥ idle floor, perf > 0, every task placed.
+    #[test]
+    fn simulation_invariants(nt in 2usize..5, seed in 0u64..3) {
+        let _ = seed;
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let mut reg = DataRegistry::new();
+        let op = ugpc::linalg::build_gemm(nt, 512, Precision::Double, &mut reg);
+        let trace = ugpc::runtime::simulate(
+            &mut node, &op.graph, &mut reg, ugpc::runtime::SimOptions::default(),
+        );
+        prop_assert_eq!(trace.cpu_tasks + trace.gpu_tasks, nt * nt * nt);
+        prop_assert!(trace.makespan > Secs::ZERO);
+        // Whole-node idle floor: 4 GPUs + 1 CPU uncore.
+        let floor = (4.0 * 50.0 + 60.0) * trace.makespan.value();
+        prop_assert!(trace.total_energy() > Joules(floor * 0.99));
+        // Efficiency bounded by peak/min-power.
+        prop_assert!(trace.efficiency().as_gflops_per_watt() < 200.0);
+    }
+
+    /// POTRF task-count formulas hold for arbitrary tile counts.
+    #[test]
+    fn potrf_formulas(nt in 1usize..15) {
+        let mut reg = DataRegistry::new();
+        let op = build_potrf(nt, 4, Precision::Single, &mut reg);
+        prop_assert_eq!(op.graph.len(), PotrfOp::expected_tasks(nt));
+        prop_assert_eq!(op.graph.count_kind(KernelKind::Gemm), PotrfOp::expected_gemms(nt));
+        if nt > 1 {
+            prop_assert_eq!(op.graph.edge_count(), PotrfOp::expected_edges(nt));
+        }
+    }
+
+    /// Cap configuration strings round-trip.
+    #[test]
+    fn cap_config_round_trip(levels in proptest::collection::vec(0u8..3, 1..8)) {
+        let s: String = levels
+            .iter()
+            .map(|l| match l { 0 => 'H', 1 => 'B', _ => 'L' })
+            .collect();
+        let parsed: CapConfig = s.parse().unwrap();
+        prop_assert_eq!(parsed.to_string(), s);
+    }
+}
