@@ -1,0 +1,32 @@
+//! # ugpc-analysis — static analysis for the ugpc stack
+//!
+//! Three layers of checking, from graph semantics down to source hygiene:
+//!
+//! 1. **Graph linter** ([`lint`] / [`lint_with`]): re-derives the
+//!    RAW/WAW/WAR hazard edges every task graph must contain from its
+//!    declared `(DataId, AccessMode)` lists — independently of the
+//!    runtime's own inference — and diffs them against the edges actually
+//!    present. Missing hazard edges are classified as true races (no
+//!    ordering path at all) or missing-direct-edge warnings (transitively
+//!    still ordered); structural invariants (topological edges, sorted
+//!    symmetric adjacency, registered handles) are re-checked rather than
+//!    trusted. See [`lint::LintReport`].
+//! 2. **Parallelism report** ([`parallelism::analyze`]): work/span
+//!    summary of the DAG shape (critical path, max width, per-kind
+//!    counts), printed by `repro --validate` alongside the findings.
+//! 3. **Source lint** (`ugpc-lint` binary): scans the workspace for raw
+//!    `f64` declarations named after physical quantities where the
+//!    `ugpc_hwsim::units` newtypes should be used; part of the CI gate.
+//!
+//! The runtime's complementary *dynamic* checks (virtual-time
+//! monotonicity, replica coherence, memory accounting, energy
+//! conservation) live behind `ugpc-runtime`'s `sanitize` feature, which
+//! this crate forwards.
+
+pub mod lint;
+pub mod parallelism;
+pub mod reach;
+
+pub use lint::{lint, lint_with, Finding, FindingKind, Hazard, LintOptions, LintReport, Severity};
+pub use parallelism::{analyze, KindCount, ParallelismReport};
+pub use reach::Reachability;

@@ -1,0 +1,410 @@
+//! Task-graph hazard linter.
+//!
+//! The runtime's [`TaskGraph::submit`] infers RAW/WAW/WAR edges from each
+//! task's declared `(DataId, AccessMode)` list under sequential
+//! consistency — StarPU's implicit data-dependency model. This module
+//! re-derives that hazard set *independently* from the same declarations
+//! and diffs it against the edges actually present, so corruption
+//! anywhere between submission and execution (a buggy graph transform, an
+//! explicit-edge API misuse, a scheduler mutating adjacency) surfaces as
+//! a finding instead of a silently wrong answer.
+//!
+//! Findings are two-tier on purpose:
+//!
+//! * [`FindingKind::Race`] (error) — a hazard edge `u → v` is missing
+//!   **and no other path orders `u` before `v`**. The two tasks can run
+//!   concurrently on conflicting accesses: a true race.
+//! * [`FindingKind::MissingDirectEdge`] (warning) — the direct edge is
+//!   missing but a transitive path still orders the pair. Execution is
+//!   correct today, but the graph no longer documents the data flow and
+//!   is one more deletion away from a race.
+//!
+//! The structural pass additionally re-checks invariants the graph type
+//! maintains by construction (sorted adjacency, no forward edges,
+//! succs/preds symmetry) — the linter deliberately does not trust them,
+//! since its job is auditing graphs that may have been corrupted.
+
+use crate::parallelism::{analyze, ParallelismReport};
+use crate::reach::Reachability;
+use serde::Serialize;
+use std::collections::HashMap;
+use ugpc_runtime::{DataId, DataRegistry, TaskGraph, TaskId};
+
+/// Which hazard a dependency edge enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Hazard {
+    /// Read-after-write: reader depends on the last writer.
+    Raw,
+    /// Write-after-write: writer depends on the last writer.
+    Waw,
+    /// Write-after-read: writer depends on every reader since the write.
+    War,
+}
+
+impl Hazard {
+    pub fn name(self) -> &'static str {
+        match self {
+            Hazard::Raw => "RAW",
+            Hazard::Waw => "WAW",
+            Hazard::War => "WAR",
+        }
+    }
+}
+
+/// Finding severity; [`LintReport::is_clean`] tolerates only `Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+/// What the linter found.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FindingKind {
+    /// A hazard edge is missing and nothing else orders the pair.
+    Race {
+        from: TaskId,
+        to: TaskId,
+        data: DataId,
+        hazard: Hazard,
+    },
+    /// A hazard edge is missing but a transitive path still orders it.
+    MissingDirectEdge {
+        from: TaskId,
+        to: TaskId,
+        data: DataId,
+        hazard: Hazard,
+    },
+    /// A task declares a `DataId` absent from the registry.
+    UnregisteredData { task: TaskId, data: DataId },
+    /// An edge violates submission (= topological) order.
+    ForwardEdge { from: TaskId, to: TaskId },
+    /// An edge present in one adjacency direction but not the other.
+    AdjacencyMismatch { from: TaskId, to: TaskId },
+    /// An adjacency list is not sorted strictly ascending.
+    UnsortedAdjacency { task: TaskId, list: String },
+    /// An explicit edge implied by a longer path (exact mode only).
+    RedundantTransitiveEdge { from: TaskId, to: TaskId },
+    /// A task lists the same handle more than once.
+    DuplicateAccess { task: TaskId, data: DataId },
+}
+
+impl FindingKind {
+    pub fn severity(&self) -> Severity {
+        match self {
+            FindingKind::Race { .. }
+            | FindingKind::UnregisteredData { .. }
+            | FindingKind::ForwardEdge { .. }
+            | FindingKind::AdjacencyMismatch { .. } => Severity::Error,
+            FindingKind::MissingDirectEdge { .. } | FindingKind::UnsortedAdjacency { .. } => {
+                Severity::Warning
+            }
+            FindingKind::RedundantTransitiveEdge { .. } | FindingKind::DuplicateAccess { .. } => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Finding {
+    pub severity: Severity,
+    pub kind: FindingKind,
+}
+
+impl Finding {
+    fn new(kind: FindingKind) -> Self {
+        Finding {
+            severity: kind.severity(),
+            kind,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        };
+        match &self.kind {
+            FindingKind::Race {
+                from,
+                to,
+                data,
+                hazard,
+            } => write!(
+                f,
+                "[{tag}] race: tasks {from} and {to} conflict on data {data} ({}) \
+                 with no dependency path ordering them",
+                hazard.name()
+            ),
+            FindingKind::MissingDirectEdge {
+                from,
+                to,
+                data,
+                hazard,
+            } => write!(
+                f,
+                "[{tag}] missing direct edge {from} -> {to} for data {data} ({}); \
+                 a transitive path still orders the pair",
+                hazard.name()
+            ),
+            FindingKind::UnregisteredData { task, data } => write!(
+                f,
+                "[{tag}] task {task} accesses data {data}, which is not in the registry"
+            ),
+            FindingKind::ForwardEdge { from, to } => write!(
+                f,
+                "[{tag}] edge {from} -> {to} violates submission (topological) order"
+            ),
+            FindingKind::AdjacencyMismatch { from, to } => write!(
+                f,
+                "[{tag}] edge {from} -> {to} present in one adjacency direction only"
+            ),
+            FindingKind::UnsortedAdjacency { task, list } => write!(
+                f,
+                "[{tag}] task {task}: {list} list is not sorted strictly ascending"
+            ),
+            FindingKind::RedundantTransitiveEdge { from, to } => write!(
+                f,
+                "[{tag}] explicit edge {from} -> {to} is implied by a longer path"
+            ),
+            FindingKind::DuplicateAccess { task, data } => {
+                write!(f, "[{tag}] task {task} lists data {data} more than once")
+            }
+        }
+    }
+}
+
+/// Linter knobs.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Largest task count for which ancestor bitsets are precomputed;
+    /// beyond it path queries fall back to per-query BFS and
+    /// redundant-edge analysis is skipped.
+    pub exact_limit: usize,
+    /// Report explicit edges implied by longer paths (exact mode only).
+    pub redundant_edges: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            // 4096 tasks → 2 MiB of bitsets: negligible, and covers every
+            // graph the experiments build at validation sizes.
+            exact_limit: 4096,
+            redundant_edges: true,
+        }
+    }
+}
+
+/// The linter's output: findings (most severe first) plus the DAG shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub parallelism: ParallelismReport,
+    /// Whether exact (bitset) reachability was used.
+    pub exact: bool,
+}
+
+impl LintReport {
+    /// No findings at `Warning` or above. `Info` findings (redundant
+    /// edges, duplicate accesses) do not fail a build.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| f.severity >= Severity::Warning)
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "graph lint: {} error(s), {} warning(s), {} info ({} reachability)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            if self.exact { "exact" } else { "bfs" },
+        )?;
+        const MAX_SHOWN: usize = 50;
+        for finding in self.findings.iter().take(MAX_SHOWN) {
+            writeln!(f, "  {finding}")?;
+        }
+        if self.findings.len() > MAX_SHOWN {
+            writeln!(f, "  ... and {} more", self.findings.len() - MAX_SHOWN)?;
+        }
+        write!(f, "  {}", self.parallelism)
+    }
+}
+
+/// Replay [`TaskGraph::submit`]'s inference over the declared accesses,
+/// producing the hazard edges the graph *should* contain. The replay
+/// mirrors submit exactly, including its quirks: per-pair deduplication
+/// (first hazard recorded wins) and in-order processing of a task's
+/// access list when it names the same handle twice.
+fn expected_hazards(graph: &TaskGraph) -> HashMap<(TaskId, TaskId), (DataId, Hazard)> {
+    let mut expected: HashMap<(TaskId, TaskId), (DataId, Hazard)> = HashMap::new();
+    let mut last_writer: HashMap<DataId, TaskId> = HashMap::new();
+    let mut readers_since_write: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+
+    for (id, task) in graph.tasks().iter().enumerate() {
+        for &(data, mode) in &task.data {
+            if mode.reads() {
+                if let Some(&w) = last_writer.get(&data) {
+                    expected.entry((w, id)).or_insert((data, Hazard::Raw));
+                }
+            }
+            if mode.writes() {
+                if let Some(&w) = last_writer.get(&data) {
+                    expected.entry((w, id)).or_insert((data, Hazard::Waw));
+                }
+                if let Some(readers) = readers_since_write.get(&data) {
+                    for &r in readers {
+                        expected.entry((r, id)).or_insert((data, Hazard::War));
+                    }
+                }
+            }
+        }
+        for &(data, mode) in &task.data {
+            if mode.writes() {
+                last_writer.insert(data, id);
+                readers_since_write.insert(data, Vec::new());
+            } else {
+                readers_since_write.entry(data).or_default().push(id);
+            }
+        }
+    }
+    expected
+}
+
+/// Lint with default [`LintOptions`].
+pub fn lint(graph: &TaskGraph, registry: &DataRegistry) -> LintReport {
+    lint_with(graph, registry, &LintOptions::default())
+}
+
+/// Lint a task graph against the data registry it was built over.
+pub fn lint_with(graph: &TaskGraph, registry: &DataRegistry, opts: &LintOptions) -> LintReport {
+    let n = graph.len();
+    let mut findings: Vec<Finding> = Vec::new();
+    let reach = Reachability::build(graph, opts.exact_limit);
+
+    // --- Structural pass: adjacency invariants -------------------------
+    for id in 0..n {
+        for (list, name, forward_ok) in [
+            (graph.successors(id), "successor", false),
+            (graph.predecessors(id), "predecessor", true),
+        ] {
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                findings.push(Finding::new(FindingKind::UnsortedAdjacency {
+                    task: id,
+                    list: name.to_string(),
+                }));
+            }
+            for &other in list {
+                let (from, to) = if forward_ok { (other, id) } else { (id, other) };
+                if from >= to {
+                    findings.push(Finding::new(FindingKind::ForwardEdge { from, to }));
+                    continue;
+                }
+                let mirrored = if forward_ok {
+                    graph.successors(other).contains(&id)
+                } else {
+                    graph.predecessors(other).contains(&id)
+                };
+                if !mirrored {
+                    findings.push(Finding::new(FindingKind::AdjacencyMismatch { from, to }));
+                }
+            }
+        }
+    }
+    // An edge present in both directions is checked twice above; dedupe
+    // the mismatch/forward findings it can produce in duplicate.
+    findings.dedup();
+
+    // --- Data pass: registry audit and duplicate accesses --------------
+    for (id, task) in graph.tasks().iter().enumerate() {
+        for (i, &(data, _)) in task.data.iter().enumerate() {
+            if registry.try_bytes(data).is_err() && !task.data[..i].iter().any(|&(d, _)| d == data)
+            {
+                findings.push(Finding::new(FindingKind::UnregisteredData {
+                    task: id,
+                    data,
+                }));
+            }
+            // Flag at the second occurrence only: one finding per pair.
+            if task.data[..i].iter().filter(|&&(d, _)| d == data).count() == 1 {
+                findings.push(Finding::new(FindingKind::DuplicateAccess {
+                    task: id,
+                    data,
+                }));
+            }
+        }
+    }
+
+    // --- Hazard pass: expected vs actual edges -------------------------
+    let expected = expected_hazards(graph);
+    let mut missing: Vec<(TaskId, TaskId, DataId, Hazard)> = expected
+        .iter()
+        .filter(|((from, _), _)| *from < n)
+        .filter(|((from, to), _)| !graph.successors(*from).contains(to))
+        .map(|(&(from, to), &(data, hazard))| (from, to, data, hazard))
+        .collect();
+    missing.sort_unstable_by_key(|&(from, to, ..)| (from, to));
+    for (from, to, data, hazard) in missing {
+        let kind = if reach.has_path(graph, from, to) {
+            FindingKind::MissingDirectEdge {
+                from,
+                to,
+                data,
+                hazard,
+            }
+        } else {
+            FindingKind::Race {
+                from,
+                to,
+                data,
+                hazard,
+            }
+        };
+        findings.push(Finding::new(kind));
+    }
+
+    // --- Redundancy pass (exact mode): explicit edges adding nothing ---
+    // Hazard edges submit itself inferred are exempt — they document the
+    // data flow even when a longer path also orders the pair.
+    if opts.redundant_edges && reach.is_exact() {
+        for from in 0..n {
+            for &to in graph.successors(from) {
+                if from < to
+                    && !expected.contains_key(&(from, to))
+                    && reach.edge_is_redundant(graph, from, to) == Some(true)
+                {
+                    findings.push(Finding::new(FindingKind::RedundantTransitiveEdge {
+                        from,
+                        to,
+                    }));
+                }
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    LintReport {
+        findings,
+        parallelism: analyze(graph),
+        exact: reach.is_exact(),
+    }
+}

@@ -1,0 +1,148 @@
+//! Structural parallelism report over a task graph.
+//!
+//! Summarises the shape the scheduler has to work with: the critical path
+//! (lower bound on parallel steps), the widest antichain by depth level
+//! (peak exploitable parallelism), and the average parallelism
+//! `tasks / critical_path` — the classic work/span ratio that tells you
+//! how many workers the DAG can keep busy. The `repro --validate` gate
+//! prints this next to the hazard findings so a graph-construction bug
+//! that *orders too much* (correct but serial) is as visible as one that
+//! orders too little (racy).
+
+use serde::Serialize;
+use ugpc_runtime::{KernelKind, TaskGraph};
+
+/// Task count of one kernel kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct KindCount {
+    pub kind: String,
+    pub count: usize,
+}
+
+/// DAG shape summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelismReport {
+    /// Total tasks.
+    pub tasks: usize,
+    /// Total dependency edges.
+    pub edges: usize,
+    /// Tasks with no predecessors.
+    pub roots: usize,
+    /// Longest path, in tasks (the span).
+    pub critical_path: usize,
+    /// Largest number of tasks sharing one depth level.
+    pub max_width: usize,
+    /// Work/span ratio: `tasks / critical_path`.
+    pub avg_parallelism: f64,
+    /// Task counts per kernel kind (kinds with zero tasks omitted).
+    pub per_kind: Vec<KindCount>,
+}
+
+/// Compute the report in one topological sweep (submission order).
+pub fn analyze(graph: &TaskGraph) -> ParallelismReport {
+    let n = graph.len();
+    let mut depth = vec![0usize; n];
+    for id in 0..n {
+        depth[id] = graph
+            .predecessors(id)
+            .iter()
+            .map(|&p| if p < id { depth[p] + 1 } else { 0 })
+            .max()
+            .unwrap_or(0);
+    }
+    let critical_path = depth.iter().max().map_or(0, |&d| d + 1);
+    let mut width = vec![0usize; critical_path];
+    for &d in &depth {
+        width[d] += 1;
+    }
+    let max_width = width.iter().copied().max().unwrap_or(0);
+    let avg_parallelism = if critical_path == 0 {
+        0.0
+    } else {
+        n as f64 / critical_path as f64
+    };
+    let per_kind = KernelKind::ALL
+        .iter()
+        .filter_map(|&k| {
+            let count = graph.count_kind(k);
+            (count > 0).then(|| KindCount {
+                kind: k.name().to_string(),
+                count,
+            })
+        })
+        .collect();
+    ParallelismReport {
+        tasks: n,
+        edges: graph.edge_count(),
+        roots: graph.roots().len(),
+        critical_path,
+        max_width,
+        avg_parallelism,
+        per_kind,
+    }
+}
+
+impl std::fmt::Display for ParallelismReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} edges, {} roots | critical path {} | max width {} | avg parallelism {:.2}",
+            self.tasks, self.edges, self.roots, self.critical_path, self.max_width,
+            self.avg_parallelism
+        )?;
+        if !self.per_kind.is_empty() {
+            write!(f, " | ")?;
+            for (i, kc) in self.per_kind.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}", kc.kind, kc.count)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::Precision;
+    use ugpc_runtime::{AccessMode, TaskDesc};
+
+    fn task(kind: KernelKind, data: &[(usize, AccessMode)]) -> TaskDesc {
+        let mut t = TaskDesc::new(kind, Precision::Double, 8);
+        for &(d, m) in data {
+            t = t.access(d, m);
+        }
+        t
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        // 1 writer → 4 readers → 1 writer: span 3, width 4.
+        let mut g = TaskGraph::new();
+        g.submit(task(KernelKind::Potrf, &[(0, AccessMode::Write)]));
+        for _ in 0..4 {
+            g.submit(task(KernelKind::Gemm, &[(0, AccessMode::Read)]));
+        }
+        g.submit(task(KernelKind::Syrk, &[(0, AccessMode::ReadWrite)]));
+        let r = analyze(&g);
+        assert_eq!(r.tasks, 6);
+        assert_eq!(r.roots, 1);
+        assert_eq!(r.critical_path, 3);
+        assert_eq!(r.max_width, 4);
+        assert!((r.avg_parallelism - 2.0).abs() < 1e-12);
+        assert_eq!(r.per_kind.len(), 3);
+        let gemm = r.per_kind.iter().find(|k| k.kind == "gemm");
+        assert_eq!(gemm.map(|k| k.count), Some(4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = analyze(&TaskGraph::new());
+        assert_eq!(r.tasks, 0);
+        assert_eq!(r.critical_path, 0);
+        assert_eq!(r.avg_parallelism, 0.0);
+        assert!(r.per_kind.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Reachability queries over a task graph.
+//!
+//! The linter needs two questions answered: *is there any dependency path
+//! from `u` to `v`* (a missing hazard edge is only a race when there is
+//! none), and *is a direct edge transitively implied by another path*
+//! (redundant-edge reporting).
+//!
+//! For graphs up to [`Reachability::build`]'s `exact_limit` tasks we
+//! precompute per-task ancestor bitsets in one topological sweep —
+//! submission order *is* the topological order, so a single forward pass
+//! suffices and every query afterwards is O(1). Beyond the limit the
+//! bitsets would cost O(n²) bits, so we fall back to an on-demand
+//! backward BFS per query; path queries stay exact but redundancy
+//! analysis is skipped (it would be O(edges) BFS runs).
+
+use ugpc_runtime::{TaskGraph, TaskId};
+
+const WORD: usize = 64;
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / WORD] & (1u64 << (i % WORD)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / WORD] |= 1u64 << (i % WORD);
+}
+
+/// Precomputed (or on-demand) reachability over one graph.
+pub struct Reachability {
+    /// `anc[v]` = bitset of all strict ancestors of `v`, when the graph is
+    /// small enough for the exact mode.
+    anc: Option<Vec<Vec<u64>>>,
+}
+
+impl Reachability {
+    /// Build the ancestor sets if the graph has at most `exact_limit`
+    /// tasks; otherwise construct the BFS-fallback handle.
+    pub fn build(graph: &TaskGraph, exact_limit: usize) -> Self {
+        let n = graph.len();
+        if n > exact_limit {
+            return Reachability { anc: None };
+        }
+        let words = n.div_ceil(WORD).max(1);
+        let mut anc: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for id in 0..n {
+            let mut set = vec![0u64; words];
+            for &p in graph.predecessors(id) {
+                // Ill-formed forward edges are reported by the linter's
+                // structural pass; skipping them here keeps the sweep a
+                // well-defined fixpoint regardless.
+                if p < id {
+                    for (w, pw) in set.iter_mut().zip(&anc[p]) {
+                        *w |= *pw;
+                    }
+                    bit_set(&mut set, p);
+                }
+            }
+            anc.push(set);
+        }
+        Reachability { anc: Some(anc) }
+    }
+
+    /// Whether ancestor bitsets were computed (enables redundancy queries).
+    pub fn is_exact(&self) -> bool {
+        self.anc.is_some()
+    }
+
+    /// Is there a dependency path `from → … → to` of length ≥ 1?
+    pub fn has_path(&self, graph: &TaskGraph, from: TaskId, to: TaskId) -> bool {
+        if from >= to {
+            // Submission order is topological: paths only go forward.
+            return false;
+        }
+        if let Some(anc) = &self.anc {
+            return bit_get(&anc[to], from);
+        }
+        // Backward BFS from `to`; ids below `from` can never reach it.
+        let mut seen = vec![false; graph.len()];
+        let mut stack = vec![to];
+        while let Some(v) = stack.pop() {
+            for &p in graph.predecessors(v) {
+                if p == from {
+                    return true;
+                }
+                if p > from && !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Is the direct edge `from → to` also implied by a longer path
+    /// (i.e. removable without changing the partial order)? `None` when
+    /// the graph was too large for exact mode.
+    pub fn edge_is_redundant(&self, graph: &TaskGraph, from: TaskId, to: TaskId) -> Option<bool> {
+        let anc = self.anc.as_ref()?;
+        // A longer path must enter `to` through some other predecessor
+        // `w`; it exists iff `from` is an ancestor of such a `w`.
+        Some(
+            graph
+                .predecessors(to)
+                .iter()
+                .any(|&w| w != from && w < graph.len() && bit_get(&anc[w], from)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::Precision;
+    use ugpc_runtime::{KernelKind, TaskDesc};
+
+    fn diamond() -> TaskGraph {
+        // 0 → {1, 2} → 3, plus the redundant direct edge 0 → 3.
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.submit(TaskDesc::new(KernelKind::Gemm, Precision::Double, 4));
+        }
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        g
+    }
+
+    #[test]
+    fn exact_and_bfs_agree_on_paths() {
+        let g = diamond();
+        let exact = Reachability::build(&g, 1024);
+        let bfs = Reachability::build(&g, 0); // force fallback
+        assert!(exact.is_exact());
+        assert!(!bfs.is_exact());
+        for from in 0..4 {
+            for to in 0..4 {
+                assert_eq!(
+                    exact.has_path(&g, from, to),
+                    bfs.has_path(&g, from, to),
+                    "disagree on {from} -> {to}"
+                );
+            }
+        }
+        assert!(exact.has_path(&g, 0, 3));
+        assert!(!exact.has_path(&g, 1, 2));
+        assert!(!exact.has_path(&g, 3, 0));
+    }
+
+    #[test]
+    fn redundancy_detects_shortcut_edge() {
+        let g = diamond();
+        let r = Reachability::build(&g, 1024);
+        assert_eq!(r.edge_is_redundant(&g, 0, 3), Some(true));
+        assert_eq!(r.edge_is_redundant(&g, 0, 1), Some(false));
+        assert_eq!(r.edge_is_redundant(&g, 1, 3), Some(false));
+        let bfs = Reachability::build(&g, 0);
+        assert_eq!(bfs.edge_is_redundant(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn empty_graph_is_harmless() {
+        let g = TaskGraph::new();
+        let r = Reachability::build(&g, 16);
+        assert!(r.is_exact());
+    }
+}

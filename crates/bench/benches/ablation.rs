@@ -1,6 +1,10 @@
 //! Ablation benches: the scheduler zoo under unbalanced caps, and the
 //! dynamic-capping controller versus the static oracle.
 
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ugpc_capping::run_dynamic;
@@ -15,9 +19,15 @@ fn bench(c: &mut Criterion) {
     let d = ablation::run_dynamic_ablation();
     println!("{}", ablation::render_dynamic(&d));
     let stale = ugpc_experiments::ext_models::run_stale_ablation(2);
-    println!("{}", ugpc_experiments::ext_models::render("Stale-model ablation", &stale));
+    println!(
+        "{}",
+        ugpc_experiments::ext_models::render("Stale-model ablation", &stale)
+    );
     let noise = ugpc_experiments::ext_models::run_noise_ablation(2);
-    println!("{}", ugpc_experiments::ext_models::render("Calibration-noise ablation", &noise));
+    println!(
+        "{}",
+        ugpc_experiments::ext_models::render("Calibration-noise ablation", &noise)
+    );
 
     let mut group = c.benchmark_group("ablation_schedulers");
     group.sample_size(10);

@@ -2,6 +2,10 @@
 //! Prints the regenerated best-efficiency points, then benchmarks the
 //! sweep machinery.
 
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ugpc_capping::{best_point, cap_sweep};
@@ -30,17 +34,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_cap_sweep");
     for &size in &[1024usize, 5120] {
         for precision in Precision::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(precision.short(), size),
-                &size,
-                |b, &n| {
-                    b.iter(|| {
-                        let sweep =
-                            cap_sweep(GpuModel::A100Sxm4_40, black_box(n), precision, 0.02);
-                        black_box(best_point(&sweep).efficiency)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(precision.short(), size), &size, |b, &n| {
+                b.iter(|| {
+                    let sweep = cap_sweep(GpuModel::A100Sxm4_40, black_box(n), precision, 0.02);
+                    black_box(best_point(&sweep).efficiency)
+                })
+            });
         }
     }
     group.finish();

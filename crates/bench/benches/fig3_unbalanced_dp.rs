@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
             &platform,
             |b, &pf| {
                 b.iter(|| {
-                    black_box(run_ladder(pf, OpKind::Gemm, Precision::Double, 4, None).rows.len())
+                    black_box(
+                        run_ladder(pf, OpKind::Gemm, Precision::Double, 4, None)
+                            .rows
+                            .len(),
+                    )
                 })
             },
         );

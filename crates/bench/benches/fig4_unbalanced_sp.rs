@@ -8,28 +8,36 @@ use ugpc_hwsim::{OpKind, PlatformId, Precision};
 fn bench(c: &mut Criterion) {
     // The paper's noteworthy sp result: LL == BB on 64-AMD-2-A100 and
     // both beat the default.
-    let ladder = run_ladder(PlatformId::Amd2A100, OpKind::Gemm, Precision::Single, 1, None);
+    let ladder = run_ladder(
+        PlatformId::Amd2A100,
+        OpKind::Gemm,
+        Precision::Single,
+        1,
+        None,
+    );
     println!("\n=== Fig. 4 (regenerated, noteworthy subplot) ===");
     println!("{}", render(&ladder));
-    let sxm4 = run_ladder(PlatformId::Amd4A100, OpKind::Gemm, Precision::Single, 1, None);
+    let sxm4 = run_ladder(
+        PlatformId::Amd4A100,
+        OpKind::Gemm,
+        Precision::Single,
+        1,
+        None,
+    );
     println!("{}", render(&sxm4));
 
     let mut group = c.benchmark_group("fig4_unbalanced_sp");
     group.sample_size(10);
     for op in OpKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("sxm4_ladder", op.name()),
-            &op,
-            |b, &op| {
-                b.iter(|| {
-                    black_box(
-                        run_ladder(PlatformId::Amd4A100, op, Precision::Single, 4, None)
-                            .rows
-                            .len(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sxm4_ladder", op.name()), &op, |b, &op| {
+            b.iter(|| {
+                black_box(
+                    run_ladder(PlatformId::Amd4A100, op, Precision::Single, 4, None)
+                        .rows
+                        .len(),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -2,6 +2,10 @@
 //! (32-AMD-4-A100 GEMM dp across its three tile sizes), then benchmarks
 //! per-tile-size runs.
 
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ugpc_core::{run_study, RunConfig};
@@ -16,7 +20,10 @@ fn bench(c: &mut Criterion) {
                 .with_tile(nb)
                 .with_gpu_config(config.parse().unwrap());
             let r = run_study(&cfg);
-            println!("Nt={nb:<5} {config}: {:.2} Gflop/s/W", r.efficiency_gflops_w);
+            println!(
+                "Nt={nb:<5} {config}: {:.2} Gflop/s/W",
+                r.efficiency_gflops_w
+            );
         }
     }
 

@@ -2,6 +2,10 @@
 //! native work-stealing executor, the virtual-time simulator, and DAG
 //! construction — the costs a downstream user of the library pays.
 
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use ugpc_hwsim::{Node, PlatformId, Precision};
@@ -82,18 +86,32 @@ fn graph_construction(c: &mut Criterion) {
     group.bench_function("potrf_nt60", |b| {
         b.iter(|| {
             let mut reg = DataRegistry::new();
-            black_box(build_potrf(60, 2880, Precision::Double, &mut reg).graph.len())
+            black_box(
+                build_potrf(60, 2880, Precision::Double, &mut reg)
+                    .graph
+                    .len(),
+            )
         })
     });
     group.throughput(Throughput::Elements(13usize.pow(3) as u64));
     group.bench_function("gemm_nt13", |b| {
         b.iter(|| {
             let mut reg = DataRegistry::new();
-            black_box(build_gemm(13, 5760, Precision::Double, &mut reg).graph.len())
+            black_box(
+                build_gemm(13, 5760, Precision::Double, &mut reg)
+                    .graph
+                    .len(),
+            )
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, tile_kernels, native_executor, simulator, graph_construction);
+criterion_group!(
+    benches,
+    tile_kernels,
+    native_executor,
+    simulator,
+    graph_construction
+);
 criterion_main!(benches);

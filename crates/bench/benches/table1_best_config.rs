@@ -35,9 +35,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(model.name()),
             &model,
-            |b, &m| {
-                b.iter(|| black_box(table_i_row(m, Precision::Double, &SIZES)))
-            },
+            |b, &m| b.iter(|| black_box(table_i_row(m, Precision::Double, &SIZES))),
         );
     }
     group.finish();

@@ -104,7 +104,8 @@ pub fn run_dynamic(
         history.push((cap, eff));
         let next = ctl.observe(eff);
         // Apply through the device's constraint-checked setter.
-        gpu.set_power_limit(next).expect("controller stayed in range");
+        gpu.set_power_limit(next)
+            .expect("controller stayed in range");
     }
     let (final_cap, final_efficiency) = *history.last().expect("epochs > 0");
     DynamicRun {

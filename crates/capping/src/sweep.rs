@@ -6,9 +6,7 @@
 //! and we record time, average power, energy and efficiency.
 
 use serde::{Deserialize, Serialize};
-use ugpc_hwsim::{
-    run_kernel, GpuModel, GpuSpec, Joules, KernelWork, Precision, Secs, Watts,
-};
+use ugpc_hwsim::{run_kernel, GpuModel, GpuSpec, Joules, KernelWork, Precision, Secs, Watts};
 
 /// One point of a cap sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,12 +58,19 @@ pub fn cap_sweep(
     out
 }
 
-/// The sweep point with the best energy efficiency.
-pub fn best_point(sweep: &[SweepPoint]) -> &SweepPoint {
+/// Checked variant of [`best_point`]: `None` on an empty sweep.
+pub fn try_best_point(sweep: &[SweepPoint]) -> Option<&SweepPoint> {
     sweep
         .iter()
         .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
-        .expect("empty sweep")
+}
+
+/// The sweep point with the best energy efficiency.
+pub fn best_point(sweep: &[SweepPoint]) -> &SweepPoint {
+    match try_best_point(sweep) {
+        Some(p) => p,
+        None => panic!("empty sweep"),
+    }
 }
 
 /// One row of the paper's Table I, re-derived by sweeping.
@@ -90,7 +95,10 @@ pub fn table_i_row(model: GpuModel, precision: Precision, sizes: &[usize]) -> Ta
         let uncapped = sweep.last().expect("non-empty sweep");
         let p = best_point(&sweep);
         let saving = (p.efficiency / uncapped.efficiency - 1.0) * 100.0;
-        if best.as_ref().is_none_or(|(_, b, _)| p.efficiency > b.efficiency) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b, _)| p.efficiency > b.efficiency)
+        {
             best = Some((nb, *p, saving));
         }
     }

@@ -51,8 +51,7 @@ pub fn run_dynamic_study(cfg: &RunConfig, iterations: usize) -> DynamicStudyRepo
     if let Some((pkg, cap)) = cfg.cpu_cap {
         ugpc_capping::apply_cpu_cap(&mut node, pkg, cap).expect("CPU cap supported");
     }
-    let mut controllers: Vec<DynamicCapper> =
-        node.gpus().iter().map(DynamicCapper::new).collect();
+    let mut controllers: Vec<DynamicCapper> = node.gpus().iter().map(DynamicCapper::new).collect();
     let (workers, _) = build_workers(node.spec());
 
     let mut reg = DataRegistry::new();
@@ -60,7 +59,11 @@ pub fn run_dynamic_study(cfg: &RunConfig, iterations: usize) -> DynamicStudyRepo
     let mut out = Vec::with_capacity(iterations);
 
     for _ in 0..iterations {
-        let caps_w: Vec<f64> = node.gpus().iter().map(|g| g.power_limit().value()).collect();
+        let caps_w: Vec<f64> = node
+            .gpus()
+            .iter()
+            .map(|g| g.power_limit().value())
+            .collect();
         // Fresh model each iteration: caps changed, so StarPU recalibrates.
         let trace = simulate(
             &mut node,
@@ -99,7 +102,11 @@ pub fn run_dynamic_study(cfg: &RunConfig, iterations: usize) -> DynamicStudyRepo
     }
 
     DynamicStudyReport {
-        final_caps_w: node.gpus().iter().map(|g| g.power_limit().value()).collect(),
+        final_caps_w: node
+            .gpus()
+            .iter()
+            .map(|g| g.power_limit().value())
+            .collect(),
         final_efficiency_gflops_w: out.last().expect("iterations > 0").efficiency_gflops_w,
         initial_efficiency_gflops_w: out[0].efficiency_gflops_w,
         iterations: out,
@@ -108,12 +115,18 @@ pub fn run_dynamic_study(cfg: &RunConfig, iterations: usize) -> DynamicStudyRepo
 
 /// Compare the dynamic run against the static oracle (`B…B`) on the same
 /// configuration.
-pub fn dynamic_vs_static_oracle(cfg: &RunConfig, iterations: usize) -> (DynamicStudyReport, RunReport) {
+pub fn dynamic_vs_static_oracle(
+    cfg: &RunConfig,
+    iterations: usize,
+) -> (DynamicStudyReport, RunReport) {
     let dynamic = run_dynamic_study(cfg, iterations);
     let n_gpus = ugpc_hwsim::PlatformSpec::of(cfg.platform).gpu_count;
     let oracle_cfg = cfg
         .clone()
-        .with_gpu_config(ugpc_capping::CapConfig::uniform(ugpc_capping::CapLevel::B, n_gpus));
+        .with_gpu_config(ugpc_capping::CapConfig::uniform(
+            ugpc_capping::CapLevel::B,
+            n_gpus,
+        ));
     let oracle = crate::run_study(&oracle_cfg);
     (dynamic, oracle)
 }

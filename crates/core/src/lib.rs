@@ -24,7 +24,9 @@
 pub mod dynamic;
 pub mod report;
 
-pub use dynamic::{dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport};
+pub use dynamic::{
+    dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,
+};
 pub use report::{compare, Comparison, RunReport};
 
 use serde::{Deserialize, Serialize};
@@ -177,7 +179,11 @@ mod tests {
 
     #[test]
     fn gemm_run_produces_sane_report() {
-        let report = run_study(&quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double));
+        let report = run_study(&quick(
+            PlatformId::Amd4A100,
+            OpKind::Gemm,
+            Precision::Double,
+        ));
         assert!(report.makespan_s > 0.0);
         assert!(report.gflops > 1000.0, "gflops {}", report.gflops);
         assert!(report.total_energy_j > 0.0);
@@ -193,7 +199,11 @@ mod tests {
     #[test]
     fn bbbb_beats_hhhh_efficiency_on_sxm4() {
         // The paper's headline (Fig. 3a).
-        let base = run_study(&quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double));
+        let base = run_study(&quick(
+            PlatformId::Amd4A100,
+            OpKind::Gemm,
+            Precision::Double,
+        ));
         let capped = run_study(
             &quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
                 .with_gpu_config(CapConfig::uniform(CapLevel::B, 4)),
@@ -207,7 +217,10 @@ mod tests {
         for pf in PlatformId::ALL {
             let report = run_study(&quick(pf, OpKind::Potrf, Precision::Single));
             assert!(report.gflops > 0.0, "{pf}");
-            assert!(report.cpu_tasks > 0, "{pf}: POTRF diagonal tasks are CPU-only");
+            assert!(
+                report.cpu_tasks > 0,
+                "{pf}: POTRF diagonal tasks are CPU-only"
+            );
         }
     }
 
@@ -231,8 +244,16 @@ mod tests {
 
     #[test]
     fn deterministic_reports() {
-        let a = run_study(&quick(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single));
-        let b = run_study(&quick(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single));
+        let a = run_study(&quick(
+            PlatformId::Intel2V100,
+            OpKind::Gemm,
+            Precision::Single,
+        ));
+        let b = run_study(&quick(
+            PlatformId::Intel2V100,
+            OpKind::Gemm,
+            Precision::Single,
+        ));
         assert_eq!(a.makespan_s, b.makespan_s);
         assert_eq!(a.total_energy_j, b.total_energy_j);
     }

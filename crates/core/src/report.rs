@@ -125,5 +125,4 @@ mod tests {
         let r = demo(100.0, 1000.0);
         assert!((r.cpu_energy_share() - 0.25).abs() < 1e-12);
     }
-
 }

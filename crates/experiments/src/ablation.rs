@@ -110,10 +110,7 @@ pub fn run_dynamic_ablation() -> DynamicAblation {
         let mut gpu = GpuDevice::new(0, ugpc_hwsim::GpuModel::A100Sxm4_40);
         gpu.set_power_limit(cap).expect("in range");
         let run = gpu.estimate(&work);
-        (
-            cap.value(),
-            work.flops.value() / run.energy().value() / 1e9,
-        )
+        (cap.value(), work.flops.value() / run.energy().value() / 1e9)
     };
     let (h_cap, h_eff) = static_eff(Watts(400.0));
     let (b_cap, b_eff) = static_eff(Watts(216.0));
@@ -133,8 +130,7 @@ pub fn run_dynamic_ablation() -> DynamicAblation {
 }
 
 pub fn render_dynamic(a: &DynamicAblation) -> String {
-    let mut out =
-        String::from("Dynamic capping ablation — DGEMM 5760 on A100-SXM4-40GB\n\n");
+    let mut out = String::from("Dynamic capping ablation — DGEMM 5760 on A100-SXM4-40GB\n\n");
     let mut table = TextTable::new(&["policy", "cap (W)", "eff (Gflop/s/W)"]);
     for (label, cap, eff) in &a.rows {
         table.row(vec![label.clone(), f(*cap, 0), f(*eff, 2)]);
@@ -159,7 +155,12 @@ mod tests {
                 .gflops
         };
         // Model-based policies dominate the model-free ones.
-        assert!(perf("dmdas") > perf("random"), "dmdas {} vs random {}", perf("dmdas"), perf("random"));
+        assert!(
+            perf("dmdas") > perf("random"),
+            "dmdas {} vs random {}",
+            perf("dmdas"),
+            perf("random")
+        );
         assert!(perf("dm") > perf("random"));
         // dmda/dmdas should not lose to dm (transfer awareness helps).
         assert!(perf("dmdas") >= perf("dm") * 0.95);

@@ -1,12 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale K] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
+//! repro [--validate] [--scale K] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
 //! ```
 //!
 //! `--scale K` shrinks every task graph by K× (fewer tiles, same tile
 //! size) for quick runs; the default 1 reproduces the paper's sizes.
 //! `--json DIR` additionally writes each experiment's raw data as JSON.
+//! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
+//! plus a parallelism report) before anything else and fails the run on
+//! errors; alone, it runs only the validation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,18 +19,31 @@ use ugpc_hwsim::{GpuModel, Precision};
 struct Args {
     scale: usize,
     json_dir: Option<PathBuf>,
+    validate: bool,
     experiments: Vec<String>,
 }
 
 const ALL: [&str; 13] = [
-    "fig1", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "lu",
-    "models", "placements", "mixed",
+    "fig1",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation",
+    "lu",
+    "models",
+    "placements",
+    "mixed",
 ];
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: 1,
         json_dir: None,
+        validate: false,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -44,9 +60,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--json needs a directory")?;
                 args.json_dir = Some(PathBuf::from(v));
             }
+            "--validate" => args.validate = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale K] [--json DIR] [{}|all]...",
+                    "usage: repro [--validate] [--scale K] [--json DIR] [{}|all]...",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -56,7 +73,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.experiments.is_empty() {
+    // `repro --validate` alone runs only the validation; everything else
+    // keeps the run-all default.
+    if args.experiments.is_empty() && !args.validate {
         args.experiments.extend(ALL.iter().map(|s| s.to_string()));
     }
     Ok(args)
@@ -72,6 +91,36 @@ fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T)
     }
 }
 
+/// Lint the operations' task graphs at validation size (nt=16) and print
+/// the hazard findings and the DAG-shape report. Returns whether every
+/// graph came back clean.
+fn validate_graphs() -> bool {
+    use ugpc_linalg::ops::{build_gemm, build_potrf};
+    use ugpc_runtime::DataRegistry;
+
+    let nt = 16;
+    let nb = 2880;
+    let mut clean = true;
+    let graphs = [
+        ("gemm", {
+            let mut reg = DataRegistry::new();
+            let op = build_gemm(nt, nb, Precision::Double, &mut reg);
+            (op.graph, reg)
+        }),
+        ("potrf", {
+            let mut reg = DataRegistry::new();
+            let op = build_potrf(nt, nb, Precision::Double, &mut reg);
+            (op.graph, reg)
+        }),
+    ];
+    for (name, (graph, reg)) in graphs {
+        let report = ugpc_analysis::lint(&graph, &reg);
+        println!("[validate] {name} nt={nt}: {report}");
+        clean &= report.is_clean();
+    }
+    clean
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -80,6 +129,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.validate && !validate_graphs() {
+        eprintln!("error: task-graph validation failed");
+        return ExitCode::FAILURE;
+    }
 
     for exp in &args.experiments {
         let t0 = std::time::Instant::now();
@@ -130,11 +184,7 @@ fn main() -> ExitCode {
                 for precision in [Precision::Double, Precision::Single] {
                     let l = ex::ext_lu::run(precision, nt, 2880);
                     println!("{}", ex::ext_lu::render(&l));
-                    write_json(
-                        &args.json_dir,
-                        &format!("ext_lu_{}", precision.short()),
-                        &l,
-                    );
+                    write_json(&args.json_dir, &format!("ext_lu_{}", precision.short()), &l);
                 }
             }
             "mixed" => {
@@ -165,7 +215,10 @@ fn main() -> ExitCode {
                 println!("{}", ex::ext_models::render("Stale-model ablation", &stale));
                 write_json(&args.json_dir, "ext_models_stale", &stale);
                 let noise = ex::ext_models::run_noise_ablation(args.scale);
-                println!("{}", ex::ext_models::render("Calibration-noise ablation", &noise));
+                println!(
+                    "{}",
+                    ex::ext_models::render("Calibration-noise ablation", &noise)
+                );
                 write_json(&args.json_dir, "ext_models_noise", &noise);
             }
             "ablation" => {

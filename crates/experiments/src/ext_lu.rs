@@ -115,7 +115,10 @@ mod tests {
         );
         assert!(b.total_energy_j < h.total_energy_j);
         let slowdown = 1.0 - b.gflops / h.gflops;
-        assert!(slowdown < 0.10, "BBBB slowdown {slowdown:.3} should be small for LU");
+        assert!(
+            slowdown < 0.10,
+            "BBBB slowdown {slowdown:.3} should be small for LU"
+        );
         // The B-side of the ladder is monotone in efficiency.
         let b_side = ["HHHH", "HHHB", "HHBB", "HBBB", "BBBB"];
         for w in b_side.windows(2) {

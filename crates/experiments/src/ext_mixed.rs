@@ -201,7 +201,13 @@ pub fn render(s: &MixedStudy) -> String {
         s.nt * s.nb
     );
     let base = &s.rows[0];
-    let mut table = TextTable::new(&["method", "time (s)", "energy (kJ)", "vs dp", "eff (Gflop/s/W)"]);
+    let mut table = TextTable::new(&[
+        "method",
+        "time (s)",
+        "energy (kJ)",
+        "vs dp",
+        "eff (Gflop/s/W)",
+    ]);
     for r in &s.rows {
         table.row(vec![
             r.method.clone(),
@@ -227,7 +233,12 @@ mod tests {
         let dp = &s.rows[0];
         let mx = &s.rows[1];
         assert!(mx.time_s < dp.time_s, "{} vs {}", mx.time_s, dp.time_s);
-        assert!(mx.energy_j < dp.energy_j, "{} vs {}", mx.energy_j, dp.energy_j);
+        assert!(
+            mx.energy_j < dp.energy_j,
+            "{} vs {}",
+            mx.energy_j,
+            dp.energy_j
+        );
         assert!(mx.efficiency_gflops_w > dp.efficiency_gflops_w);
     }
 
@@ -246,7 +257,10 @@ mod tests {
         let small = saving(6);
         let large = saving(16);
         assert!(small > 0.10, "small-problem saving {small:.3}");
-        assert!(small > large + 0.05, "saving should shrink: {small:.3} vs {large:.3}");
+        assert!(
+            small > large + 0.05,
+            "saving should shrink: {small:.3} vs {large:.3}"
+        );
     }
 
     #[test]

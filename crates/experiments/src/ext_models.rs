@@ -47,7 +47,11 @@ fn run_once(
             ugpc_linalg::build_gemm(1, entry.nt, Precision::Double, &mut reg).graph
         };
         let (workers, _) = ugpc_runtime::build_workers(node.spec());
-        let fps: Vec<_> = uncapped_graph.tasks().iter().map(|t| t.footprint()).collect();
+        let fps: Vec<_> = uncapped_graph
+            .tasks()
+            .iter()
+            .map(|t| t.footprint())
+            .collect();
         perf.calibrate(&node, &workers, &fps[..1]);
     }
     apply_gpu_caps(&mut node, &caps, OpKind::Gemm, Precision::Double).expect("valid caps");
@@ -111,7 +115,10 @@ pub fn run_noise_ablation(scale: usize) -> ModelAblation {
 }
 
 pub fn render(title: &str, a: &ModelAblation) -> String {
-    let mut out = format!("{title} — 32-AMD-4-A100 / GEMM / double, config {}\n\n", a.config);
+    let mut out = format!(
+        "{title} — 32-AMD-4-A100 / GEMM / double, config {}\n\n",
+        a.config
+    );
     let base = &a.rows[0];
     let mut table = TextTable::new(&["model", "Gflop/s", "vs baseline", "eff (Gflop/s/W)"]);
     for r in &a.rows {
@@ -161,10 +168,7 @@ mod tests {
         let exact = a.rows[0].gflops;
         let sigma5 = a.rows[1].gflops;
         // 5 % calibration jitter costs little.
-        assert!(
-            sigma5 > exact * 0.9,
-            "sigma 5 %: {sigma5} vs exact {exact}"
-        );
+        assert!(sigma5 > exact * 0.9, "sigma 5 %: {sigma5} vs exact {exact}");
     }
 
     #[test]

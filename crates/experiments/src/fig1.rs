@@ -63,7 +63,10 @@ pub fn render(fig: &Fig1) -> String {
             s.size.to_string(),
             f(best.cap_frac * 100.0, 1),
             f(best.efficiency, 2),
-            format!("{:+.2} %", (best.efficiency / free.efficiency - 1.0) * 100.0),
+            format!(
+                "{:+.2} %",
+                (best.efficiency / free.efficiency - 1.0) * 100.0
+            ),
             format!("{:.2} %", (1.0 - best.gflops / free.gflops) * 100.0),
         ]);
     }

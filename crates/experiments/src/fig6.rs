@@ -54,8 +54,7 @@ pub fn render(fig: &Fig6) -> String {
         ]);
         for (u, k) in c.uncapped.rows.iter().zip(&c.capped.rows) {
             assert_eq!(u.config, k.config);
-            let gain =
-                (k.report.efficiency_gflops_w / u.report.efficiency_gflops_w - 1.0) * 100.0;
+            let gain = (k.report.efficiency_gflops_w / u.report.efficiency_gflops_w - 1.0) * 100.0;
             let perf = (k.report.gflops / u.report.gflops - 1.0) * 100.0;
             table.row(vec![
                 u.config.clone(),

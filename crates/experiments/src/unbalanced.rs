@@ -105,7 +105,11 @@ pub fn render(l: &Ladder) -> String {
         l.platform,
         l.op,
         l.precision,
-        if l.cpu_capped { " (one CPU capped)" } else { "" }
+        if l.cpu_capped {
+            " (one CPU capped)"
+        } else {
+            ""
+        }
     );
     let mut table = TextTable::new(&[
         "config",
@@ -137,7 +141,13 @@ mod tests {
 
     #[test]
     fn ladder_covers_paper_configs() {
-        let l = run_ladder(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double, 6, None);
+        let l = run_ladder(
+            PlatformId::Amd4A100,
+            OpKind::Gemm,
+            Precision::Double,
+            6,
+            None,
+        );
         let configs: Vec<&str> = l.rows.iter().map(|r| r.config.as_str()).collect();
         assert_eq!(
             configs,
@@ -151,7 +161,13 @@ mod tests {
     #[test]
     fn sxm4_dp_gemm_shapes() {
         // The load-bearing Fig. 3a shapes, on a reduced problem.
-        let l = run_ladder(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double, 2, None);
+        let l = run_ladder(
+            PlatformId::Amd4A100,
+            OpKind::Gemm,
+            Precision::Double,
+            2,
+            None,
+        );
         let llll = l.row("LLLL");
         let bbbb = l.row("BBBB");
         let hhhh = l.row("HHHH");
@@ -174,7 +190,13 @@ mod tests {
 
     #[test]
     fn render_contains_all_rows() {
-        let l = run_ladder(PlatformId::Intel2V100, OpKind::Gemm, Precision::Double, 6, None);
+        let l = run_ladder(
+            PlatformId::Intel2V100,
+            OpKind::Gemm,
+            Precision::Double,
+            6,
+            None,
+        );
         let text = render(&l);
         for r in &l.rows {
             assert!(text.contains(&r.config));
@@ -185,7 +207,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "no config")]
     fn missing_config_panics() {
-        let l = run_ladder(PlatformId::Intel2V100, OpKind::Gemm, Precision::Double, 6, None);
+        let l = run_ladder(
+            PlatformId::Intel2V100,
+            OpKind::Gemm,
+            Precision::Double,
+            6,
+            None,
+        );
         let _ = l.row("XXXX");
     }
 }

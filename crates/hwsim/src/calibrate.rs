@@ -71,7 +71,9 @@ pub fn fit_dvfs(
         gain,
         slowdown,
     } = target;
-    if !(0.0 < best_cap_frac && best_cap_frac < 1.0) || gain <= 0.0 || !(0.0..1.0).contains(&slowdown)
+    if !(0.0 < best_cap_frac && best_cap_frac < 1.0)
+        || gain <= 0.0
+        || !(0.0..1.0).contains(&slowdown)
     {
         return Err(HwError::BadModel(format!("bad target {target:?}")));
     }

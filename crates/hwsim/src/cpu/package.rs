@@ -1,9 +1,9 @@
 //! A stateful CPU package: RAPL cap, per-core execution, energy integration.
 
+use crate::cpu::spec::{CpuModel, CpuSpec};
 use crate::energy::EnergyLedger;
 use crate::error::{HwError, HwResult};
 use crate::gpu::dvfs::DvfsParams;
-use crate::cpu::spec::{CpuModel, CpuSpec};
 use crate::units::{Flops, Joules, Precision, Secs, Watts};
 
 /// Outcome of one CPU tile-kernel execution.
@@ -173,7 +173,8 @@ impl CpuPackage {
     /// Predict the execution of `flops` of tile-kernel work (tile dimension
     /// `nb`) on one core without recording it.
     pub fn estimate(&self, flops: Flops, nb: usize, precision: Precision) -> CpuRun {
-        let rate = self.spec.core_rate.get(precision) * (self.clock_frac * self.spec.tile_efficiency(nb));
+        let rate =
+            self.spec.core_rate.get(precision) * (self.clock_frac * self.spec.tile_efficiency(nb));
         CpuRun {
             time: flops / rate + self.spec.task_overhead,
             core_power: self.active_core_power(),
@@ -361,10 +362,7 @@ mod tests {
         capped.set_power_limit(Watts(60.0)).unwrap();
         let ef = free.energy(Secs(10.0));
         let ec = capped.energy(Secs(10.0));
-        assert!(
-            ec.value() < ef.value() * 0.80,
-            "capped {ec} vs free {ef}"
-        );
+        assert!(ec.value() < ef.value() * 0.80, "capped {ec} vs free {ef}");
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub enum CpuModel {
 }
 
 impl CpuModel {
-    pub const ALL: [CpuModel; 3] = [CpuModel::XeonGold6126, CpuModel::Epyc7452, CpuModel::Epyc7513];
+    pub const ALL: [CpuModel; 3] = [
+        CpuModel::XeonGold6126,
+        CpuModel::Epyc7452,
+        CpuModel::Epyc7513,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -86,7 +90,10 @@ impl CpuSpec {
                 x_min: 0.35,
                 stability_floor: Watts(60.0), // 48 % of 125 W, as measured
                 supports_capping: true,
-                core_rate: PerPrecision::new(FlopRate::from_gflops(60.0), FlopRate::from_gflops(30.0)),
+                core_rate: PerPrecision::new(
+                    FlopRate::from_gflops(60.0),
+                    FlopRate::from_gflops(30.0),
+                ),
                 task_overhead: Secs(5e-6),
                 spin_factor: 0.5,
             },
@@ -103,7 +110,10 @@ impl CpuSpec {
                 x_min: 0.35,
                 stability_floor: Watts(60.0),
                 supports_capping: false,
-                core_rate: PerPrecision::new(FlopRate::from_gflops(36.0), FlopRate::from_gflops(18.0)),
+                core_rate: PerPrecision::new(
+                    FlopRate::from_gflops(36.0),
+                    FlopRate::from_gflops(18.0),
+                ),
                 task_overhead: Secs(5e-6),
                 spin_factor: 0.5,
             },
@@ -119,7 +129,10 @@ impl CpuSpec {
                 x_min: 0.35,
                 stability_floor: Watts(96.0),
                 supports_capping: false,
-                core_rate: PerPrecision::new(FlopRate::from_gflops(50.0), FlopRate::from_gflops(25.0)),
+                core_rate: PerPrecision::new(
+                    FlopRate::from_gflops(50.0),
+                    FlopRate::from_gflops(25.0),
+                ),
                 task_overhead: Secs(5e-6),
                 spin_factor: 0.5,
             },
@@ -189,7 +202,6 @@ mod tests {
         let s = CpuSpec::of(CpuModel::XeonGold6126);
         assert!(s.tile_efficiency(2880) > s.tile_efficiency(288));
         assert!(s.tile_efficiency(2880) > 0.95);
-        assert!(s.tile_efficiency(64)
-            < 0.6);
+        assert!(s.tile_efficiency(64) < 0.6);
     }
 }

@@ -29,6 +29,9 @@ pub enum HwError {
     UnstableCpuCap { requested: Watts, floor: Watts },
     /// Model parameterization is unphysical (calibration failure).
     BadModel(String),
+    /// A data handle id that was never registered (StarPU: using a
+    /// `starpu_data_handle_t` that was not `*_data_register`ed).
+    UnknownHandle { id: usize, count: usize },
 }
 
 impl fmt::Display for HwError {
@@ -37,17 +40,23 @@ impl fmt::Display for HwError {
             HwError::InvalidDeviceIndex { index, count } => {
                 write!(f, "invalid device index {index} (device count {count})")
             }
-            HwError::PowerLimitOutOfRange { requested, min, max } => write!(
+            HwError::PowerLimitOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "power limit {requested:.0} outside constraints [{min:.0}, {max:.0}]"
             ),
             HwError::NotSupported(what) => write!(f, "operation not supported: {what}"),
             HwError::NoPermission(what) => write!(f, "insufficient permissions: {what}"),
-            HwError::UnstableCpuCap { requested, floor } => write!(
-                f,
-                "CPU cap {requested:.0} below stability floor {floor:.0}"
-            ),
+            HwError::UnstableCpuCap { requested, floor } => {
+                write!(f, "CPU cap {requested:.0} below stability floor {floor:.0}")
+            }
             HwError::BadModel(why) => write!(f, "unphysical model: {why}"),
+            HwError::UnknownHandle { id, count } => {
+                write!(f, "unknown data handle {id} (registered count {count})")
+            }
         }
     }
 }

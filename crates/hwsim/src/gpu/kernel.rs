@@ -71,8 +71,8 @@ impl KernelRun {
 pub fn run_kernel(spec: &GpuSpec, work: &KernelWork, cap: Watts) -> KernelRun {
     let p = work.precision;
     let dvfs = spec.dvfs.get(p);
-    let occ = spec.occupancy(work.flops.value(), p);
-    let u_nominal = spec.utilization(work.flops.value(), p);
+    let occ = spec.occupancy(work.flops, p);
+    let u_nominal = spec.utilization(work.flops, p);
     let peak = spec.peak.get(p);
     let t_mem = work.bytes / spec.mem_bandwidth;
 
@@ -104,9 +104,7 @@ pub fn run_kernel(spec: &GpuSpec, work: &KernelWork, cap: Watts) -> KernelRun {
         0.0
     };
     let active = dvfs.power(x, u_final);
-    let power = Watts(
-        active.value() * busy_frac + dvfs.static_power.value() * (1.0 - busy_frac),
-    );
+    let power = Watts(active.value() * busy_frac + dvfs.static_power.value() * (1.0 - busy_frac));
     KernelRun {
         time,
         power,

@@ -3,7 +3,7 @@
 
 use crate::calibrate::{fit_dvfs, EfficiencyTarget};
 use crate::gpu::dvfs::DvfsParams;
-use crate::units::{Bandwidth, Bytes, FlopRate, Precision, Secs, Watts};
+use crate::units::{Bandwidth, Bytes, FlopRate, Flops, Precision, Secs, Watts};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -40,7 +40,11 @@ pub enum GpuModel {
 }
 
 impl GpuModel {
-    pub const ALL: [GpuModel; 3] = [GpuModel::V100Pcie32, GpuModel::A100Pcie40, GpuModel::A100Sxm4_40];
+    pub const ALL: [GpuModel; 3] = [
+        GpuModel::V100Pcie32,
+        GpuModel::A100Pcie40,
+        GpuModel::A100Sxm4_40,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -56,12 +60,24 @@ impl GpuModel {
     pub fn efficiency_target(self, p: Precision) -> EfficiencyTarget {
         match (self, p) {
             // Table I rows: (best cap %TDP, efficiency gain, slowdown).
-            (GpuModel::A100Sxm4_40, Precision::Double) => EfficiencyTarget::new(0.54, 0.2881, 0.2293),
-            (GpuModel::A100Sxm4_40, Precision::Single) => EfficiencyTarget::new(0.40, 0.2776, 0.2950),
-            (GpuModel::A100Pcie40, Precision::Double) => EfficiencyTarget::new(0.78, 0.1092, 0.0800),
-            (GpuModel::A100Pcie40, Precision::Single) => EfficiencyTarget::new(0.60, 0.2317, 0.1971),
-            (GpuModel::V100Pcie32, Precision::Double) => EfficiencyTarget::new(0.60, 0.1852, 0.1200),
-            (GpuModel::V100Pcie32, Precision::Single) => EfficiencyTarget::new(0.58, 0.2074, 0.1400),
+            (GpuModel::A100Sxm4_40, Precision::Double) => {
+                EfficiencyTarget::new(0.54, 0.2881, 0.2293)
+            }
+            (GpuModel::A100Sxm4_40, Precision::Single) => {
+                EfficiencyTarget::new(0.40, 0.2776, 0.2950)
+            }
+            (GpuModel::A100Pcie40, Precision::Double) => {
+                EfficiencyTarget::new(0.78, 0.1092, 0.0800)
+            }
+            (GpuModel::A100Pcie40, Precision::Single) => {
+                EfficiencyTarget::new(0.60, 0.2317, 0.1971)
+            }
+            (GpuModel::V100Pcie32, Precision::Double) => {
+                EfficiencyTarget::new(0.60, 0.1852, 0.1200)
+            }
+            (GpuModel::V100Pcie32, Precision::Single) => {
+                EfficiencyTarget::new(0.58, 0.2074, 0.1400)
+            }
         }
     }
 }
@@ -155,8 +171,8 @@ impl GpuSpec {
     /// saturation in the effective tile dimension (cube root of flops),
     /// reaching 0.5 at `nb_half`.
     #[inline]
-    pub fn occupancy(&self, flops: f64, p: Precision) -> f64 {
-        let dim = flops.max(0.0).cbrt();
+    pub fn occupancy(&self, flops: Flops, p: Precision) -> f64 {
+        let dim = flops.value().max(0.0).cbrt();
         let half = (2.0f64).cbrt() * self.nb_half.get(p);
         dim / (dim + half)
     }
@@ -167,7 +183,7 @@ impl GpuSpec {
     /// whenever `u` is affine in `occ`), which is the paper's Fig. 1
     /// observation that bigger matrices are always more energy-efficient.
     #[inline]
-    pub fn utilization(&self, flops: f64, p: Precision) -> f64 {
+    pub fn utilization(&self, flops: Flops, p: Precision) -> f64 {
         self.u_floor + (1.0 - self.u_floor) * self.occupancy(flops, p)
     }
 }
@@ -184,7 +200,10 @@ mod tests {
             for p in Precision::ALL {
                 let d = spec.dvfs.get(p);
                 d.validate().unwrap();
-                assert!(d.max_draw().value() <= spec.tdp.value() * 1.0001, "{model} {p}");
+                assert!(
+                    d.max_draw().value() <= spec.tdp.value() * 1.0001,
+                    "{model} {p}"
+                );
                 assert!(spec.idle_power < spec.min_cap, "{model}");
             }
         }
@@ -218,7 +237,7 @@ mod tests {
     #[test]
     fn occupancy_saturates() {
         let spec = GpuSpec::of(GpuModel::A100Sxm4_40);
-        let f = |nb: f64| spec.occupancy(2.0 * nb * nb * nb, Precision::Double);
+        let f = |nb: f64| spec.occupancy(Flops(2.0 * nb * nb * nb), Precision::Double);
         assert!(f(5760.0) > 0.85, "{}", f(5760.0));
         assert!(f(450.0) > 0.45 && f(450.0) < 0.55, "{}", f(450.0));
         assert!(f(96.0) < 0.25, "{}", f(96.0));
@@ -229,14 +248,14 @@ mod tests {
     fn utilization_floors_above_occupancy() {
         let spec = GpuSpec::of(GpuModel::A100Sxm4_40);
         let nb = 2880.0f64;
-        let flops = 2.0 * nb * nb * nb;
+        let flops = Flops(2.0 * nb * nb * nb);
         assert!(
             spec.utilization(flops, Precision::Double) > spec.occupancy(flops, Precision::Double)
         );
         // Even a trivial kernel draws at least the floor.
-        assert!(spec.utilization(1.0, Precision::Double) >= spec.u_floor);
+        assert!(spec.utilization(Flops(1.0), Precision::Double) >= spec.u_floor);
         // Large kernels approach full utilization.
-        let big = 2.0 * 5760.0f64.powi(3);
+        let big = Flops(2.0 * 5760.0f64.powi(3));
         assert!(spec.utilization(big, Precision::Double) > 0.9);
     }
 

@@ -41,7 +41,9 @@ pub use gpu::spec::{GpuModel, GpuSpec, PerPrecision};
 pub use link::LinkTopology;
 pub use nvml::Nvml;
 pub use papi::{EnergyProbe, EnergyReading};
-pub use platform::{table_ii, table_ii_entry, Node, OpKind, PlatformId, PlatformSpec, TableIIEntry};
+pub use platform::{
+    table_ii, table_ii_entry, Node, OpKind, PlatformId, PlatformSpec, TableIIEntry,
+};
 pub use units::{
     Bandwidth, Bytes, Efficiency, FlopRate, Flops, Hertz, Joules, Precision, Secs, Watts,
 };

@@ -49,7 +49,10 @@ impl<'a> Nvml<'a> {
     /// `nvmlDeviceGetPowerManagementLimitConstraints`, in milliwatts.
     pub fn power_management_limit_constraints(&self, index: usize) -> HwResult<(u64, u64)> {
         let d = self.device(index)?;
-        Ok((d.spec().min_cap.as_milliwatts(), d.spec().tdp.as_milliwatts()))
+        Ok((
+            d.spec().min_cap.as_milliwatts(),
+            d.spec().tdp.as_milliwatts(),
+        ))
     }
 
     /// `nvmlDeviceGetPowerManagementLimit`, in milliwatts.
@@ -72,7 +75,9 @@ impl<'a> Nvml<'a> {
 
     /// Energy in joules (convenience over the mJ counter).
     pub fn energy(&self, index: usize, now: Secs) -> HwResult<Joules> {
-        Ok(Joules::from_millijoules(self.total_energy_consumption(index, now)?))
+        Ok(Joules::from_millijoules(
+            self.total_energy_consumption(index, now)?,
+        ))
     }
 }
 

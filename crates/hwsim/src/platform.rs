@@ -23,7 +23,11 @@ pub enum PlatformId {
 }
 
 impl PlatformId {
-    pub const ALL: [PlatformId; 3] = [PlatformId::Intel2V100, PlatformId::Amd2A100, PlatformId::Amd4A100];
+    pub const ALL: [PlatformId; 3] = [
+        PlatformId::Intel2V100,
+        PlatformId::Amd2A100,
+        PlatformId::Amd4A100,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -275,7 +279,12 @@ mod tests {
             for op in OpKind::ALL {
                 for p in Precision::ALL {
                     let e = table_ii_entry(pf, op, p);
-                    assert!(e.n.is_multiple_of(e.nt), "{pf} {op} {p}: N={} Nt={}", e.n, e.nt);
+                    assert!(
+                        e.n.is_multiple_of(e.nt),
+                        "{pf} {op} {p}: N={} Nt={}",
+                        e.n,
+                        e.nt
+                    );
                     assert!(e.best_cap_frac > 0.3 && e.best_cap_frac < 0.9);
                 }
             }

@@ -532,7 +532,10 @@ mod tests {
     #[test]
     fn unit_display_precision() {
         assert_eq!(format!("{:.1}", Watts(215.55)), "215.6 W");
-        assert_eq!(format!("{:.2}", FlopRate::from_tflops(19.5)), "19500.00 Gflop/s");
+        assert_eq!(
+            format!("{:.2}", FlopRate::from_tflops(19.5)),
+            "19500.00 Gflop/s"
+        );
     }
 
     #[test]

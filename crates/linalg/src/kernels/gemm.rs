@@ -150,10 +150,7 @@ mod tests {
                 let mut c = c0.clone();
                 gemm(ta, tb, 1.5, &a, &b, 0.5, &mut c);
                 let want = naive(ta, tb, 1.5, &a, &b, 0.5, &c0);
-                assert!(
-                    c.max_abs_diff(&want) < 1e-12,
-                    "mismatch for {ta:?} {tb:?}"
-                );
+                assert!(c.max_abs_diff(&want) < 1e-12, "mismatch for {ta:?} {tb:?}");
             }
         }
     }

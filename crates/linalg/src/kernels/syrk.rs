@@ -44,10 +44,7 @@ mod tests {
         gemm(Trans::No, Trans::Yes, -1.0, &a, &a, 1.0, &mut c_gemm);
         for j in 0..6 {
             for i in j..6 {
-                assert!(
-                    (c_syrk[(i, j)] - c_gemm[(i, j)]).abs() < 1e-12,
-                    "({i},{j})"
-                );
+                assert!((c_syrk[(i, j)] - c_gemm[(i, j)]).abs() < 1e-12, "({i},{j})");
             }
         }
     }

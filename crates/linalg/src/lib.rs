@@ -18,13 +18,15 @@ pub mod scalar;
 pub mod tile;
 pub mod verify;
 
-pub use kernels::{gemm, getrf_nopiv, potrf_lower, syrk_lower, trsm_right_lower_trans, NotSpd, Trans, ZeroPivot};
+pub use kernels::{
+    gemm, getrf_nopiv, potrf_lower, syrk_lower, trsm_right_lower_trans, NotSpd, Trans, ZeroPivot,
+};
 pub use matrix::TiledMatrix;
+pub use ops::refine::{posv_refine_native, RefineStats};
 pub use ops::{
     build_gemm, build_getrf, build_posv, build_potrf, run_gemm_native, run_getrf_native,
     run_posv_native, run_potrf_native, GemmOp, GetrfOp, PosvOp, PotrfOp,
 };
-pub use ops::refine::{posv_refine_native, RefineStats};
 pub use scalar::Scalar;
 pub use tile::Tile;
 pub use verify::{dd_tiled, gemm_residual, potrf_residual, random_tiled, spd_tiled};

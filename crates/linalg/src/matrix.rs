@@ -90,9 +90,10 @@ impl<T: Scalar> TiledMatrix<T> {
     /// Register every tile as a data handle; returns the grid of ids in
     /// the same column-major layout as the tiles.
     pub fn register(&self, reg: &mut DataRegistry) -> Vec<DataId> {
-        let bytes =
-            ugpc_hwsim::Bytes((self.nb * self.nb * std::mem::size_of::<T>()) as f64);
-        (0..self.nt * self.nt).map(|_| reg.register(bytes)).collect()
+        let bytes = ugpc_hwsim::Bytes((self.nb * self.nb * std::mem::size_of::<T>()) as f64);
+        (0..self.nt * self.nt)
+            .map(|_| reg.register(bytes))
+            .collect()
     }
 }
 

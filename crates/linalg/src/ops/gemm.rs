@@ -106,7 +106,15 @@ pub fn run_gemm_native<T: Scalar>(
         let a_ik = a.tile_clone(i, k);
         let b_kj = b.tile_clone(k, j);
         let mut c_ij = c.tile(i, j);
-        gemm(Trans::No, Trans::No, T::ONE, &a_ik, &b_kj, T::ONE, &mut c_ij);
+        gemm(
+            Trans::No,
+            Trans::No,
+            T::ONE,
+            &a_ik,
+            &b_kj,
+            T::ONE,
+            &mut c_ij,
+        );
         executed.fetch_add(1, Ordering::Relaxed);
     });
     debug_assert_eq!(executed.load(Ordering::Relaxed), op.graph.len());

@@ -22,18 +22,40 @@ use ugpc_runtime::{
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PosvTaskRef {
     /// Factorization stage (identical to `PotrfOp`).
-    Potrf { k: usize },
-    PanelTrsm { i: usize, k: usize },
-    Syrk { i: usize, k: usize },
-    UpdateGemm { i: usize, j: usize, k: usize },
+    Potrf {
+        k: usize,
+    },
+    PanelTrsm {
+        i: usize,
+        k: usize,
+    },
+    Syrk {
+        i: usize,
+        k: usize,
+    },
+    UpdateGemm {
+        i: usize,
+        j: usize,
+        k: usize,
+    },
     /// Forward sweep: `B[k] ← L[k][k]⁻¹·B[k]`.
-    FwdTrsm { k: usize },
+    FwdTrsm {
+        k: usize,
+    },
     /// Forward sweep: `B[i] ← B[i] − L[i][k]·B[k]`.
-    FwdGemm { i: usize, k: usize },
+    FwdGemm {
+        i: usize,
+        k: usize,
+    },
     /// Backward sweep: `B[k] ← L[k][k]⁻ᵀ·B[k]`.
-    BwdTrsm { k: usize },
+    BwdTrsm {
+        k: usize,
+    },
     /// Backward sweep: `B[i] ← B[i] − L[k][i]ᵀ·B[k]`.
-    BwdGemm { i: usize, k: usize },
+    BwdGemm {
+        i: usize,
+        k: usize,
+    },
 }
 
 /// A built POSV operation.

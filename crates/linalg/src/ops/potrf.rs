@@ -154,8 +154,7 @@ pub fn run_potrf_native<T: Scalar>(
             PotrfTaskRef::Potrf { k } => {
                 let mut akk = a.tile(k, k);
                 if let Err(e) = potrf_lower(&mut akk) {
-                    failed
-                        .fetch_min(k * op.nb + e.pivot, Ordering::AcqRel);
+                    failed.fetch_min(k * op.nb + e.pivot, Ordering::AcqRel);
                 }
             }
             PotrfTaskRef::Trsm { i, k } => {

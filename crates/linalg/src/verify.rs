@@ -101,10 +101,7 @@ mod tests {
         let a = dd_tiled::<f64>(2, 6, 8);
         let d = a.to_dense();
         for i in 0..12 {
-            let row_sum: f64 = (0..12)
-                .filter(|&j| j != i)
-                .map(|j| d[(i, j)].abs())
-                .sum();
+            let row_sum: f64 = (0..12).filter(|&j| j != i).map(|j| d[(i, j)].abs()).sum();
             assert!(d[(i, i)].abs() > row_sum, "row {i} not dominant");
         }
     }
@@ -131,7 +128,15 @@ mod tests {
         let b = random_tiled::<f64>(nt, nb, 2);
         let c0 = random_tiled::<f64>(nt, nb, 3).to_dense();
         let mut cd = c0.clone();
-        gemm(Trans::No, Trans::No, 1.0, &a.to_dense(), &b.to_dense(), 1.0, &mut cd);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.to_dense(),
+            &b.to_dense(),
+            1.0,
+            &mut cd,
+        );
         let c = TiledMatrix::from_fn(nt, nb, |i, j| cd[(i, j)]);
         assert!(gemm_residual(&a, &b, &c0, &c) < 1e-14);
     }

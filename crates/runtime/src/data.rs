@@ -7,7 +7,7 @@
 //! and the simulator's DMA engine both consult this state.
 
 use serde::{Deserialize, Serialize};
-use ugpc_hwsim::Bytes;
+use ugpc_hwsim::{Bytes, HwError, HwResult};
 
 pub type DataId = usize;
 
@@ -62,18 +62,51 @@ impl DataRegistry {
         self.handles.is_empty()
     }
 
+    fn state(&self, id: DataId) -> HwResult<&DataState> {
+        self.handles.get(id).ok_or(HwError::UnknownHandle {
+            id,
+            count: self.handles.len(),
+        })
+    }
+
+    /// Size of the handle, or [`HwError::UnknownHandle`] if `id` was never
+    /// registered. The linter uses this to audit graphs against foreign
+    /// registries without panicking.
+    pub fn try_bytes(&self, id: DataId) -> HwResult<Bytes> {
+        self.state(id).map(|st| st.bytes)
+    }
+
+    /// Checked variant of [`Self::is_valid_at`].
+    pub fn try_is_valid_at(&self, id: DataId, node: MemNode) -> HwResult<bool> {
+        self.state(id).map(|st| st.valid.contains(&node))
+    }
+
+    /// Checked variant of [`Self::valid_nodes`].
+    pub fn try_valid_nodes(&self, id: DataId) -> HwResult<&[MemNode]> {
+        self.state(id).map(|st| st.valid.as_slice())
+    }
+
     pub fn bytes(&self, id: DataId) -> Bytes {
-        self.handles[id].bytes
+        match self.try_bytes(id) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Is a valid replica present at `node`?
     pub fn is_valid_at(&self, id: DataId, node: MemNode) -> bool {
-        self.handles[id].valid.contains(&node)
+        match self.try_is_valid_at(id, node) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// All nodes holding a valid replica.
     pub fn valid_nodes(&self, id: DataId) -> &[MemNode] {
-        &self.handles[id].valid
+        match self.try_valid_nodes(id) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Pick the transfer source for a replica needed at `dst`: prefer host
@@ -107,6 +140,12 @@ impl DataRegistry {
         let st = &mut self.handles[id];
         st.valid.clear();
         st.valid.push(node);
+        #[cfg(feature = "sanitize")]
+        debug_assert_eq!(
+            self.handles[id].valid,
+            vec![node],
+            "write must leave exactly the writing node valid"
+        );
     }
 
     /// Drop the replica at `node` (eviction). The handle must remain valid
@@ -137,6 +176,31 @@ impl DataRegistry {
             }
         }
         total
+    }
+
+    /// Assert the MSI-like coherence invariants over every handle: the
+    /// valid set is never empty and holds no duplicate nodes. Only
+    /// compiled under the `sanitize` feature; the simulator calls it at
+    /// checkpoints.
+    #[cfg(feature = "sanitize")]
+    pub fn assert_coherent(&self) {
+        for (id, st) in self.handles.iter().enumerate() {
+            assert!(
+                !st.valid.is_empty(),
+                "sanitize: handle {id} has no valid replica"
+            );
+            for (i, a) in st.valid.iter().enumerate() {
+                assert!(
+                    !st.valid[i + 1..].contains(a),
+                    "sanitize: handle {id} lists replica {a:?} twice"
+                );
+            }
+            assert!(
+                st.bytes.is_valid(),
+                "sanitize: handle {id} has invalid byte size {:?}",
+                st.bytes
+            );
+        }
     }
 
     /// Reset all handles to host-only validity (between measured runs).
@@ -193,7 +257,10 @@ mod tests {
         let id = reg.register(Bytes(8.0));
         reg.add_replica(id, MemNode::Gpu(0));
         // Valid at host and GPU 0; GPU 1 should fetch from host.
-        assert_eq!(reg.transfer_source(id, MemNode::Gpu(1)), Some(MemNode::Host));
+        assert_eq!(
+            reg.transfer_source(id, MemNode::Gpu(1)),
+            Some(MemNode::Host)
+        );
         // Already valid at GPU 0: no transfer.
         assert_eq!(reg.transfer_source(id, MemNode::Gpu(0)), None);
         // After a GPU-exclusive write, the GPU is the only source.

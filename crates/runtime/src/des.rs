@@ -38,9 +38,16 @@ impl<T> Ord for Event<T> {
 }
 
 /// Min-queue of timed events with FIFO tie-breaking.
+///
+/// Under the `sanitize` feature, pops assert that virtual time never
+/// moves backwards: once an event at time `t` has been popped, pushing
+/// and popping an event earlier than `t` is an invariant violation in a
+/// discrete-event simulation (the past would be rewritten).
 pub struct EventQueue<T> {
     heap: BinaryHeap<Event<T>>,
     seq: u64,
+    #[cfg(feature = "sanitize")]
+    last_pop: f64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -54,6 +61,8 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            #[cfg(feature = "sanitize")]
+            last_pop: f64::NEG_INFINITY,
         }
     }
 
@@ -68,7 +77,18 @@ impl<T> EventQueue<T> {
     }
 
     pub fn pop(&mut self) -> Option<(Secs, T)> {
-        self.heap.pop().map(|e| (Secs(e.time), e.payload))
+        let popped = self.heap.pop().map(|e| (Secs(e.time), e.payload));
+        #[cfg(feature = "sanitize")]
+        if let Some((t, _)) = &popped {
+            assert!(
+                t.value() >= self.last_pop,
+                "sanitize: virtual time moved backwards: popped {} after {}",
+                t.value(),
+                self.last_pop
+            );
+            self.last_pop = t.value();
+        }
+        popped
     }
 
     /// Time of the earliest pending event.
@@ -124,7 +144,12 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    // Pushing an event earlier than an already-popped one is legal for
+    // the plain queue but an invariant violation under `sanitize` (a
+    // simulator rewriting its own past), so the two builds assert
+    // opposite outcomes on the same sequence.
     #[test]
+    #[cfg(not(feature = "sanitize"))]
     fn interleaved_push_pop() {
         let mut q = EventQueue::new();
         q.push(Secs(2.0), 2);
@@ -135,5 +160,28 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 1);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize")]
+    #[should_panic(expected = "virtual time moved backwards")]
+    fn sanitize_catches_time_reversal() {
+        let mut q = EventQueue::new();
+        q.push(Secs(2.0), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.push(Secs(1.0), 1);
+        let _ = q.pop();
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize")]
+    fn sanitize_allows_monotone_interleaving() {
+        let mut q = EventQueue::new();
+        q.push(Secs(1.0), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Secs(1.0), 10); // equal time is fine
+        q.push(Secs(2.0), 2);
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 2);
     }
 }

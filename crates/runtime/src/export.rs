@@ -108,10 +108,7 @@ mod tests {
         assert!(json.contains("\"name\":\"gemm\""));
         assert!(json.contains("\"cat\":\"dp\""));
         // Balanced braces — a cheap well-formedness smoke check.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

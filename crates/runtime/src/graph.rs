@@ -76,15 +76,41 @@ impl TaskGraph {
     ///
     /// Panics on forward edges (`from >= to`): submission order is the
     /// topological order and must stay acyclic by construction.
+    ///
+    /// Adjacency lists are kept sorted ascending (submission wires edges
+    /// in increasing-id order, which preserves this for free), so the
+    /// duplicate check is a binary search instead of the linear scan it
+    /// used to be — explicit-edge-heavy graphs no longer degrade to
+    /// O(degree) per insertion.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
         assert!(
             from < to,
             "explicit edge must follow submission order ({from} -> {to})"
         );
-        if !self.succs[from].contains(&to) {
-            self.succs[from].push(to);
-            self.preds[to].push(from);
+        if let Err(pos) = self.succs[from].binary_search(&to) {
+            self.succs[from].insert(pos, to);
+            if let Err(pos) = self.preds[to].binary_search(&from) {
+                self.preds[to].insert(pos, from);
+            }
         }
+    }
+
+    /// Remove the edge `from → to` if present; returns whether it existed.
+    ///
+    /// This is a fault-injection hook: the graph linter's tests delete
+    /// inferred hazard edges and assert the deletion is flagged as a
+    /// race. The per-datum submission tracking is deliberately not
+    /// rewound — the graph's *declared* accesses still require the
+    /// ordering, which is exactly the inconsistency the linter detects.
+    pub fn remove_edge(&mut self, from: TaskId, to: TaskId) -> bool {
+        let Ok(pos) = self.succs[from].binary_search(&to) else {
+            return false;
+        };
+        self.succs[from].remove(pos);
+        if let Ok(pos) = self.preds[to].binary_search(&from) {
+            self.preds[to].remove(pos);
+        }
+        true
     }
 
     pub fn len(&self) -> usize {
@@ -118,7 +144,9 @@ impl TaskGraph {
 
     /// Tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&t| self.preds[t].is_empty()).collect()
+        (0..self.len())
+            .filter(|&t| self.preds[t].is_empty())
+            .collect()
     }
 
     /// Number of edges.
@@ -259,6 +287,61 @@ mod tests {
         let a = g.submit(gemm_on(&[]));
         let b = g.submit(gemm_on(&[]));
         g.add_edge(b, a);
+    }
+
+    #[test]
+    fn remove_edge_reports_presence() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write)]));
+        let r = g.submit(gemm_on(&[(0, AccessMode::Read)]));
+        assert!(g.remove_edge(w, r));
+        assert!(g.successors(w).is_empty());
+        assert!(g.predecessors(r).is_empty());
+        assert!(!g.remove_edge(w, r)); // already gone
+                                       // Re-adding restores it.
+        g.add_edge(w, r);
+        assert_eq!(g.successors(w), &[r]);
+        assert_eq!(g.predecessors(r), &[w]);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted_under_explicit_edges() {
+        let mut g = TaskGraph::new();
+        for _ in 0..64 {
+            g.submit(gemm_on(&[]));
+        }
+        // Insert explicit edges out of order, with duplicates.
+        for &to in &[40usize, 8, 56, 8, 24, 63, 16, 40] {
+            g.add_edge(0, to);
+        }
+        for &from in &[9usize, 3, 31, 3, 17] {
+            g.add_edge(from, 62);
+        }
+        assert_eq!(g.successors(0), &[8, 16, 24, 40, 56, 63]);
+        assert_eq!(g.predecessors(62), &[3, 9, 17, 31]);
+    }
+
+    #[test]
+    fn dense_explicit_fanout_is_fast() {
+        // Bench-sized regression guard for the old O(degree) duplicate
+        // scan in add_edge: a hub with tens of thousands of successors
+        // was quadratic (~1e9 comparisons here); with sorted adjacency
+        // and binary search it completes instantly even in debug builds.
+        const N: usize = 30_000;
+        let mut g = TaskGraph::new();
+        for _ in 0..N {
+            g.submit(gemm_on(&[]));
+        }
+        for to in 1..N {
+            g.add_edge(0, to);
+        }
+        // Duplicate pass over the full fan-out is pure binary search.
+        for to in 1..N {
+            g.add_edge(0, to);
+        }
+        assert_eq!(g.successors(0).len(), N - 1);
+        assert_eq!(g.edge_count(), N - 1);
+        assert!(g.successors(0).windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -10,10 +10,11 @@
 
 use crate::data::{DataId, DataRegistry, MemNode};
 use std::collections::HashMap;
+use ugpc_hwsim::Bytes;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
-    bytes: f64,
+    bytes: Bytes,
     last_use: u64,
     pins: u32,
 }
@@ -22,8 +23,8 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct GpuMemory {
     device: usize,
-    capacity: f64,
-    used: f64,
+    capacity: Bytes,
+    used: Bytes,
     resident: HashMap<DataId, Entry>,
     clock: u64,
     /// Replicas dropped to make room.
@@ -37,12 +38,12 @@ pub struct GpuMemory {
 }
 
 impl GpuMemory {
-    pub fn new(device: usize, capacity: f64) -> Self {
-        assert!(capacity > 0.0);
+    pub fn new(device: usize, capacity: Bytes) -> Self {
+        assert!(capacity > Bytes::ZERO);
         GpuMemory {
             device,
             capacity,
-            used: 0.0,
+            used: Bytes::ZERO,
             resident: HashMap::new(),
             clock: 0,
             evictions: 0,
@@ -55,11 +56,11 @@ impl GpuMemory {
         self.device
     }
 
-    pub fn used(&self) -> f64 {
+    pub fn used(&self) -> Bytes {
         self.used
     }
 
-    pub fn capacity(&self) -> f64 {
+    pub fn capacity(&self) -> Bytes {
         self.capacity
     }
 
@@ -74,7 +75,7 @@ impl GpuMemory {
 
     /// Mark a replica resident (after a transfer or an allocation for a
     /// write) and update its recency. Idempotent on already-resident ids.
-    pub fn note_resident(&mut self, id: DataId, bytes: f64) {
+    pub fn note_resident(&mut self, id: DataId, bytes: Bytes) {
         let t = self.tick();
         match self.resident.entry(id) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -89,6 +90,7 @@ impl GpuMemory {
                 self.used += bytes;
             }
         }
+        self.assert_accounting();
     }
 
     /// Pin a resident replica (operand of a queued task).
@@ -114,13 +116,14 @@ impl GpuMemory {
             debug_assert_eq!(e.pins, 0, "dropping a pinned replica");
             self.used -= e.bytes;
         }
+        self.assert_accounting();
     }
 
     /// Evict least-recently-used unpinned replicas until `incoming` new
     /// bytes fit. Returns the evicted ids with a flag for those needing a
     /// writeback (sole valid copy). The caller performs the registry
     /// invalidation and schedules the writeback transfers.
-    pub fn make_room(&mut self, incoming: f64, reg: &DataRegistry) -> Vec<(DataId, bool)> {
+    pub fn make_room(&mut self, incoming: Bytes, reg: &DataRegistry) -> Vec<(DataId, bool)> {
         let mut out = Vec::new();
         while self.used + incoming > self.capacity {
             let victim = self
@@ -142,14 +145,42 @@ impl GpuMemory {
             }
             out.push((id, writeback));
         }
+        self.assert_accounting();
         out
     }
+
+    /// Sanitizer: `used` must equal the sum of resident entries and never
+    /// exceed capacity unless the over-subscription escape hatch fired.
+    /// Compiles to nothing without the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    fn assert_accounting(&self) {
+        let sum: Bytes = self.resident.values().map(|e| e.bytes).sum();
+        let drift = (sum - self.used).abs();
+        assert!(
+            drift <= Bytes(1e-6) + sum * 1e-12,
+            "sanitize: gpu {} accounting drift: used {:?} vs resident sum {:?}",
+            self.device,
+            self.used,
+            sum
+        );
+        assert!(
+            self.used <= self.capacity || self.over_subscribed,
+            "sanitize: gpu {} resident set {:?} exceeds capacity {:?} without \
+             over-subscription being reported",
+            self.device,
+            self.used,
+            self.capacity
+        );
+    }
+
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn assert_accounting(&self) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ugpc_hwsim::Bytes;
 
     fn reg_with(n: usize) -> DataRegistry {
         let mut reg = DataRegistry::new();
@@ -161,28 +192,28 @@ mod tests {
 
     #[test]
     fn resident_accounting() {
-        let mut m = GpuMemory::new(0, 250.0);
-        m.note_resident(0, 100.0);
-        m.note_resident(1, 100.0);
-        assert_eq!(m.used(), 200.0);
+        let mut m = GpuMemory::new(0, Bytes(250.0));
+        m.note_resident(0, Bytes(100.0));
+        m.note_resident(1, Bytes(100.0));
+        assert_eq!(m.used(), Bytes(200.0));
         assert!(m.is_resident(0));
         // Re-noting does not double count.
-        m.note_resident(0, 100.0);
-        assert_eq!(m.used(), 200.0);
+        m.note_resident(0, Bytes(100.0));
+        assert_eq!(m.used(), Bytes(200.0));
     }
 
     #[test]
     fn lru_eviction_order() {
         let reg = reg_with(3);
-        let mut m = GpuMemory::new(0, 250.0);
-        m.note_resident(0, 100.0);
-        m.note_resident(1, 100.0);
+        let mut m = GpuMemory::new(0, Bytes(250.0));
+        m.note_resident(0, Bytes(100.0));
+        m.note_resident(1, Bytes(100.0));
         // Touch 0 so 1 becomes LRU.
-        m.note_resident(0, 100.0);
-        let evicted = m.make_room(100.0, &reg);
+        m.note_resident(0, Bytes(100.0));
+        let evicted = m.make_room(Bytes(100.0), &reg);
         assert_eq!(evicted, vec![(1, false)]); // host still valid: no writeback
         assert!(!m.is_resident(1));
-        assert_eq!(m.used(), 100.0);
+        assert_eq!(m.used(), Bytes(100.0));
         assert_eq!(m.evictions, 1);
         assert_eq!(m.writebacks, 0);
     }
@@ -191,9 +222,9 @@ mod tests {
     fn sole_owner_needs_writeback() {
         let mut reg = reg_with(1);
         reg.write_at(0, MemNode::Gpu(0)); // GPU 0 sole owner
-        let mut m = GpuMemory::new(0, 100.0);
-        m.note_resident(0, 100.0);
-        let evicted = m.make_room(100.0, &reg);
+        let mut m = GpuMemory::new(0, Bytes(100.0));
+        m.note_resident(0, Bytes(100.0));
+        let evicted = m.make_room(Bytes(100.0), &reg);
         assert_eq!(evicted, vec![(0, true)]);
         assert_eq!(m.writebacks, 1);
     }
@@ -201,33 +232,33 @@ mod tests {
     #[test]
     fn pinned_replicas_survive() {
         let reg = reg_with(2);
-        let mut m = GpuMemory::new(0, 200.0);
-        m.note_resident(0, 100.0);
-        m.note_resident(1, 100.0);
+        let mut m = GpuMemory::new(0, Bytes(200.0));
+        m.note_resident(0, Bytes(100.0));
+        m.note_resident(1, Bytes(100.0));
         m.pin(0);
-        let evicted = m.make_room(100.0, &reg);
+        let evicted = m.make_room(Bytes(100.0), &reg);
         // Only the unpinned one goes.
         assert_eq!(evicted, vec![(1, false)]);
         // Pinning everything and asking for more over-subscribes.
         m.pin(0); // second pin
-        let evicted = m.make_room(150.0, &reg);
+        let evicted = m.make_room(Bytes(150.0), &reg);
         assert!(evicted.is_empty());
         assert!(m.over_subscribed);
         // Unpinning twice releases the entry for future eviction.
         m.unpin(0);
         m.unpin(0);
         m.over_subscribed = false;
-        let evicted = m.make_room(150.0, &reg);
+        let evicted = m.make_room(Bytes(150.0), &reg);
         assert_eq!(evicted.len(), 1);
     }
 
     #[test]
     fn remote_write_drops_replica() {
-        let mut m = GpuMemory::new(0, 200.0);
-        m.note_resident(0, 100.0);
+        let mut m = GpuMemory::new(0, Bytes(200.0));
+        m.note_resident(0, Bytes(100.0));
         m.drop_if_present(0);
         assert!(!m.is_resident(0));
-        assert_eq!(m.used(), 0.0);
+        assert_eq!(m.used(), Bytes(0.0));
         // Dropping an absent id is a no-op.
         m.drop_if_present(42);
     }

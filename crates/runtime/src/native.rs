@@ -197,15 +197,18 @@ mod tests {
     fn wide_graph_dependency_stress() {
         // 1 root -> 64 middles -> 1 sink, many times, on varying threads.
         let mut g = TaskGraph::new();
-        let root =
-            g.submit(TaskDesc::new(KernelKind::Gemm, Precision::Double, 4).access(0, AccessMode::Write));
+        let root = g.submit(
+            TaskDesc::new(KernelKind::Gemm, Precision::Double, 4).access(0, AccessMode::Write),
+        );
         let mut mids = Vec::new();
         for i in 0..64 {
-            mids.push(g.submit(
-                TaskDesc::new(KernelKind::Gemm, Precision::Double, 4)
-                    .access(0, AccessMode::Read)
-                    .access(1 + i, AccessMode::Write),
-            ));
+            mids.push(
+                g.submit(
+                    TaskDesc::new(KernelKind::Gemm, Precision::Double, 4)
+                        .access(0, AccessMode::Read)
+                        .access(1 + i, AccessMode::Write),
+                ),
+            );
         }
         let mut sink = TaskDesc::new(KernelKind::Gemm, Precision::Double, 4);
         for i in 0..64 {

@@ -87,7 +87,10 @@ impl PerfModel {
     /// ablations quantify how much scheduling quality depends on model
     /// accuracy.
     pub fn with_calibration_noise(mut self, relative_sigma: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&relative_sigma), "sigma {relative_sigma}");
+        assert!(
+            (0.0..1.0).contains(&relative_sigma),
+            "sigma {relative_sigma}"
+        );
         self.noise = relative_sigma;
         self.noise_state = seed | 1;
         self
@@ -124,7 +127,9 @@ impl PerfModel {
 
     /// Expected energy of one execution, if history exists.
     pub fn expected_energy(&self, fp: Footprint, worker: WorkerId) -> Option<Joules> {
-        self.table.get(&(fp, worker)).map(|e| Joules(e.energy.mean()))
+        self.table
+            .get(&(fp, worker))
+            .map(|e| Joules(e.energy.mean()))
     }
 
     /// Expected time with a cubic-scaling regression fallback: when the
@@ -138,9 +143,7 @@ impl PerfModel {
         // Nearest observed nb for the same (kind, precision, worker).
         self.table
             .iter()
-            .filter(|((f, w), _)| {
-                *w == worker && f.kind == fp.kind && f.precision == fp.precision
-            })
+            .filter(|((f, w), _)| *w == worker && f.kind == fp.kind && f.precision == fp.precision)
             .min_by_key(|((f, _), _)| f.nb.abs_diff(fp.nb))
             .map(|((f, _), e)| {
                 let scale = (fp.nb as f64 / f.nb as f64).powi(3);
@@ -277,7 +280,11 @@ mod tests {
         // GPU is much faster than a single CPU core on GEMM.
         let tg = m.expected_time(fps[0], gpu_worker).unwrap();
         let tc = m.expected_time(fps[0], cpu_worker).unwrap();
-        assert!(tc.value() / tg.value() > 20.0, "ratio {}", tc.value() / tg.value());
+        assert!(
+            tc.value() / tg.value() > 20.0,
+            "ratio {}",
+            tc.value() / tg.value()
+        );
     }
 
     #[test]
@@ -321,7 +328,10 @@ mod tests {
         assert_ne!(noisy(1), noisy(2));
         // Noise of 20 % keeps the mean within a plausible band.
         let n = noisy(1);
-        assert!((n.value() / exact.value() - 1.0).abs() < 0.5, "{n} vs {exact}");
+        assert!(
+            (n.value() / exact.value() - 1.0).abs() < 0.5,
+            "{n} vs {exact}"
+        );
         // Zero sigma is exact.
         let mut m = PerfModel::new().with_calibration_noise(0.0, 3);
         m.calibrate(&node, &workers, &fps);

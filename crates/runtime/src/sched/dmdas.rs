@@ -52,8 +52,7 @@ impl Scheduler for DmdasScheduler {
             .max_by(|a, b| {
                 let ra = view.resident_bytes(task, &view.workers[a.0]).value();
                 let rb = view.resident_bytes(task, &view.workers[b.0]).value();
-                ra.total_cmp(&rb)
-                    .then_with(|| b.1.total_cmp(&a.1)) // then earliest ECT
+                ra.total_cmp(&rb).then_with(|| b.1.total_cmp(&a.1)) // then earliest ECT
             })
             .map(|(id, _)| *id)
             .expect("non-empty candidate set")

@@ -14,8 +14,6 @@ impl Scheduler for EagerScheduler {
     }
 
     fn choose(&mut self, task: TaskId, view: &SchedView) -> WorkerId {
-        argmin_worker(view, task, |w| {
-            view.now.max(view.worker_free[w.id]).value()
-        })
+        argmin_worker(view, task, |w| view.now.max(view.worker_free[w.id]).value())
     }
 }

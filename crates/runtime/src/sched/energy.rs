@@ -60,8 +60,8 @@ impl Scheduler for EnergyAwareScheduler {
         candidates
             .iter()
             .map(|&(id, t, e)| {
-                let cost = (1.0 - self.lambda) * t / t_min.max(1e-12)
-                    + self.lambda * e / e_min.max(1e-12);
+                let cost =
+                    (1.0 - self.lambda) * t / t_min.max(1e-12) + self.lambda * e / e_min.max(1e-12);
                 (id, cost)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))

@@ -32,12 +32,16 @@ use ugpc_hwsim::{Joules, LinkTopology, Secs};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SchedPolicy {
     Eager,
-    Random { seed: u64 },
+    Random {
+        seed: u64,
+    },
     Dm,
     Dmda,
     Dmdas,
     /// dmdas with an energy term: cost = (1−λ)·t̂ + λ·ê (normalized).
-    EnergyAware { lambda: f64 },
+    EnergyAware {
+        lambda: f64,
+    },
 }
 
 impl SchedPolicy {
@@ -103,9 +107,7 @@ impl<'a> SchedView<'a> {
     /// Expected energy of one execution on this worker.
     pub fn energy_estimate(&self, task: TaskId, w: &Worker) -> Joules {
         let fp = self.graph.task(task).footprint();
-        self.perf
-            .expected_energy(fp, w.id)
-            .unwrap_or(Joules(1e9))
+        self.perf.expected_energy(fp, w.id).unwrap_or(Joules(1e9))
     }
 
     /// Bandwidth-based estimate of the data-transfer time this task would

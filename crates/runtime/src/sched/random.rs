@@ -33,7 +33,9 @@ impl Scheduler for RandomScheduler {
             .capable_workers(task)
             .map(|w| (w.id, 1.0 / view.exec_estimate(task, w).value().max(1e-12)))
             .collect();
-        assert!(!candidates.is_empty(), "no capable worker for task {task}");
+        let Some(last) = candidates.last() else {
+            panic!("no capable worker for task {task}");
+        };
         let total: f64 = candidates.iter().map(|c| c.1).sum();
         let mut pick = self.rng.gen_range(0.0..total);
         for (id, weight) in &candidates {
@@ -42,6 +44,8 @@ impl Scheduler for RandomScheduler {
             }
             pick -= weight;
         }
-        candidates.last().unwrap().0
+        // Floating-point round-off can leave `pick` a hair past the last
+        // cumulative weight; the draw then belongs to the final bucket.
+        last.0
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::data::{DataId, DataRegistry, MemNode};
 use crate::des::EventQueue;
-use crate::memory::GpuMemory;
 use crate::graph::TaskGraph;
+use crate::memory::GpuMemory;
 use crate::perfmodel::PerfModel;
 use crate::sched::{SchedPolicy, SchedView};
 use crate::task::{Footprint, TaskId};
@@ -97,12 +97,22 @@ pub fn simulate_with_model(
     data.reset_to_host();
     node.reset_energy();
     let probe = EnergyProbe::start(node, Secs::ZERO);
+    // Sanitizer: independent per-GPU counter snapshots, so the probe's
+    // reading can be cross-checked against a second integration at the
+    // end of the run.
+    #[cfg(feature = "sanitize")]
+    let gpu_energy_at_start: Vec<Joules> =
+        node.gpus().iter().map(|g| g.energy(Secs::ZERO)).collect();
+    // Sanitizer: completion time of every finished task, to assert that
+    // no task starts before all of its predecessors ended.
+    #[cfg(feature = "sanitize")]
+    let mut task_end: Vec<Option<Secs>> = vec![None; graph.len()];
 
     let n_gpus = node.gpus().len();
     let mut gpu_mem: Vec<GpuMemory> = node
         .gpus()
         .iter()
-        .map(|g| GpuMemory::new(g.index(), g.spec().mem_capacity.value()))
+        .map(|g| GpuMemory::new(g.index(), g.spec().mem_capacity))
         .collect();
     let mut task_worker: Vec<usize> = vec![usize::MAX; graph.len()];
     let links = *node.links();
@@ -182,14 +192,13 @@ pub fn simulate_with_model(
                 // operand before planning the fetches.
                 if options.enforce_gpu_memory {
                     if let MemNode::Gpu(g) = dst {
-                        let mut operands: Vec<DataId> =
-                            desc.data.iter().map(|&(d, _)| d).collect();
+                        let mut operands: Vec<DataId> = desc.data.iter().map(|&(d, _)| d).collect();
                         operands.sort_unstable();
                         operands.dedup();
-                        let incoming: f64 = operands
+                        let incoming: ugpc_hwsim::Bytes = operands
                             .iter()
                             .filter(|&&d| !gpu_mem[g].is_resident(d))
-                            .map(|&d| data.bytes(d).value())
+                            .map(|&d| data.bytes(d))
                             .sum();
                         // Pin first so make_room cannot evict our own
                         // already-resident operands.
@@ -214,7 +223,7 @@ pub fn simulate_with_model(
                         // reads are planned below; writes just allocate).
                         for &d in &operands {
                             if !gpu_mem[g].is_resident(d) {
-                                gpu_mem[g].note_resident(d, data.bytes(d).value());
+                                gpu_mem[g].note_resident(d, data.bytes(d));
                                 gpu_mem[g].pin(d);
                             }
                         }
@@ -271,6 +280,17 @@ pub fn simulate_with_model(
 
                 // Execute on the device model; it records its own energy.
                 let t_start = worker_free[wid].max(data_ready);
+                #[cfg(feature = "sanitize")]
+                for &p in graph.predecessors(task) {
+                    let end = task_end[p].unwrap_or_else(|| {
+                        panic!("sanitize: task {task} scheduled before predecessor {p} finished")
+                    });
+                    assert!(
+                        t_start >= end,
+                        "sanitize: task {task} starts at {t_start} before predecessor {p} \
+                         ends at {end}"
+                    );
+                }
                 let (duration, energy) = match worker.kind {
                     WorkerKind::Gpu { device } => {
                         let run = node.gpu_mut(device).execute(&desc.kernel_work(), t_start);
@@ -290,6 +310,10 @@ pub fn simulate_with_model(
                     }
                 };
                 let t_end = t_start + duration;
+                #[cfg(feature = "sanitize")]
+                {
+                    task_end[task] = Some(t_end);
+                }
                 worker_free[wid] = t_end;
                 worker_busy[wid] += duration;
                 worker_tasks[wid] += 1;
@@ -379,6 +403,38 @@ pub fn simulate_with_model(
         energy.per_gpu.iter().all(|e| *e > Joules::ZERO) || graph.is_empty(),
         "every GPU burns at least idle power"
     );
+    #[cfg(feature = "sanitize")]
+    {
+        // All tasks must have completed with recorded end times.
+        assert!(
+            task_end.iter().all(Option::is_some),
+            "sanitize: tasks remain unfinished after the event loop drained"
+        );
+        // Replica coherence held to the end.
+        data.assert_coherent();
+        // Energy cross-check: the probe's per-GPU reading must match an
+        // independent second integration of each device's ledger over
+        // the same window, and the trace total must be their sum.
+        for (g, (dev, &e0)) in node.gpus().iter().zip(&gpu_energy_at_start).enumerate() {
+            let independent = dev.energy(makespan) - e0;
+            let drift = (independent - energy.per_gpu[g]).abs();
+            let tol = Joules(1e-6) + independent.abs() * 1e-9;
+            assert!(
+                drift <= tol,
+                "sanitize: gpu {g} probe energy {} disagrees with ledger integral {}",
+                energy.per_gpu[g],
+                independent
+            );
+        }
+        let per_device_sum = energy.gpu_total() + energy.cpu_total();
+        let drift = (per_device_sum - energy.total()).abs();
+        assert!(
+            drift <= Joules(1e-6) + per_device_sum.abs() * 1e-9,
+            "sanitize: trace total energy {} is not the sum of per-device integrals {}",
+            energy.total(),
+            per_device_sum
+        );
+    }
 
     RunTrace {
         makespan,
@@ -403,12 +459,7 @@ mod tests {
 
     /// A tiny GEMM-like graph: `chains` independent chains of `len`
     /// sequential updates each, on distinct tiles.
-    fn chain_graph(
-        chains: usize,
-        len: usize,
-        nb: usize,
-        data: &mut DataRegistry,
-    ) -> TaskGraph {
+    fn chain_graph(chains: usize, len: usize, nb: usize, data: &mut DataRegistry) -> TaskGraph {
         let mut g = TaskGraph::new();
         for c in 0..chains {
             let tile = data.register(Bytes((nb * nb * 8) as f64));
@@ -518,7 +569,10 @@ mod tests {
         // Uncapped: roughly even split.
         let max = *balanced.iter().max().unwrap() as f64;
         let min = *balanced.iter().min().unwrap() as f64;
-        assert!(max / min.max(1.0) < 2.0, "balanced run skewed: {balanced:?}");
+        assert!(
+            max / min.max(1.0) < 2.0,
+            "balanced run skewed: {balanced:?}"
+        );
         // Capped: GPUs 0/1 (fast) take clearly more than GPUs 2/3 (slow).
         assert!(
             unbalanced[0] + unbalanced[1] > (unbalanced[2] + unbalanced[3]) * 2,

@@ -228,8 +228,10 @@ mod tests {
 
     #[test]
     fn footprints_group_interchangeable_tasks() {
-        let a = TaskDesc::new(KernelKind::Gemm, Precision::Double, 2880).access(0, AccessMode::Read);
-        let b = TaskDesc::new(KernelKind::Gemm, Precision::Double, 2880).access(5, AccessMode::Write);
+        let a =
+            TaskDesc::new(KernelKind::Gemm, Precision::Double, 2880).access(0, AccessMode::Read);
+        let b =
+            TaskDesc::new(KernelKind::Gemm, Precision::Double, 2880).access(5, AccessMode::Write);
         assert_eq!(a.footprint(), b.footprint());
         let c = TaskDesc::new(KernelKind::Gemm, Precision::Single, 2880);
         assert_ne!(a.footprint(), c.footprint());

@@ -161,7 +161,10 @@ mod tests {
         let workers = vec![
             Worker {
                 id: 0,
-                kind: WorkerKind::CpuCore { package: 0, core: 0 },
+                kind: WorkerKind::CpuCore {
+                    package: 0,
+                    core: 0,
+                },
             },
             Worker {
                 id: 1,

@@ -145,7 +145,10 @@ mod tests {
     fn short_names() {
         let w = Worker {
             id: 0,
-            kind: WorkerKind::CpuCore { package: 1, core: 3 },
+            kind: WorkerKind::CpuCore {
+                package: 1,
+                core: 3,
+            },
         };
         assert_eq!(w.short_name(), "cpu1.3");
         let g = Worker {

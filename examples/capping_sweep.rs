@@ -6,6 +6,10 @@
 //! cargo run --release --example capping_sweep
 //! ```
 
+// Demo code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::capping::{best_point, cap_sweep};
 use ugpc::prelude::*;
 
@@ -15,7 +19,11 @@ fn bar(frac: f64, width: usize) -> String {
 }
 
 fn main() {
-    for model in [GpuModel::V100Pcie32, GpuModel::A100Pcie40, GpuModel::A100Sxm4_40] {
+    for model in [
+        GpuModel::V100Pcie32,
+        GpuModel::A100Pcie40,
+        GpuModel::A100Sxm4_40,
+    ] {
         for precision in [Precision::Double, Precision::Single] {
             let sweep = cap_sweep(model, 5120, precision, 0.04);
             let best = best_point(&sweep);

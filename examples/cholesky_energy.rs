@@ -6,6 +6,10 @@
 //! cargo run --release --example cholesky_energy
 //! ```
 
+// Demo code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::linalg::{build_potrf, potrf_residual, run_potrf_native, spd_tiled, Scalar};
 use ugpc::prelude::*;
 use ugpc::runtime::DataRegistry;

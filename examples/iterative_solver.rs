@@ -13,14 +13,19 @@ use ugpc::prelude::*;
 use ugpc::{dynamic_vs_static_oracle, RunConfig};
 
 fn main() {
-    let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
-        .scaled_down(2);
+    let cfg =
+        RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(2);
     let (dynamic, oracle) = dynamic_vs_static_oracle(&cfg, 25);
 
     println!("iter   caps (W)                  node eff (Gflop/s/W)");
     for (i, it) in dynamic.iterations.iter().enumerate() {
         let caps: Vec<String> = it.caps_w.iter().map(|c| format!("{c:>3.0}")).collect();
-        println!("{:>4}   [{}]   {:>8.2}", i, caps.join(", "), it.efficiency_gflops_w);
+        println!(
+            "{:>4}   [{}]   {:>8.2}",
+            i,
+            caps.join(", "),
+            it.efficiency_gflops_w
+        );
     }
     println!(
         "\ndynamic:      {:.2} Gflop/s/W at caps {:?} W",

@@ -7,6 +7,10 @@
 //! cargo run --release --example lu_factorization
 //! ```
 
+// Demo code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::linalg::{build_getrf, dd_tiled, gemm, run_getrf_native, Tile, Trans};
 use ugpc::prelude::*;
 use ugpc::runtime::{simulate, DataRegistry, SimOptions};
@@ -41,7 +45,10 @@ fn main() {
 
     // Cap ladder on the simulated 4×A100 node at a realistic size.
     println!("\nLU under the cap ladder — 32-AMD-4-A100, double precision, Nt = 2880, 20 tiles");
-    println!("{:<8} {:>10} {:>12} {:>14}", "config", "Gflop/s", "energy (kJ)", "Gflop/s/W");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14}",
+        "config", "Gflop/s", "energy (kJ)", "Gflop/s/W"
+    );
     for config in ["LLLL", "HHLL", "HHHH", "HHBB", "BBBB"] {
         let mut node = Node::new(PlatformId::Amd4A100);
         let caps: CapConfig = config.parse().unwrap();

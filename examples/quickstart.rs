@@ -5,6 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Demo code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::prelude::*;
 
 fn main() {
@@ -32,15 +36,20 @@ fn main() {
 
     // Run the paper's GEMM (reduced 4× for a fast demo) on the default
     // configuration and on HHHB (the cap we just chose), via the study API.
-    let base = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
-        .scaled_down(4);
+    let base =
+        RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(4);
     let hhhh = run_study(&base);
     let hhhb = run_study(&base.clone().with_gpu_config("HHHB".parse().unwrap()));
 
     for r in [&hhhh, &hhhb] {
         println!(
             "{}  {:>8.0} Gflop/s  {:>9.0} J  {:>6.2} Gflop/s/W   ({} tasks on CPUs, {} on GPUs)",
-            r.gpu_config, r.gflops, r.total_energy_j, r.efficiency_gflops_w, r.cpu_tasks, r.gpu_tasks
+            r.gpu_config,
+            r.gflops,
+            r.total_energy_j,
+            r.efficiency_gflops_w,
+            r.cpu_tasks,
+            r.gpu_tasks
         );
     }
     let c = compare(&hhhb, &hhhh);

@@ -16,11 +16,11 @@ fn main() {
     // Unbalanced caps make the Gantt interesting: two GPUs run slow.
     ugpc::capping::apply_gpu_caps(
         &mut node,
-        &"HHLL".parse().unwrap(),
+        &"HHLL".parse().expect("HHLL is a valid gpu config"),
         OpKind::Potrf,
         Precision::Double,
     )
-    .unwrap();
+    .expect("HHLL caps fit a 4-GPU node");
 
     let mut reg = DataRegistry::new();
     let op = build_potrf(12, 2880, Precision::Double, &mut reg);
@@ -54,5 +54,8 @@ fn main() {
     let json = chrome_trace(&trace, &op.graph, &workers).expect("records kept");
     let path = "/tmp/ugpc_trace.json";
     std::fs::write(path, &json).expect("write trace");
-    println!("\nwrote {path} ({} bytes) — open it in https://ui.perfetto.dev", json.len());
+    println!(
+        "\nwrote {path} ({} bytes) — open it in https://ui.perfetto.dev",
+        json.len()
+    );
 }

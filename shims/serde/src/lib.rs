@@ -1,0 +1,261 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, API-compatible subset of the external
+//! crates it uses (see `shims/README.md`). This shim keeps the exact
+//! import surface the workspace relies on — `use serde::{Deserialize,
+//! Serialize}`, `#[derive(Serialize, Deserialize)]`, and `T:
+//! serde::Serialize` bounds — but is implemented directly over a JSON
+//! value model instead of serde's visitor architecture. Swapping back to
+//! the real crate is a one-line change in the workspace manifest.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Conversion into the JSON value model (shim counterpart of
+/// `serde::Serialize`).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the JSON value model (shim counterpart of
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error::msg("expected single-char string")),
+                }
+            }
+            _ => Err(Error::msg("expected char")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == impl_tuple!(@count $($t)+) => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::msg("expected tuple array")),
+                }
+            }
+        }
+    )*};
+    (@count $($t:ident)+) => { [$(impl_tuple!(@one $t)),+].len() };
+    (@one $t:ident) => { () };
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_owned(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.0f64), (3, 4.0)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(7u32).to_value()),
+            Ok(Some(7))
+        );
+    }
+
+    #[test]
+    fn non_integral_int_rejected() {
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+        assert!(u32::from_value(&Value::Str("1".into())).is_err());
+    }
+}

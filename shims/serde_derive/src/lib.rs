@@ -1,0 +1,472 @@
+//! Offline shim for `serde_derive`: implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the serde shim's JSON value model.
+//!
+//! Hand-rolled over `proc_macro` (the container has no `syn`/`quote`):
+//! a small token walker extracts the item shape — struct with named
+//! fields, tuple/newtype struct, or enum with unit/tuple/struct variants,
+//! optionally with plain `<T, U>` type parameters — and the impls are
+//! generated as strings and re-parsed. Unsupported shapes (bounded
+//! generics, lifetimes, unions) produce a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { fields: Fields },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    item: Item,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(p) => gen_serialize(&p)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(p) => gen_deserialize(&p)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            // Named-field struct.
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                generics,
+                item: Item::Struct {
+                    fields: Fields::Named(parse_named_fields(g.stream())?),
+                },
+            }),
+            // Tuple struct (`struct X(A, B);`).
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Parsed {
+                name,
+                generics,
+                item: Item::Struct {
+                    fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                },
+            }),
+            // Unit struct.
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Parsed {
+                name,
+                generics,
+                item: Item::Struct {
+                    fields: Fields::Unit,
+                },
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                generics,
+                item: Item::Enum {
+                    variants: parse_variants(g.stream())?,
+                },
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // `pub`, optionally `pub(crate)` etc.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<T, U>`-style generics (plain type-parameter idents only).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return Ok(params),
+    }
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *i += 1;
+                return Ok(params);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *i += 1,
+            Some(TokenTree::Ident(id)) => {
+                params.push(id.to_string());
+                *i += 1;
+                // A bound (`T: Trait`) or default would need real serde.
+                if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+                    if p.as_char() == ':' || p.as_char() == '=' {
+                        return Err(format!(
+                            "serde shim: bounded/defaulted type parameter {} unsupported",
+                            params.last().map(String::as_str).unwrap_or("?")
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("serde shim: unsupported generics token {other:?}")),
+        }
+    }
+}
+
+/// Names of the fields of a `{ ... }` body, skipping types entirely.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err(format!("expected field name, found {:?}", tokens.get(i)));
+        };
+        names.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+    }
+    Ok(names)
+}
+
+/// Count the fields of a `( ... )` body (top-level commas outside angles).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // Ignore a trailing comma.
+                ',' if angle == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err(format!("expected variant name, found {:?}", tokens.get(i)));
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // Past the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+
+fn impl_header(p: &Parsed, trait_name: &str) -> String {
+    if p.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", p.name)
+    } else {
+        let bounded: Vec<String> = p
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            p.name,
+            p.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => {
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|n| {
+                        format!("({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}))")
+                    })
+                    .collect();
+                format!("::serde::json::Value::Object(vec![{}])", entries.join(", "))
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+            }
+            Fields::Unit => "::serde::json::Value::Null".to_string(),
+        },
+        Item::Enum { variants } => {
+            let ty = &p.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{ty}::{vn} => ::serde::json::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({b}) => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::json::Value::Array(vec![{it}]))]),",
+                                b = binds.join(", "),
+                                it = items.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let binds = names.join(", ");
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!("({n:?}.to_string(), ::serde::Serialize::to_value({n}))")
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::json::Value::Object(vec![{e}]))]),",
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n}}",
+        impl_header(p, "Serialize")
+    )
+}
+
+fn named_fields_ctor(ty_path: &str, names: &[String], src: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|n| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get({n:?}).unwrap_or(&::serde::json::Value::Null)).map_err(|e| ::serde::json::Error::msg(format!(\"{ty_path}.{n}: {{e}}\")))?"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let ty = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => format!("Ok({})", named_fields_ctor(ty, names, "v")),
+            Fields::Tuple(1) => {
+                format!("Ok({ty}(::serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::json::Error::msg(\"{ty}: expected array\"))?;\n\
+                     if items.len() != {n} {{ return Err(::serde::json::Error::msg(\"{ty}: wrong tuple arity\")); }}\n\
+                     Ok({ty}({}))",
+                    items.join(", ")
+                )
+            }
+            Fields::Unit => format!("Ok({ty})"),
+        },
+        Item::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => return Ok({ty}::{}),", v.name, v.name))
+                .collect();
+            let content_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({ty}::{vn}(::serde::Deserialize::from_value(content)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                   let items = content.as_array().ok_or_else(|| ::serde::json::Error::msg(\"{ty}::{vn}: expected array\"))?;\n\
+                                   if items.len() != {n} {{ return Err(::serde::json::Error::msg(\"{ty}::{vn}: wrong arity\")); }}\n\
+                                   return Ok({ty}::{vn}({}));\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(names) => Some(format!(
+                            "{vn:?} => return Ok({}),",
+                            named_fields_ctor(&format!("{ty}::{vn}"), names, "content")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                   match s {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(fields) = v.as_object() {{\n\
+                   if fields.len() == 1 {{\n\
+                     let (key, content) = &fields[0];\n\
+                     let _ = content;\n\
+                     match key.as_str() {{ {content} _ => {{}} }}\n\
+                   }}\n\
+                 }}\n\
+                 Err(::serde::json::Error::msg(format!(\"unknown {ty} variant: {{v}}\")))",
+                unit = unit_arms.join("\n"),
+                content = content_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n}}",
+        impl_header(p, "Deserialize")
+    )
+}

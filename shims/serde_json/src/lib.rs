@@ -1,0 +1,107 @@
+//! Offline shim for `serde_json` (see `shims/README.md`): the
+//! `to_string` / `to_string_pretty` / `from_str` / [`Value`] surface this
+//! workspace uses, delegating to the serde shim's JSON value model.
+
+pub use serde::json::{Error, Value};
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serialize to a two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+/// Parse into the dynamic [`Value`] representation.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+/// Serialize into the dynamic [`Value`] representation.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Newtype(f64);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Tagged { level: u8, name: String },
+        Wrapped(usize),
+        Pair(i32, i32),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Config {
+        id: usize,
+        scale: Newtype,
+        kinds: Vec<Kind>,
+        note: Option<String>,
+        pair: Option<(usize, f64)>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Holder<T> {
+        sp: T,
+        dp: T,
+    }
+
+    #[test]
+    fn derived_round_trip() {
+        let cfg = Config {
+            id: 7,
+            scale: Newtype(2.5),
+            kinds: vec![
+                Kind::Plain,
+                Kind::Tagged {
+                    level: 3,
+                    name: "x".into(),
+                },
+                Kind::Wrapped(9),
+                Kind::Pair(-1, 2),
+            ],
+            note: None,
+            pair: Some((4, 0.5)),
+        };
+        let json = super::to_string(&cfg).unwrap();
+        let back: Config = super::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // Pretty form parses to the same thing.
+        let pretty = super::to_string_pretty(&cfg).unwrap();
+        let back2: Config = super::from_str(&pretty).unwrap();
+        assert_eq!(back2, cfg);
+        // Field names appear in the document.
+        assert!(json.contains("\"kinds\""));
+        assert!(json.contains("\"Tagged\""));
+    }
+
+    #[test]
+    fn generic_round_trip() {
+        let h = Holder {
+            sp: Newtype(1.0),
+            dp: Newtype(2.0),
+        };
+        let json = super::to_string(&h).unwrap();
+        let back: Holder<Newtype> = super::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn unknown_variant_errors() {
+        assert!(super::from_str::<Kind>("\"Nope\"").is_err());
+        assert!(super::from_str::<Kind>("{\"Nope\": 3}").is_err());
+    }
+}

@@ -39,16 +39,14 @@ pub use ugpc_linalg as linalg;
 pub use ugpc_runtime as runtime;
 
 pub use ugpc_core::{
-    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, Comparison,
-    DynamicIteration, DynamicStudyReport, RunConfig, RunReport,
+    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, Comparison, DynamicIteration,
+    DynamicStudyReport, RunConfig, RunReport,
 };
 
 /// Everything most programs need.
 pub mod prelude {
     pub use crate::{compare, run_study, Comparison, RunConfig, RunReport};
     pub use ugpc_capping::{CapConfig, CapLevel};
-    pub use ugpc_hwsim::{
-        GpuModel, Node, Nvml, OpKind, PlatformId, Precision, Secs, Watts,
-    };
+    pub use ugpc_hwsim::{GpuModel, Node, Nvml, OpKind, PlatformId, Precision, Secs, Watts};
     pub use ugpc_runtime::SchedPolicy;
 }

@@ -1,6 +1,10 @@
 //! Reproducibility: identical inputs give bit-identical results across
 //! the whole stack, and experiment data serializes losslessly.
 
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::prelude::*;
 
 #[test]
@@ -15,12 +19,16 @@ fn studies_are_bit_reproducible() {
 
 #[test]
 fn random_scheduler_reproducible_with_seed() {
-    let base = RunConfig::paper(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single)
-        .scaled_down(4);
+    let base =
+        RunConfig::paper(PlatformId::Intel2V100, OpKind::Gemm, Precision::Single).scaled_down(4);
     let s1 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 9 }));
     let s2 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 9 }));
     assert_eq!(s1, s2);
-    let s3 = run_study(&base.clone().with_scheduler(SchedPolicy::Random { seed: 10 }));
+    let s3 = run_study(
+        &base
+            .clone()
+            .with_scheduler(SchedPolicy::Random { seed: 10 }),
+    );
     // A different seed virtually always places differently.
     assert_ne!(s1.makespan_s, s3.makespan_s);
 }
@@ -47,8 +55,8 @@ fn run_config_serde_round_trip() {
 
 #[test]
 fn run_report_serde_round_trip() {
-    let cfg = RunConfig::paper(PlatformId::Intel2V100, OpKind::Potrf, Precision::Double)
-        .scaled_down(6);
+    let cfg =
+        RunConfig::paper(PlatformId::Intel2V100, OpKind::Potrf, Precision::Double).scaled_down(6);
     let report = run_study(&cfg);
     let json = serde_json::to_string(&report).unwrap();
     let back: RunReport = serde_json::from_str(&json).unwrap();

@@ -1,6 +1,10 @@
 //! Cross-crate numerical validation: the tiled operations executed by the
 //! native work-stealing runtime produce LAPACK-grade results.
 
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::linalg::{
     build_gemm, build_potrf, gemm_residual, potrf_residual, random_tiled, run_gemm_native,
     run_potrf_native, spd_tiled, Scalar, TiledMatrix,

@@ -2,6 +2,10 @@
 //! at reduced problem scale (same tile sizes, fewer tiles — the per-task
 //! physics is identical).
 
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use ugpc::prelude::*;
 
 fn cfg(platform: PlatformId, op: OpKind, p: Precision) -> RunConfig {
@@ -141,10 +145,13 @@ fn gpu_capping_shifts_load_to_cpus() {
     let base = RunConfig::paper(PlatformId::Intel2V100, OpKind::Gemm, Precision::Double);
     let h = with(&base, "HH");
     let l = with(&base, "LL");
-    assert!(l.cpu_tasks > h.cpu_tasks, "{} !> {}", l.cpu_tasks, h.cpu_tasks);
-    let share = |r: &RunReport| {
-        r.energy_per_cpu.iter().sum::<f64>() / r.total_energy_j
-    };
+    assert!(
+        l.cpu_tasks > h.cpu_tasks,
+        "{} !> {}",
+        l.cpu_tasks,
+        h.cpu_tasks
+    );
+    let share = |r: &RunReport| r.energy_per_cpu.iter().sum::<f64>() / r.total_energy_j;
     assert!(share(&l) > share(&h));
 }
 
@@ -172,7 +179,11 @@ fn cpu_capping_improves_efficiency_without_perf_loss() {
 #[test]
 fn best_cap_below_tdp_on_all_architectures() {
     use ugpc::capping::{best_point, cap_sweep};
-    for model in [GpuModel::V100Pcie32, GpuModel::A100Pcie40, GpuModel::A100Sxm4_40] {
+    for model in [
+        GpuModel::V100Pcie32,
+        GpuModel::A100Pcie40,
+        GpuModel::A100Sxm4_40,
+    ] {
         for precision in Precision::ALL {
             let sweep = cap_sweep(model, 5120, precision, 0.02);
             let best = best_point(&sweep);
@@ -189,8 +200,7 @@ fn best_cap_below_tdp_on_all_architectures() {
 /// sends fewer tasks to capped GPUs, in proportion to their slowdown.
 #[test]
 fn scheduler_rebalances_toward_uncapped_gpus() {
-    let base = cfg(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
-        .with_records();
+    let base = cfg(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).with_records();
     let h = run_study(&base);
     let unbalanced = run_study(&base.clone().with_gpu_config("HHLL".parse().unwrap()));
     // Balanced: GPUs split evenly; unbalanced: the two H GPUs do much more.

@@ -1,12 +1,14 @@
 //! Property-based tests over the core invariants.
 
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use ugpc::hwsim::{DvfsParams, EnergyLedger, Joules, Secs, Watts};
 use ugpc::linalg::{build_potrf, PotrfOp};
 use ugpc::prelude::*;
-use ugpc::runtime::{
-    AccessMode, DataRegistry, KernelKind, NativeExecutor, TaskDesc, TaskGraph,
-};
+use ugpc::runtime::{AccessMode, DataRegistry, KernelKind, NativeExecutor, TaskDesc, TaskGraph};
 
 fn arb_dvfs() -> impl Strategy<Value = DvfsParams> {
     // Physical parameter ranges; constrain so the knee is interior.
