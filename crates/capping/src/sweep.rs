@@ -23,6 +23,47 @@ pub struct SweepPoint {
     pub efficiency: f64,
 }
 
+/// The cap fractions a sweep visits: the device minimum stepped by
+/// `step_frac` of TDP up to (and including) 1.0. Exposed separately from
+/// [`cap_sweep`] so a parallel driver can fan the individual
+/// [`sweep_point`] simulations across workers; the accumulation matches
+/// the serial sweep bit-for-bit (clamping happens in `sweep_point`, as
+/// it did in the original loop).
+pub fn cap_fracs(model: GpuModel, step_frac: f64) -> Vec<f64> {
+    assert!(step_frac > 0.0 && step_frac < 1.0);
+    let spec = GpuSpec::of(model);
+    let mut out = Vec::new();
+    let mut frac = spec.min_cap / spec.tdp;
+    loop {
+        out.push(frac);
+        if frac >= 1.0 {
+            break;
+        }
+        frac += step_frac;
+    }
+    out
+}
+
+/// One independent simulation of the sweep: a single large-tile GEMM at
+/// cap fraction `frac` (clamped to TDP). Pure — the sweep's unit of
+/// parallel work.
+pub fn sweep_point(model: GpuModel, nb: usize, precision: Precision, frac: f64) -> SweepPoint {
+    let spec = GpuSpec::of(model);
+    let work = KernelWork::gemm_tile(nb, precision);
+    let cap = spec.tdp * frac.min(1.0);
+    let run = run_kernel(&spec, &work, cap);
+    let energy = run.energy();
+    SweepPoint {
+        cap,
+        cap_frac: frac.min(1.0),
+        time: run.time,
+        power: run.power,
+        energy,
+        gflops: (work.flops / run.time).as_gflops(),
+        efficiency: work.flops.value() / energy.value() / 1e9,
+    }
+}
+
 /// Sweep the power cap for a square GEMM of tile dimension `nb` on one
 /// GPU model. `step_frac` is the cap step as a fraction of TDP (the paper
 /// uses 0.02).
@@ -32,30 +73,10 @@ pub fn cap_sweep(
     precision: Precision,
     step_frac: f64,
 ) -> Vec<SweepPoint> {
-    assert!(step_frac > 0.0 && step_frac < 1.0);
-    let spec = GpuSpec::of(model);
-    let work = KernelWork::gemm_tile(nb, precision);
-    let mut out = Vec::new();
-    let mut frac = spec.min_cap / spec.tdp;
-    loop {
-        let cap = spec.tdp * frac.min(1.0);
-        let run = run_kernel(&spec, &work, cap);
-        let energy = run.energy();
-        out.push(SweepPoint {
-            cap,
-            cap_frac: frac.min(1.0),
-            time: run.time,
-            power: run.power,
-            energy,
-            gflops: (work.flops / run.time).as_gflops(),
-            efficiency: work.flops.value() / energy.value() / 1e9,
-        });
-        if frac >= 1.0 {
-            break;
-        }
-        frac += step_frac;
-    }
-    out
+    cap_fracs(model, step_frac)
+        .into_iter()
+        .map(|frac| sweep_point(model, nb, precision, frac))
+        .collect()
 }
 
 /// Checked variant of [`best_point`]: `None` on an empty sweep.

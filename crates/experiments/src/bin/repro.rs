@@ -1,11 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--scale K] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
+//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
 //! ```
 //!
 //! `--scale K` shrinks every task graph by K× (fewer tiles, same tile
 //! size) for quick runs; the default 1 reproduces the paper's sizes.
+//! `--jobs N` fans independent simulations over N worker threads
+//! (default: available cores, also settable via `UGPC_JOBS`); `--jobs 1`
+//! preserves the plain serial path. Output is byte-identical either way
+//! — see `ugpc_experiments::driver`.
 //! `--json DIR` additionally writes each experiment's raw data as JSON.
 //! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
 //! plus a parallelism report) before anything else and fails the run on
@@ -56,6 +60,14 @@ fn parse_args() -> Result<Args, String> {
                     return Err("scale must be >= 1".into());
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad jobs {v:?}"))?;
+                if n == 0 {
+                    return Err("jobs must be >= 1".into());
+                }
+                ex::driver::set_jobs(n);
+            }
             "--json" => {
                 let v = it.next().ok_or("--json needs a directory")?;
                 args.json_dir = Some(PathBuf::from(v));
@@ -63,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
             "--validate" => args.validate = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--scale K] [--json DIR] [{}|all]...",
+                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...",
                     ALL.join("|")
                 );
                 std::process::exit(0);

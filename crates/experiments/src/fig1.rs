@@ -4,7 +4,7 @@
 
 use crate::format::{f, TextTable};
 use serde::{Deserialize, Serialize};
-use ugpc_capping::{best_point, cap_sweep, SweepPoint};
+use ugpc_capping::{best_point, SweepPoint};
 use ugpc_hwsim::{GpuModel, Precision};
 
 /// The matrix sizes of the figure.
@@ -25,15 +25,31 @@ pub struct Fig1 {
     pub series: Vec<Fig1Series>,
 }
 
-/// Regenerate the figure's data.
+/// Regenerate the figure's data. Every (precision, size, cap) point is
+/// an independent single-kernel simulation; flatten the whole figure
+/// into one batch for the sweep driver and regroup into series (the
+/// fractions ladder is identical for every series — one GPU model).
 pub fn run(model: GpuModel, step_frac: f64) -> Fig1 {
+    let fracs = ugpc_capping::cap_fracs(model, step_frac);
+    let mut points = Vec::new();
+    for precision in Precision::ALL {
+        for &size in &SIZES {
+            for &frac in &fracs {
+                points.push((precision, size, frac));
+            }
+        }
+    }
+    let mut computed = crate::driver::par_map(points, |(precision, size, frac)| {
+        ugpc_capping::sweep_point(model, size, precision, frac)
+    })
+    .into_iter();
     let mut series = Vec::new();
     for precision in Precision::ALL {
         for &size in &SIZES {
             series.push(Fig1Series {
                 precision,
                 size,
-                points: cap_sweep(model, size, precision, step_frac),
+                points: computed.by_ref().take(fracs.len()).collect(),
             });
         }
     }

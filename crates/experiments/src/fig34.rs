@@ -15,12 +15,15 @@ pub struct Figure34 {
 
 /// Regenerate Fig. 3 (`Precision::Double`) or Fig. 4 (`Precision::Single`).
 pub fn run(precision: Precision, scale: usize) -> Figure34 {
-    let mut ladders = Vec::new();
+    let mut subplots = Vec::new();
     for op in OpKind::ALL {
         for platform in PlatformId::ALL {
-            ladders.push(run_ladder(platform, op, precision, scale, None));
+            subplots.push((op, platform));
         }
     }
+    let ladders = crate::driver::par_map(subplots, |(op, platform)| {
+        run_ladder(platform, op, precision, scale, None)
+    });
     Figure34 { precision, ladders }
 }
 

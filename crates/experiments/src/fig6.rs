@@ -99,8 +99,8 @@ mod tests {
         // §V-C: "does not delay critical tasks" — no meaningful perf loss.
         let fig = run(4);
         for c in &fig.cases {
-            let u = c.uncapped.row("HH");
-            let k = c.capped.row("HH");
+            let u = c.uncapped.try_row("HH").expect("HH in every ladder");
+            let k = c.capped.try_row("HH").expect("HH in every ladder");
             let perf_change = (k.report.gflops / u.report.gflops - 1.0) * 100.0;
             assert!(
                 perf_change > -8.0,

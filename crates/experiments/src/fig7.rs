@@ -39,38 +39,43 @@ pub struct Fig7 {
 }
 
 pub fn run(scale: usize) -> Fig7 {
-    let mut series = Vec::new();
+    // One job per (platform, op, precision, tile size) series; the
+    // configs within a series run in submission order inside the job.
+    let mut cells = Vec::new();
     for platform in PlatformId::ALL {
-        let n_gpus = ugpc_hwsim::PlatformSpec::of(platform).gpu_count;
         let cpu_cap = (platform == PlatformId::Intel2V100).then_some(CPU_CAP);
         for op in OpKind::ALL {
             for precision in Precision::ALL {
                 for nb in tile_sizes(platform, op) {
-                    let efficiency = CapConfig::paper_ladder(n_gpus)
-                        .into_iter()
-                        .map(|config| {
-                            let mut cfg = RunConfig::paper(platform, op, precision)
-                                .with_tile(nb)
-                                .scaled_down(scale)
-                                .with_gpu_config(config.clone());
-                            if let Some((pkg, w)) = cpu_cap {
-                                cfg = cfg.with_cpu_cap(pkg, w);
-                            }
-                            let report = run_study(&cfg);
-                            (config.to_string(), report.efficiency_gflops_w)
-                        })
-                        .collect();
-                    series.push(Fig7Series {
-                        platform: platform.name().to_string(),
-                        op: op.name().to_string(),
-                        precision: precision.to_string(),
-                        nb,
-                        efficiency,
-                    });
+                    cells.push((platform, cpu_cap, op, precision, nb));
                 }
             }
         }
     }
+    let series = crate::driver::par_map(cells, |(platform, cpu_cap, op, precision, nb)| {
+        let n_gpus = ugpc_hwsim::PlatformSpec::of(platform).gpu_count;
+        let efficiency = CapConfig::paper_ladder(n_gpus)
+            .into_iter()
+            .map(|config| {
+                let mut cfg = RunConfig::paper(platform, op, precision)
+                    .with_tile(nb)
+                    .scaled_down(scale)
+                    .with_gpu_config(config.clone());
+                if let Some((pkg, w)) = cpu_cap {
+                    cfg = cfg.with_cpu_cap(pkg, w);
+                }
+                let report = run_study(&cfg);
+                (config.to_string(), report.efficiency_gflops_w)
+            })
+            .collect();
+        Fig7Series {
+            platform: platform.name().to_string(),
+            op: op.name().to_string(),
+            precision: precision.to_string(),
+            nb,
+            efficiency,
+        }
+    });
     Fig7 { series }
 }
 

@@ -5,6 +5,7 @@
 //! binary drives them (`repro all`, `repro fig3 --scale 2`, ...).
 
 pub mod ablation;
+pub mod driver;
 pub mod ext_lu;
 pub mod ext_mixed;
 pub mod ext_models;
@@ -19,4 +20,5 @@ pub mod table1;
 pub mod table2;
 pub mod unbalanced;
 
+pub use driver::{jobs, par_map, set_jobs};
 pub use unbalanced::{run_ladder, Ladder, LadderRow};

@@ -55,20 +55,18 @@ pub fn placements_of(canonical: &CapConfig) -> Vec<CapConfig> {
 /// Run every placement of `canonical` for GEMM dp on the 4-GPU platform.
 pub fn run(canonical: &str, scale: usize) -> PlacementStudy {
     let canonical: CapConfig = canonical.parse().expect("valid config");
-    let rows: Vec<PlacementRow> = placements_of(&canonical)
-        .into_iter()
-        .map(|config| {
-            let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
-                .scaled_down(scale)
-                .with_gpu_config(config.clone());
-            let r = run_study(&cfg);
-            PlacementRow {
-                config: config.to_string(),
-                gflops: r.gflops,
-                efficiency_gflops_w: r.efficiency_gflops_w,
-            }
-        })
-        .collect();
+    // Each placement is an independent simulation — fan out.
+    let rows: Vec<PlacementRow> = crate::driver::par_map(placements_of(&canonical), |config| {
+        let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+            .scaled_down(scale)
+            .with_gpu_config(config.clone());
+        let r = run_study(&cfg);
+        PlacementRow {
+            config: config.to_string(),
+            gflops: r.gflops,
+            efficiency_gflops_w: r.efficiency_gflops_w,
+        }
+    });
     let spread = |vals: Vec<f64>| {
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -22,12 +22,14 @@ pub struct Table1 {
 }
 
 pub fn run() -> Table1 {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for model in GpuModel::ALL {
         for p in [Precision::Single, Precision::Double] {
-            rows.push(table_i_row(model, p, &SIZES));
+            cells.push((model, p));
         }
     }
+    // One independent size-sweep per (GPU, precision) row.
+    let rows = crate::driver::par_map(cells, |(model, p)| table_i_row(model, p, &SIZES));
     Table1 { rows }
 }
 

@@ -24,21 +24,19 @@ pub struct Table2 {
 }
 
 pub fn run() -> Table2 {
-    let rows = table_ii()
-        .into_iter()
-        .map(|entry| {
-            let spec = GpuSpec::of(PlatformSpec::of(entry.platform).gpu_model);
-            let sweep = cap_sweep(spec.model, entry.nt, entry.precision, 0.02);
-            let best = best_point(&sweep);
-            Table2Row {
-                p_min_w: spec.min_cap.value(),
-                p_best_w: spec.tdp.value() * entry.best_cap_frac,
-                p_max_w: spec.tdp.value(),
-                rederived_best_frac: best.cap_frac,
-                entry,
-            }
-        })
-        .collect();
+    // One independent cap sweep per Table II entry — fan out.
+    let rows = crate::driver::par_map(table_ii(), |entry| {
+        let spec = GpuSpec::of(PlatformSpec::of(entry.platform).gpu_model);
+        let sweep = cap_sweep(spec.model, entry.nt, entry.precision, 0.02);
+        let best = best_point(&sweep);
+        Table2Row {
+            p_min_w: spec.min_cap.value(),
+            p_best_w: spec.tdp.value() * entry.best_cap_frac,
+            p_max_w: spec.tdp.value(),
+            rederived_best_frac: best.cap_frac,
+            entry,
+        }
+    });
     Table2 { rows }
 }
 

@@ -29,11 +29,16 @@ pub struct Ladder {
 }
 
 impl Ladder {
+    /// Checked lookup: `None` when the ladder has no such configuration.
+    pub fn try_row(&self, config: &str) -> Option<&LadderRow> {
+        self.rows.iter().find(|r| r.config == config)
+    }
+
     pub fn row(&self, config: &str) -> &LadderRow {
-        self.rows
-            .iter()
-            .find(|r| r.config == config)
-            .unwrap_or_else(|| panic!("no config {config} in ladder"))
+        match self.try_row(config) {
+            Some(r) => r,
+            None => panic!("no config {config} in ladder"),
+        }
     }
 
     /// The best-efficiency configuration.
@@ -72,22 +77,22 @@ pub fn run_ladder(
         ugpc_capping::CapLevel::H,
         n_gpus,
     )));
-    let rows = CapConfig::paper_ladder(n_gpus)
-        .into_iter()
-        .map(|config| {
-            let report = if config.is_default() {
-                default.clone()
-            } else {
-                run_study(&base_cfg(config.clone()))
-            };
-            let vs_default = compare(&report, &default);
-            LadderRow {
-                config: config.to_string(),
-                report,
-                vs_default,
-            }
-        })
-        .collect();
+    // Each remaining configuration is an independent simulation — fan
+    // them across the sweep driver (the default H…H already ran above
+    // and is reused, exactly as in the serial path).
+    let rows = crate::driver::par_map(CapConfig::paper_ladder(n_gpus), |config| {
+        let report = if config.is_default() {
+            default.clone()
+        } else {
+            run_study(&base_cfg(config.clone()))
+        };
+        let vs_default = compare(&report, &default);
+        LadderRow {
+            config: config.to_string(),
+            report,
+            vs_default,
+        }
+    });
     Ladder {
         platform: platform.name().to_string(),
         op: op.name().to_string(),
@@ -202,6 +207,19 @@ mod tests {
             assert!(text.contains(&r.config));
         }
         assert!(text.contains("24-Intel-2-V100"));
+    }
+
+    #[test]
+    fn try_row_is_checked() {
+        let l = run_ladder(
+            PlatformId::Intel2V100,
+            OpKind::Gemm,
+            Precision::Double,
+            6,
+            None,
+        );
+        assert!(l.try_row("XXXX").is_none());
+        assert_eq!(l.try_row("HH").map(|r| r.config.as_str()), Some("HH"));
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct TaskGraph {
     tasks: Vec<TaskDesc>,
     succs: Vec<Vec<TaskId>>,
     preds: Vec<Vec<TaskId>>,
+    /// Per-task distinct operands, sorted ascending — precomputed once at
+    /// submission for the executors' per-occurrence loops.
+    unique_data: Vec<Vec<DataId>>,
     /// Per-datum tracking used during submission.
     last_writer: HashMap<DataId, TaskId>,
     readers_since_write: HashMap<DataId, Vec<TaskId>>,
@@ -68,8 +71,20 @@ impl TaskGraph {
             }
         }
 
+        let mut unique: Vec<DataId> = task.data.iter().map(|&(d, _)| d).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        self.unique_data.push(unique);
+
         self.tasks.push(task);
         id
+    }
+
+    /// The task's distinct operands, sorted ascending. Precomputed at
+    /// submission: the executors touch this once per task *occurrence*
+    /// (memory planning, pin/unpin), which used to re-sort every time.
+    pub fn unique_data(&self, id: TaskId) -> &[DataId] {
+        &self.unique_data[id]
     }
 
     /// Add an explicit edge `from → to` (StarPU tag dependencies).
@@ -342,6 +357,20 @@ mod tests {
         assert_eq!(g.successors(0).len(), N - 1);
         assert_eq!(g.edge_count(), N - 1);
         assert!(g.successors(0).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unique_data_is_sorted_and_deduped() {
+        let mut g = TaskGraph::new();
+        let t = g.submit(gemm_on(&[
+            (7, AccessMode::Read),
+            (3, AccessMode::Write),
+            (7, AccessMode::ReadWrite),
+            (1, AccessMode::Read),
+        ]));
+        assert_eq!(g.unique_data(t), &[1, 3, 7]);
+        let empty = g.submit(gemm_on(&[]));
+        assert!(g.unique_data(empty).is_empty());
     }
 
     #[test]

@@ -19,8 +19,12 @@ use crate::worker::WorkerId;
 /// one device late in a long run.
 const TIE_FRACTION: f64 = 0.25;
 
-#[derive(Debug, Default, Clone, Copy)]
-pub struct DmdasScheduler;
+#[derive(Debug, Default, Clone)]
+pub struct DmdasScheduler {
+    /// Reusable (worker, expected-completion) scratch — `choose` runs
+    /// once per task and used to allocate a fresh Vec each call.
+    costs: Vec<(WorkerId, f64)>,
+}
 
 impl Scheduler for DmdasScheduler {
     fn name(&self) -> &'static str {
@@ -33,10 +37,12 @@ impl Scheduler for DmdasScheduler {
     }
 
     fn choose(&mut self, task: TaskId, view: &SchedView) -> WorkerId {
-        let costs: Vec<(WorkerId, f64)> = view
-            .capable_workers(task)
-            .map(|w| (w.id, view.completion_estimate(task, w, true).value()))
-            .collect();
+        self.costs.clear();
+        self.costs.extend(
+            view.capable_workers(task)
+                .map(|w| (w.id, view.completion_estimate(task, w, true).value())),
+        );
+        let costs = &self.costs;
         assert!(!costs.is_empty(), "no capable worker for task {task}");
         let (best_id, best) = costs
             .iter()

@@ -51,7 +51,7 @@ impl SchedPolicy {
             SchedPolicy::Random { seed } => Box::new(RandomScheduler::new(seed)),
             SchedPolicy::Dm => Box::new(DmScheduler),
             SchedPolicy::Dmda => Box::new(DmdaScheduler),
-            SchedPolicy::Dmdas => Box::new(DmdasScheduler),
+            SchedPolicy::Dmdas => Box::new(DmdasScheduler::default()),
             SchedPolicy::EnergyAware { lambda } => Box::new(EnergyAwareScheduler::new(lambda)),
         }
     }

@@ -7,7 +7,7 @@
 //! models; workers drain their queues; DMA engines (one per GPU and
 //! direction) serialize transfers; devices integrate their own energy.
 
-use crate::data::{DataId, DataRegistry, MemNode};
+use crate::data::{DataRegistry, MemNode};
 use crate::des::EventQueue;
 use crate::graph::TaskGraph;
 use crate::memory::GpuMemory;
@@ -16,8 +16,43 @@ use crate::sched::{SchedPolicy, SchedView};
 use crate::task::{Footprint, TaskId};
 use crate::trace::{RunTrace, TaskRecord};
 use crate::worker::{build_workers, WorkerKind};
-use std::collections::BTreeSet;
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
 use ugpc_hwsim::{EnergyProbe, Joules, Node, Secs};
+
+/// A candidate for the idle-worker `expected_end` resync: worker `worker`
+/// may need its model-predicted queue end pulled back to `now` once
+/// virtual time passes `at` (its actual drain time when the candidate was
+/// recorded). Candidates go stale when the worker picks up more work;
+/// popping re-checks against live state, so stale entries are harmless.
+struct Resync {
+    at: f64,
+    worker: usize,
+}
+
+impl PartialEq for Resync {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.worker == other.worker
+    }
+}
+
+impl Eq for Resync {}
+
+impl PartialOrd for Resync {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Resync {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.worker.cmp(&self.worker))
+    }
+}
 
 /// Executor options.
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +158,10 @@ pub fn simulate_with_model(
     // under stale or noisy calibration).
     let mut worker_free = vec![Secs::ZERO; workers.len()];
     let mut worker_expected = vec![Secs::ZERO; workers.len()];
+    // Incremental replacement for the old scan-all-workers resync: only
+    // workers whose prediction ran ahead of their actual drain time are
+    // candidates, keyed by the time they actually go idle.
+    let mut resync: BinaryHeap<Resync> = BinaryHeap::new();
     let mut h2d_free = vec![Secs::ZERO; n_gpus];
     let mut d2h_free = vec![Secs::ZERO; n_gpus];
     let mut indeg = graph.indegrees();
@@ -137,6 +176,10 @@ pub fn simulate_with_model(
     let mut records = Vec::new();
     let mut cpu_tasks = 0usize;
     let mut gpu_tasks = 0usize;
+    // Reused across loop iterations (the ordered ready batch and the
+    // tasks completing at one timestamp) instead of per-batch Vecs.
+    let mut batch: Vec<TaskId> = Vec::new();
+    let mut completed: Vec<TaskId> = Vec::new();
 
     while remaining > 0 {
         if !ready.is_empty() {
@@ -153,8 +196,8 @@ pub fn simulate_with_model(
                 };
                 scheduler.order(&mut ready, &view);
             }
-            let batch: Vec<TaskId> = std::mem::take(&mut ready);
-            for task in batch {
+            std::mem::swap(&mut batch, &mut ready);
+            for &task in &batch {
                 let wid = {
                     let view = SchedView {
                         graph,
@@ -183,6 +226,12 @@ pub fn simulate_with_model(
                         + view.exec_estimate(task, &workers[wid]);
                     worker_expected[wid] = now.max(worker_expected[wid]) + est;
                 }
+                if worker_expected[wid] > worker_free[wid] {
+                    resync.push(Resync {
+                        at: worker_free[wid].value(),
+                        worker: wid,
+                    });
+                }
                 let worker = workers[wid];
                 let desc = graph.task(task);
                 let dst = worker.mem_node();
@@ -192,9 +241,7 @@ pub fn simulate_with_model(
                 // operand before planning the fetches.
                 if options.enforce_gpu_memory {
                     if let MemNode::Gpu(g) = dst {
-                        let mut operands: Vec<DataId> = desc.data.iter().map(|&(d, _)| d).collect();
-                        operands.sort_unstable();
-                        operands.dedup();
+                        let operands = graph.unique_data(task);
                         let incoming: ugpc_hwsim::Bytes = operands
                             .iter()
                             .filter(|&&d| !gpu_mem[g].is_resident(d))
@@ -202,7 +249,7 @@ pub fn simulate_with_model(
                             .sum();
                         // Pin first so make_room cannot evict our own
                         // already-resident operands.
-                        for &d in &operands {
+                        for &d in operands {
                             if gpu_mem[g].is_resident(d) {
                                 gpu_mem[g].pin(d);
                             }
@@ -221,7 +268,7 @@ pub fn simulate_with_model(
                         }
                         // Allocate + pin incoming operands (transfers for
                         // reads are planned below; writes just allocate).
-                        for &d in &operands {
+                        for &d in operands {
                             if !gpu_mem[g].is_resident(d) {
                                 gpu_mem[g].note_resident(d, data.bytes(d));
                                 gpu_mem[g].pin(d);
@@ -315,6 +362,12 @@ pub fn simulate_with_model(
                     task_end[task] = Some(t_end);
                 }
                 worker_free[wid] = t_end;
+                if worker_expected[wid] > t_end {
+                    resync.push(Resync {
+                        at: t_end.value(),
+                        worker: wid,
+                    });
+                }
                 worker_busy[wid] += duration;
                 worker_tasks[wid] += 1;
                 worker_flops[wid] += desc.flops();
@@ -350,6 +403,7 @@ pub fn simulate_with_model(
                 }
                 events.push(t_end, task);
             }
+            batch.clear();
         } else {
             // Advance time to the next completion; drain all completions
             // at that timestamp before scheduling again.
@@ -359,25 +413,33 @@ pub fn simulate_with_model(
             now = t;
             // Resync: a worker that is actually idle has nothing pending,
             // whatever the model predicted (StarPU refreshes expected_end
-            // when workers go idle).
-            for w in 0..workers.len() {
+            // when workers go idle). Maintained incrementally: only the
+            // recorded candidates are examined, not every worker.
+            while resync.peek().is_some_and(|r| r.at <= now.value()) {
+                let w = resync.pop().expect("peeked entry exists").worker;
                 if worker_free[w] <= now && worker_expected[w] > now {
                     worker_expected[w] = now;
                 }
             }
-            let mut completed = vec![done];
+            // Sanitizer: the candidate heap must be exhaustive — after
+            // draining it, no worker may still qualify for a resync.
+            #[cfg(feature = "sanitize")]
+            for w in 0..workers.len() {
+                assert!(
+                    !(worker_free[w] <= now && worker_expected[w] > now),
+                    "sanitize: resync heap missed idle worker {w} at {now}"
+                );
+            }
+            completed.clear();
+            completed.push(done);
             while events.peek_time() == Some(now) {
                 completed.push(events.pop().expect("peeked event exists").1);
             }
-            for task in completed {
+            for &task in &completed {
                 remaining -= 1;
                 if options.enforce_gpu_memory {
                     if let WorkerKind::Gpu { device } = workers[task_worker[task]].kind {
-                        let mut operands: Vec<DataId> =
-                            graph.task(task).data.iter().map(|&(d, _)| d).collect();
-                        operands.sort_unstable();
-                        operands.dedup();
-                        for d in operands {
+                        for &d in graph.unique_data(task) {
                             gpu_mem[device].unpin(d);
                         }
                     }

@@ -1,0 +1,120 @@
+//! Behavior-preservation goldens for the DES hot path.
+//!
+//! The operand-cache, incremental-`expected_end` and allocation-reuse
+//! changes inside the simulator must not alter a single scheduling
+//! decision. These tests pin makespan and total energy of seeded random
+//! DAGs under dmdas to values captured from the pre-refactor executor
+//! (bit-exact: the simulator is deterministic, so any behavioral drift
+//! shows up as a changed 17-digit float). A separate pass checks
+//! run-to-run determinism, which the `sanitize` CI leg re-executes with
+//! the runtime's dynamic invariant checks armed.
+
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugpc_hwsim::{Bytes, Node, PlatformId};
+use ugpc_runtime::{
+    simulate, AccessMode, DataRegistry, KernelKind, SimOptions, TaskDesc, TaskGraph,
+};
+
+/// A seeded random DAG over a shared pool of tiles: mixed kernel kinds
+/// (including the CPU-only diagonal factorizations), mixed access modes,
+/// so RAW/WAW/WAR inference produces irregular dependency structure.
+fn random_graph(seed: u64, n_tasks: usize, reg: &mut DataRegistry) -> TaskGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nb = 960;
+    let n_data: usize = 24;
+    let pool: Vec<_> = (0..n_data)
+        .map(|_| reg.register(Bytes((nb * nb * 8) as f64)))
+        .collect();
+    let mut g = TaskGraph::new();
+    for _ in 0..n_tasks {
+        let kind = KernelKind::ALL[rng.gen_range(0..KernelKind::ALL.len())];
+        let mut t = TaskDesc::new(kind, ugpc_hwsim::Precision::Double, nb)
+            .with_priority(rng.gen_range(0..4i32));
+        let accesses = rng.gen_range(1..4usize);
+        for _ in 0..accesses {
+            let mode = match rng.gen_range(0..3u32) {
+                0 => AccessMode::Read,
+                1 => AccessMode::Write,
+                _ => AccessMode::ReadWrite,
+            };
+            t = t.access(pool[rng.gen_range(0..n_data)], mode);
+        }
+        g.submit(t);
+    }
+    g
+}
+
+fn run(seed: u64, platform: PlatformId) -> (f64, f64) {
+    let mut node = Node::new(platform);
+    let mut reg = DataRegistry::new();
+    let g = random_graph(seed, 120, &mut reg);
+    let trace = simulate(&mut node, &g, &mut reg, SimOptions::default());
+    (trace.makespan.value(), trace.total_energy().value())
+}
+
+/// Golden values captured from the pre-refactor simulator (PR 2). If a
+/// hot-path change is behavior-preserving these match to the last bit;
+/// print-and-update is NOT the fix for a mismatch — the refactor is.
+const GOLDENS: [(u64, PlatformId, f64, f64); 4] = [
+    (
+        1,
+        PlatformId::Amd4A100,
+        0.23234239646645652,
+        80.70387650740463,
+    ),
+    (
+        2,
+        PlatformId::Amd4A100,
+        0.2076384540214562,
+        72.11357903267012,
+    ),
+    (
+        3,
+        PlatformId::Intel2V100,
+        0.24482054163322434,
+        63.720554141327824,
+    ),
+    (
+        4,
+        PlatformId::Amd2A100,
+        0.46241659200402196,
+        136.13351718238192,
+    ),
+];
+
+#[test]
+fn random_dags_match_pre_refactor_goldens() {
+    let measured: Vec<(f64, f64)> = GOLDENS
+        .iter()
+        .map(|&(seed, platform, _, _)| run(seed, platform))
+        .collect();
+    for (&(seed, platform, _, _), &(m, e)) in GOLDENS.iter().zip(&measured) {
+        println!("({seed}, PlatformId::{platform:?}, {m:?}, {e:?}),");
+    }
+    for (&(seed, platform, makespan, energy), &(m, e)) in GOLDENS.iter().zip(&measured) {
+        assert_eq!(
+            m.to_bits(),
+            makespan.to_bits(),
+            "seed {seed} on {platform}: makespan {m:?} != golden {makespan:?}"
+        );
+        assert_eq!(
+            e.to_bits(),
+            energy.to_bits(),
+            "seed {seed} on {platform}: energy {e:?} != golden {energy:?}"
+        );
+    }
+}
+
+#[test]
+fn random_dags_are_deterministic_across_runs() {
+    for seed in 0..12u64 {
+        let a = run(seed, PlatformId::Amd4A100);
+        let b = run(seed, PlatformId::Amd4A100);
+        assert_eq!(a, b, "seed {seed} not reproducible");
+    }
+}

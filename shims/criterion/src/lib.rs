@@ -9,14 +9,123 @@
 //! benchmark and prints mean/min (plus element throughput when set) —
 //! enough to compare paper configurations, not for micro-variance work.
 //! Respects `--bench`/`--test` CLI noise that `cargo bench` passes.
+//!
+//! Two environment variables support a CI benchmark trajectory:
+//! `UGPC_BENCH_JSON=<dir>` makes each harness write its results as
+//! `<dir>/BENCH_<harness>.json` on exit (via `criterion_main!`), and
+//! `UGPC_BENCH_SAMPLES=<n>` caps the per-benchmark sample count for
+//! quick smoke runs.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Target wall-clock spent measuring each benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Results accumulated across every group of the harness, for the
+/// optional JSON report.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+struct BenchRecord {
+    group: String,
+    label: String,
+    samples: usize,
+    mean_ns: u128,
+    min_ns: u128,
+    /// Elements or bytes per second, when a throughput was declared.
+    rate: Option<f64>,
+}
+
+/// The smoke-run sample cap, if `UGPC_BENCH_SAMPLES` is set.
+fn sample_cap() -> Option<usize> {
+    std::env::var("UGPC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The harness name: executable file stem minus cargo's `-<hash>` suffix.
+fn harness_stem() -> String {
+    let stem = std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    strip_cargo_hash(&stem).to_string()
+}
+
+/// Cargo names bench executables `<name>-<16 hex digits>`.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Write `BENCH_<harness>.json` into `$UGPC_BENCH_JSON` (no-op when the
+/// variable is unset or nothing ran). Called by `criterion_main!` after
+/// all groups finish.
+pub fn write_json_report() {
+    let Ok(dir) = std::env::var("UGPC_BENCH_JSON") else {
+        return;
+    };
+    let records = std::mem::take(
+        &mut *RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    if records.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"{}\",\n",
+        json_escape(&harness_stem())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"label\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}",
+            json_escape(&r.group),
+            json_escape(&r.label),
+            r.samples,
+            r.mean_ns,
+            r.min_ns,
+        ));
+        if let Some(rate) = r.rate {
+            out.push_str(&format!(", \"rate_per_s\": {rate}"));
+        }
+        out.push_str(if i + 1 < records.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion shim: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("BENCH_{}.json", harness_stem()));
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("criterion shim: cannot write {}: {e}", path.display()),
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
@@ -105,7 +214,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: Vec::new(),
-            max_samples: self.sample_size,
+            max_samples: self.effective_samples(),
         };
         f(&mut b);
         self.report(&id.label, &b.samples);
@@ -123,11 +232,16 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            max_samples: self.sample_size,
+            max_samples: self.effective_samples(),
         };
         f(&mut b, input);
         self.report(&id.label, &b.samples);
         self
+    }
+
+    /// Requested sample size, clamped by the `UGPC_BENCH_SAMPLES` smoke cap.
+    fn effective_samples(&self) -> usize {
+        sample_cap().map_or(self.sample_size, |cap| self.sample_size.min(cap))
     }
 
     pub fn finish(self) {}
@@ -145,15 +259,28 @@ impl BenchmarkGroup<'_> {
             self.name,
             samples.len(),
         );
+        let mut rate = None;
         if let Some(tp) = self.throughput {
             let (count, unit) = match tp {
                 Throughput::Elements(n) => (n, "elem/s"),
                 Throughput::Bytes(n) => (n, "B/s"),
             };
-            let rate = count as f64 / mean.as_secs_f64();
-            line.push_str(&format!(", {rate:.3e} {unit}"));
+            let r = count as f64 / mean.as_secs_f64();
+            line.push_str(&format!(", {r:.3e} {unit}"));
+            rate = Some(r);
         }
         println!("{line}");
+        RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(BenchRecord {
+                group: self.name.clone(),
+                label: label.to_string(),
+                samples: samples.len(),
+                mean_ns: mean.as_nanos(),
+                min_ns: min.as_nanos(),
+                rate,
+            });
         self.criterion.benchmarks_run += 1;
     }
 }
@@ -212,6 +339,7 @@ macro_rules! criterion_main {
                 return;
             }
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -246,5 +374,24 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("gemm", 64).label, "gemm/64");
         assert_eq!(BenchmarkId::from_parameter("dmdas").label, "dmdas");
+    }
+
+    #[test]
+    fn cargo_hash_suffix_is_stripped() {
+        assert_eq!(
+            strip_cargo_hash("fig1_cap_sweep-0123456789abcdef"),
+            "fig1_cap_sweep"
+        );
+        // Not a hash: wrong length or non-hex.
+        assert_eq!(strip_cargo_hash("fig1-cap"), "fig1-cap");
+        assert_eq!(strip_cargo_hash("a-0123456789abcdeg"), "a-0123456789abcdeg");
+        assert_eq!(strip_cargo_hash("plain"), "plain");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(json_escape("plain"), "plain");
     }
 }

@@ -1,0 +1,113 @@
+//! Executor-differential suite: the `NativeExecutor` (real kernels on
+//! host threads) and the virtual-time simulator consume the *same*
+//! GEMM / POTRF task graphs. Neither path may violate the DAG:
+//!
+//! - native runs are checked numerically (`linalg::verify` residuals —
+//!   a dependency violation on real data corrupts the result) and with
+//!   an explicit predecessors-completed assertion inside the kernel
+//!   callback;
+//! - simulated runs keep per-task records and every task's start time
+//!   must be at or after the end of each of its predecessors.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use ugpc_hwsim::{Node, PlatformId, Precision};
+use ugpc_linalg::ops::{build_gemm, build_potrf};
+use ugpc_linalg::{gemm_residual, potrf_residual, random_tiled, spd_tiled};
+use ugpc_runtime::{simulate, DataRegistry, NativeExecutor, SimOptions, TaskGraph};
+
+const NT: usize = 3;
+const NB: usize = 16;
+
+/// Execute `graph` natively with a kernel that only checks ordering:
+/// every predecessor must have completed before a task starts.
+fn assert_native_respects_dag(graph: &TaskGraph, threads: usize) {
+    let done: Vec<AtomicBool> = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+    let stats = NativeExecutor::new(threads).execute(graph, |tid, _| {
+        for &p in graph.predecessors(tid) {
+            assert!(
+                done[p].load(Ordering::Acquire),
+                "task {tid} started before predecessor {p} completed ({threads} threads)"
+            );
+        }
+        done[tid].store(true, Ordering::Release);
+    });
+    assert_eq!(stats.executed, graph.len());
+    assert!(done.iter().all(|d| d.load(Ordering::Acquire)));
+}
+
+/// Simulate `graph` with record-keeping and check the virtual-time
+/// schedule against the same dependency constraints.
+fn assert_sim_respects_dag(graph: &TaskGraph, data: &mut DataRegistry) {
+    let mut node = Node::new(PlatformId::Amd4A100);
+    let opts = SimOptions {
+        keep_records: true,
+        ..Default::default()
+    };
+    let trace = simulate(&mut node, graph, data, opts);
+    assert!(trace.makespan.value() > 0.0);
+    let mut window = vec![None; graph.len()];
+    for r in &trace.records {
+        assert!(window[r.task].is_none(), "task {} recorded twice", r.task);
+        window[r.task] = Some((r.start, r.end));
+    }
+    for t in 0..graph.len() {
+        let (start, _) = window[t].expect("every task has a record");
+        for &p in graph.predecessors(t) {
+            let (_, p_end) = window[p].unwrap();
+            assert!(
+                start >= p_end,
+                "simulated task {t} started at {start:?} before predecessor {p} ended at {p_end:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gemm_native_is_correct_serial_and_threaded() {
+    let mut reg = DataRegistry::new();
+    let op = build_gemm(NT, NB, Precision::Double, &mut reg);
+    let a = random_tiled::<f64>(NT, NB, 1);
+    let b = random_tiled::<f64>(NT, NB, 2);
+    for threads in [1, 4] {
+        let c = random_tiled::<f64>(NT, NB, 3);
+        let c0 = c.to_dense();
+        let stats = ugpc_linalg::ops::run_gemm_native(&op, &a, &b, &c, threads);
+        assert_eq!(stats.executed, op.graph.len(), "{threads} threads");
+        let res = gemm_residual(&a, &b, &c0, &c);
+        assert!(res < 1e-12, "{threads} threads: residual {res}");
+    }
+}
+
+#[test]
+fn potrf_native_is_correct_serial_and_threaded() {
+    let mut reg = DataRegistry::new();
+    let op = build_potrf(NT, NB, Precision::Double, &mut reg);
+    for threads in [1, 4] {
+        let a = spd_tiled::<f64>(NT, NB, 7);
+        let a0 = a.to_dense();
+        let stats = ugpc_linalg::ops::run_potrf_native(&op, &a, threads).unwrap();
+        assert_eq!(stats.executed, op.graph.len(), "{threads} threads");
+        let res = potrf_residual(&a0, &a);
+        assert!(res < 1e-12, "{threads} threads: residual {res}");
+    }
+}
+
+#[test]
+fn gemm_dag_order_holds_in_both_executors() {
+    let mut reg = DataRegistry::new();
+    let op = build_gemm(NT, NB, Precision::Double, &mut reg);
+    assert_native_respects_dag(&op.graph, 1);
+    assert_native_respects_dag(&op.graph, 4);
+    assert_sim_respects_dag(&op.graph, &mut reg);
+}
+
+#[test]
+fn potrf_dag_order_holds_in_both_executors() {
+    let mut reg = DataRegistry::new();
+    let op = build_potrf(NT, NB, Precision::Double, &mut reg);
+    assert_native_respects_dag(&op.graph, 1);
+    assert_native_respects_dag(&op.graph, 4);
+    assert_sim_respects_dag(&op.graph, &mut reg);
+}

@@ -1,0 +1,25 @@
+//! Golden snapshots of `repro table1` / `repro table2` stdout.
+//!
+//! The committed files under `tests/golden/` were captured from
+//! `cargo run --release -p ugpc-experiments --bin repro -- table1|table2`.
+//! They pin both the calibration (every derived number) and the text
+//! formatting; a diff here means either a deliberate formatting change
+//! (re-capture the file and say so in the PR) or a calibration
+//! regression (fix the code).
+
+use ugpc_experiments::{table1, table2};
+
+#[test]
+fn table1_text_matches_golden_snapshot() {
+    // `repro` prints the rendered table with println!, hence the final \n.
+    let got = format!("{}\n", table1::render(&table1::run()));
+    let want = include_str!("golden/table1.txt");
+    assert_eq!(got, want, "repro table1 output drifted from the snapshot");
+}
+
+#[test]
+fn table2_text_matches_golden_snapshot() {
+    let got = format!("{}\n", table2::render(&table2::run()));
+    let want = include_str!("golden/table2.txt");
+    assert_eq!(got, want, "repro table2 output drifted from the snapshot");
+}
