@@ -1,0 +1,63 @@
+//! Service-path benches: what a request costs end-to-end through the TCP
+//! service when the result cache hits versus when every request must run
+//! the simulation. The gap between the two is the cache's whole value
+//! proposition — a hit should be protocol-only (µs), a miss pays the full
+//! virtual-time simulation (ms).
+
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugpc_core::RunConfig;
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+use ugpc_serve::{Client, ServeOptions, Server, ServerHandle};
+
+fn tiny() -> RunConfig {
+    RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(8)
+}
+
+fn spawn() -> ServerHandle {
+    Server::bind("127.0.0.1:0", ServeOptions::default())
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+/// Round-trip latency of a request answered from the cache: the server is
+/// primed once, then every iteration is a pure protocol + cache-lookup
+/// cost.
+fn cache_hit(c: &mut Criterion) {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.run(tiny()).unwrap(); // prime
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(client.run(tiny()).unwrap()))
+    });
+    group.finish();
+    handle.stop();
+}
+
+/// Round-trip latency when the cache cannot help: the cache is cleared
+/// before every request, so each iteration pays protocol + queueing +
+/// a full simulation. (The clear itself is a cheap extra round-trip,
+/// noted here for honesty; it is orders of magnitude below the
+/// simulation cost it unmasks.)
+fn cache_miss(c: &mut Criterion) {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("cache_miss", |b| {
+        b.iter(|| {
+            client.clear_cache().unwrap();
+            black_box(client.run(tiny()).unwrap())
+        })
+    });
+    group.finish();
+    handle.stop();
+}
+
+criterion_group!(benches, cache_hit, cache_miss);
+criterion_main!(benches);

@@ -185,3 +185,85 @@ mod tests {
         assert_eq!(run.history.len(), 10);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use ugpc_hwsim::GpuModel;
+
+    /// (gpu, start-cap) pairs across every modeled device and any legal
+    /// starting power limit.
+    fn arb_capper() -> impl Strategy<Value = DynamicCapper> {
+        (0..GpuModel::ALL.len(), 0.0..1.0f64).prop_map(|(m, start)| {
+            let mut gpu = GpuDevice::new(0, GpuModel::ALL[m]);
+            let (min, max) = (gpu.spec().min_cap, gpu.spec().tdp);
+            gpu.set_power_limit(Watts(min.value() + start * (max - min).value()))
+                .expect("start cap within [min_cap, tdp]");
+            DynamicCapper::new(&gpu)
+        })
+    }
+
+    proptest! {
+        /// Whatever efficiency sequence the workload produces — noisy,
+        /// adversarial, constant — every cap the controller emits stays
+        /// inside the device's [min_cap, tdp] window.
+        #[test]
+        fn caps_never_leave_device_range(
+            case in (arb_capper(), proptest::collection::vec(0.0..200.0f64, 1..60)),
+        ) {
+            let (mut ctl, effs) = case;
+            let (min, max) = (ctl.min, ctl.max);
+            for eff in effs {
+                let cap = ctl.observe(eff);
+                prop_assert!(cap >= min && cap <= max, "cap {cap} outside [{min}, {max}]");
+                prop_assert_eq!(cap, ctl.cap());
+            }
+        }
+
+        /// On any unimodal efficiency curve with an interior peak the
+        /// hill-climber converges (step exhausted) within a bounded number
+        /// of observations. The bound is generous but finite: the initial
+        /// step is 10 % of the cap range and needs 5 halvings to shrink
+        /// below min_step; each leg between reversals crosses at most the
+        /// whole range (≤ 10 steps), so 200 epochs is ample headroom.
+        #[test]
+        fn converges_on_unimodal_curves(
+            ctl in arb_capper(),
+            peak_frac in 0.15..0.85f64,
+            sharpness in 0.5..8.0f64,
+        ) {
+            let mut ctl = ctl;
+            let (min, max) = (ctl.min, ctl.max);
+            let range = (max - min).value();
+            let peak = min.value() + peak_frac * range;
+            // Strictly concave, maximum at `peak`, strictly decreasing
+            // away from it — the DEPO iterative-workload shape.
+            let eff = |cap: Watts| {
+                let d = (cap.value() - peak) / range;
+                100.0 - sharpness * d * d * 100.0
+            };
+            let mut observations = 0usize;
+            while !ctl.converged() {
+                observations += 1;
+                prop_assert!(
+                    observations <= 200,
+                    "no convergence after 200 epochs (peak {peak:.0} W, cap {})",
+                    ctl.cap()
+                );
+                let cap = ctl.cap();
+                ctl.observe(eff(cap));
+            }
+            // Converged means the search landed near the peak: within the
+            // travel still reachable by the remaining (exhausted) step
+            // budget. min_step is 0.5 % of the range; the final resting
+            // point sits within a few final-leg steps of the peak.
+            let err = (ctl.cap().value() - peak).abs() / range;
+            prop_assert!(
+                err <= 0.20,
+                "converged {:.1} % of range away from the peak",
+                err * 100.0
+            );
+        }
+    }
+}

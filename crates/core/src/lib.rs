@@ -22,11 +22,13 @@
 //! ```
 
 pub mod dynamic;
+pub mod key;
 pub mod report;
 
 pub use dynamic::{
     dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,
 };
+pub use key::CacheKey;
 pub use report::{compare, Comparison, RunReport};
 
 use serde::{Deserialize, Serialize};
@@ -126,6 +128,49 @@ impl RunConfig {
             OpKind::Potrf => build_potrf(self.nt(), self.nb, self.precision, reg).graph,
         }
     }
+
+    /// Check that [`run_study`] would accept this configuration, without
+    /// running anything. Catches everything `run_study` panics on:
+    /// non-dividing tile sizes, cap configurations sized for a different
+    /// platform, and CPU caps on platforms without RAPL capping.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        if self.n == 0 || self.nb == 0 {
+            return Err(InvalidConfig("n and nb must be positive".into()));
+        }
+        if !self.n.is_multiple_of(self.nb) {
+            return Err(InvalidConfig(format!(
+                "tile {} does not divide N = {}",
+                self.nb, self.n
+            )));
+        }
+        let mut node = Node::new(self.platform);
+        apply_gpu_caps(&mut node, &self.gpu_config, self.op, self.precision)
+            .map_err(|e| InvalidConfig(format!("gpu caps: {e}")))?;
+        if let Some((pkg, cap)) = self.cpu_cap {
+            apply_cpu_cap(&mut node, pkg, cap)
+                .map_err(|e| InvalidConfig(format!("cpu cap: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`RunConfig`] that [`run_study`] would reject, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(pub String);
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid run configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// [`run_study`], but with malformed configurations reported as errors
+/// instead of panics — the entry point services should use.
+pub fn try_run_study(cfg: &RunConfig) -> Result<RunReport, InvalidConfig> {
+    cfg.validate()?;
+    Ok(run_study(cfg))
 }
 
 /// Execute one measured run: apply caps, calibrate, simulate, report.
@@ -240,6 +285,25 @@ mod tests {
             &quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
                 .with_cpu_cap(0, Watts(100.0)),
         );
+    }
+
+    #[test]
+    fn validate_mirrors_run_study_panics() {
+        let good = quick(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double);
+        assert!(good.validate().is_ok());
+        assert!(try_run_study(&good).is_ok());
+        // Wrong cap-config arity for the platform.
+        let wrong_arity = good
+            .clone()
+            .with_gpu_config(CapConfig::uniform(CapLevel::B, 2));
+        assert!(wrong_arity.validate().is_err());
+        // CPU capping is Intel-only.
+        let amd_cpu_cap = good.clone().with_cpu_cap(0, Watts(100.0));
+        assert!(try_run_study(&amd_cpu_cap).is_err());
+        // Non-dividing tile.
+        let mut bad_tile = good;
+        bad_tile.nb += 1;
+        assert!(bad_tile.validate().is_err());
     }
 
     #[test]

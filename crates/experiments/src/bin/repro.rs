@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
+//! repro --serve [ADDR]
 //! ```
 //!
+//! `--serve` skips the reproduction entirely and runs the `ugpc-serve`
+//! simulation service on ADDR (default `127.0.0.1:7878`), blocking until
+//! a client sends a `Shutdown` request.
 //! `--scale K` shrinks every task graph by K× (fewer tiles, same tile
 //! size) for quick runs; the default 1 reproduces the paper's sizes.
 //! `--jobs N` fans independent simulations over N worker threads
@@ -24,8 +28,11 @@ struct Args {
     scale: usize,
     json_dir: Option<PathBuf>,
     validate: bool,
+    serve: Option<String>,
     experiments: Vec<String>,
 }
+
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
 
 const ALL: [&str; 13] = [
     "fig1",
@@ -48,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 1,
         json_dir: None,
         validate: false,
+        serve: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -73,9 +81,26 @@ fn parse_args() -> Result<Args, String> {
                 args.json_dir = Some(PathBuf::from(v));
             }
             "--validate" => args.validate = true,
+            "--serve" => {
+                // Optional positional ADDR; the next token is an address
+                // unless it is another flag or an experiment name.
+                args.serve = Some(DEFAULT_SERVE_ADDR.to_string());
+                // Peek is awkward with `args()`, so collect the rest.
+                let rest: Vec<String> = it.by_ref().collect();
+                let mut rest = rest.into_iter();
+                if let Some(next) = rest.next() {
+                    if next.starts_with("--") || ALL.contains(&next.as_str()) || next == "all" {
+                        return Err(format!("--serve takes only an address, got {next:?}"));
+                    }
+                    args.serve = Some(next);
+                }
+                if let Some(extra) = rest.next() {
+                    return Err(format!("unexpected argument after --serve: {extra:?}"));
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...",
+                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -85,12 +110,32 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    // `repro --validate` alone runs only the validation; everything else
-    // keeps the run-all default.
-    if args.experiments.is_empty() && !args.validate {
+    // `repro --validate` alone runs only the validation; `--serve` never
+    // runs experiments; everything else keeps the run-all default.
+    if args.experiments.is_empty() && !args.validate && args.serve.is_none() {
         args.experiments.extend(ALL.iter().map(|s| s.to_string()));
     }
     Ok(args)
+}
+
+/// Run the simulation service in the foreground until a client asks it
+/// to shut down (`ugpc-serve`'s `Shutdown` request, or Ctrl-C).
+fn serve(addr: &str) -> ExitCode {
+    use ugpc_serve::{ServeOptions, Server};
+    let server = match Server::bind(addr, ServeOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[serve] listening on {} (send a Shutdown request to stop)",
+        server.local_addr()
+    );
+    server.run();
+    eprintln!("[serve] stopped");
+    ExitCode::SUCCESS
 }
 
 fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
@@ -141,6 +186,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(addr) = &args.serve {
+        return serve(addr);
+    }
 
     if args.validate && !validate_graphs() {
         eprintln!("error: task-graph validation failed");

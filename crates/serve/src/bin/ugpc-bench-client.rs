@@ -1,0 +1,207 @@
+//! `ugpc-bench-client` — load generator for `ugpc-serve`.
+//!
+//! ```text
+//! ugpc-bench-client [--addr HOST:PORT | --spawn] [--requests N] [--threads T]
+//!                   [--unique K] [--scale S] [--require-hits]
+//! ```
+//!
+//! Fires `N` run requests from `T` client threads, cycling over `K`
+//! distinct configurations (so identical requests exercise the cache and
+//! the single-flight path). `--spawn` starts an in-process server on an
+//! ephemeral port instead of connecting to `--addr` — that is what the
+//! CI smoke leg uses. Backpressure errors are retried after the server's
+//! `retry_after_ms` hint (and counted); any other error is fatal.
+//!
+//! Prints a JSON summary and exits nonzero if any request ultimately
+//! failed — or, under `--require-hits`, if the server's cache hit rate
+//! stayed at zero.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use ugpc_core::RunConfig;
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+use ugpc_runtime::SchedPolicy;
+use ugpc_serve::{error_code, Client, ClientError, ServeOptions, Server};
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    requests: usize,
+    threads: usize,
+    unique: usize,
+    scale: usize,
+    require_hits: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        requests: 64,
+        threads: 4,
+        unique: 4,
+        scale: 8,
+        require_hits: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("bad {name}: {e}"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--spawn" => args.spawn = true,
+            "--requests" => args.requests = num("--requests")?.max(1),
+            "--threads" => args.threads = num("--threads")?.max(1),
+            "--unique" => args.unique = num("--unique")?.max(1),
+            "--scale" => args.scale = num("--scale")?.max(1),
+            "--require-hits" => args.require_hits = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ugpc-bench-client [--addr HOST:PORT | --spawn] [--requests N] \
+                     [--threads T] [--unique K] [--scale S] [--require-hits]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.addr.is_none() && !args.spawn {
+        return Err("need --addr or --spawn".into());
+    }
+    Ok(args)
+}
+
+/// The K distinct configurations the load cycles over: the small GEMM
+/// study under K different schedulers/seeds, so each has its own cache
+/// key but all are cheap.
+fn config(index: usize, scale: usize) -> RunConfig {
+    let base =
+        RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(scale);
+    match index {
+        0 => base,
+        1 => base.with_scheduler(SchedPolicy::Dmda),
+        2 => base.with_gpu_config("BBBB".parse().expect("valid config")),
+        k => base.with_scheduler(SchedPolicy::Random { seed: k as u64 }),
+    }
+}
+
+fn run_one(client: &mut Client, cfg: &RunConfig, retries: &AtomicU64) -> Result<(), ClientError> {
+    // Bounded retry loop on backpressure; anything else is final.
+    for _ in 0..50 {
+        match client.run(cfg.clone()) {
+            Ok(_) => return Ok(()),
+            Err(ClientError::Server(e)) if e.code == error_code::BACKPRESSURE => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(e.retry_after_ms.unwrap_or(25)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ClientError::Server(ugpc_serve::ErrorReply::new(
+        error_code::BACKPRESSURE,
+        "still backpressured after 50 retries",
+    )))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spawned = if args.spawn {
+        let server = match Server::bind("127.0.0.1:0", ServeOptions::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: bind: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Some(server.spawn())
+    } else {
+        None
+    };
+    let addr = spawned
+        .as_ref()
+        .map(|h| h.addr().to_string())
+        .or(args.addr.clone())
+        .expect("validated in parse_args");
+
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let per_thread = args.requests.div_ceil(args.threads);
+    std::thread::scope(|s| {
+        for t in 0..args.threads {
+            let (addr, ok, failed, retries) = (&addr, &ok, &failed, &retries);
+            let (unique, scale) = (args.unique, args.scale);
+            s.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("[thread {t}] connect: {e}");
+                        failed.fetch_add(per_thread as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0..per_thread {
+                    let cfg = config((t + i) % unique, scale);
+                    match run_one(&mut client, &cfg, retries) {
+                        Ok(()) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("[thread {t}] request {i}: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    let stats = Client::connect(&addr).and_then(|mut c| c.stats());
+    let (hit_rate, sims) = match &stats {
+        Ok(s) => (s.cache.hit_rate, s.simulations_executed),
+        Err(e) => {
+            eprintln!("error: final stats fetch: {e}");
+            (0.0, 0)
+        }
+    };
+
+    if let Some(handle) = spawned {
+        handle.stop();
+    }
+
+    let ok = ok.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    let retries = retries.load(Ordering::Relaxed);
+    println!(
+        "{{\"requests\": {}, \"ok\": {ok}, \"failed\": {failed}, \"backpressure_retries\": {retries}, \
+         \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \"cache_hit_rate\": {hit_rate:.4}, \
+         \"simulations_executed\": {sims}}}",
+        args.requests,
+        wall.as_secs_f64(),
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+    );
+
+    if failed > 0 || stats.is_err() {
+        eprintln!("error: {failed} requests failed");
+        return ExitCode::FAILURE;
+    }
+    if args.require_hits && hit_rate <= 0.0 {
+        eprintln!("error: cache hit rate stayed at zero over {ok} requests");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

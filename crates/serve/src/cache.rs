@@ -1,0 +1,413 @@
+//! Content-addressed result cache with single-flight deduplication.
+//!
+//! Keys are [`CacheKey`]s (canonical config hashes from `ugpc-core`);
+//! values are fully serialized response payloads (`Arc<str>` wire
+//! lines), so a cache hit is byte-identical to the original computation
+//! by construction and costs no re-serialization.
+//!
+//! **Single-flight:** the first requester of a key becomes its *leader*
+//! and computes; concurrent requesters of the same key park on a condvar
+//! and receive the leader's result — one simulation, N identical
+//! responses. **LRU bounding:** at most `capacity` ready entries; on
+//! insert beyond that, the least-recently-touched entry is evicted
+//! (in-flight computations don't count against the bound and are never
+//! evicted). All counters are exposed for the `stats` endpoint.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError};
+use ugpc_core::CacheKey;
+
+/// The outcome a waiter observes for an in-flight computation.
+type FlightResult = Result<Arc<str>, String>;
+
+/// Shared slot the leader fulfills and waiters park on. Uses `std::sync`
+/// rather than the parking_lot shim because the shim carries no
+/// `Condvar`; poisoning is ignored (a panicked leader is reported
+/// through the [`LeadGuard`] drop path, not the lock).
+pub struct Flight {
+    slot: std::sync::Mutex<Option<FlightResult>>,
+    cv: std::sync::Condvar,
+}
+
+enum Entry {
+    /// Computation in progress; waiters hold the same `Arc<Flight>`.
+    Pending(Arc<Flight>),
+    /// Finished result plus its last-touch tick for LRU ordering.
+    Ready { value: Arc<str>, touched: u64 },
+}
+
+/// Monotonic counters, readable without the map lock.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Requests answered from a ready entry.
+    pub hits: AtomicU64,
+    /// Requests that became computation leaders.
+    pub misses: AtomicU64,
+    /// Requests that parked behind an in-flight leader.
+    pub coalesced: AtomicU64,
+    /// Ready entries dropped by the LRU bound.
+    pub evictions: AtomicU64,
+}
+
+/// What [`ResultCache::begin`] tells a requester to do.
+pub enum Begin {
+    /// Ready value — answer immediately, no simulation.
+    Hit(Arc<str>),
+    /// Someone else is computing this key — park on the flight.
+    Wait(Arc<Flight>),
+    /// You are the leader: compute, then [`ResultCache::fulfill`] (the
+    /// [`LeadGuard`] reports failure automatically if you unwind first).
+    Lead(LeadGuard),
+}
+
+/// Leader's obligation token. Dropping it without fulfilling (worker
+/// panic, pool rejection) fails the flight so waiters wake with an
+/// error instead of parking forever.
+pub struct LeadGuard {
+    cache: Arc<ResultCache>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl LeadGuard {
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// Publish the computed payload: the entry becomes ready (subject to
+    /// the LRU bound) and all waiters wake with it.
+    pub fn fulfill(mut self, value: Arc<str>) {
+        self.done = true;
+        self.cache.finish(self.key, &self.flight, Ok(value));
+    }
+
+    /// Fail the flight: nothing is cached, waiters wake with the error.
+    pub fn fail(mut self, message: String) {
+        self.done = true;
+        self.cache.finish(self.key, &self.flight, Err(message));
+    }
+}
+
+impl Drop for LeadGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.finish(
+                self.key,
+                &self.flight,
+                Err("simulation worker failed".to_string()),
+            );
+        }
+    }
+}
+
+/// See the module docs.
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    pub counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// `capacity` bounds *ready* entries; 0 disables caching entirely
+    /// (every request is a leader, nothing is retained).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ResultCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            counters: CacheCounters::default(),
+        })
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up `key`, registering this requester as hit, waiter, or
+    /// leader (see [`Begin`]).
+    pub fn begin(self: &Arc<Self>, key: CacheKey) -> Begin {
+        let mut map = self.map.lock();
+        match map.get_mut(&key.0) {
+            Some(Entry::Ready { value, touched }) => {
+                *touched = self.tick();
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Begin::Hit(value.clone())
+            }
+            Some(Entry::Pending(flight)) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                Begin::Wait(flight.clone())
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                let flight = Arc::new(Flight {
+                    slot: std::sync::Mutex::new(None),
+                    cv: std::sync::Condvar::new(),
+                });
+                map.insert(key.0, Entry::Pending(flight.clone()));
+                Begin::Lead(LeadGuard {
+                    cache: self.clone(),
+                    key,
+                    flight,
+                    done: false,
+                })
+            }
+        }
+    }
+
+    /// Park until the flight resolves; returns the leader's outcome.
+    pub fn wait(flight: &Flight) -> FlightResult {
+        let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = flight.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Resolve a flight: store the result (evicting per LRU if needed),
+    /// wake every waiter.
+    fn finish(&self, key: CacheKey, flight: &Arc<Flight>, result: FlightResult) {
+        {
+            let mut map = self.map.lock();
+            // Replace the pending entry we own. ClearCache may have
+            // removed it meanwhile; then the result is simply not cached.
+            let ours = matches!(map.get(&key.0), Some(Entry::Pending(p)) if Arc::ptr_eq(p, flight));
+            if ours {
+                map.remove(&key.0);
+                if let Ok(value) = &result {
+                    if self.capacity > 0 {
+                        self.evict_to(self.capacity - 1, &mut map);
+                        map.insert(
+                            key.0,
+                            Entry::Ready {
+                                value: value.clone(),
+                                touched: self.tick(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        *flight.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        flight.cv.notify_all();
+    }
+
+    /// Evict least-recently-touched ready entries until at most `target`
+    /// remain. Linear scan per eviction — fine for the bounded, ops-sized
+    /// capacities this service uses.
+    fn evict_to(&self, target: usize, map: &mut HashMap<u64, Entry>) {
+        loop {
+            let ready = map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { touched, .. } => Some((*touched, *k)),
+                    Entry::Pending(_) => None,
+                })
+                .collect::<Vec<_>>();
+            if ready.len() <= target {
+                return;
+            }
+            if let Some(&(_, oldest)) = ready.iter().min() {
+                map.remove(&oldest);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drop every ready entry. Pending flights keep running, publish to
+    /// their waiters, and are retained on completion — a result computed
+    /// after the clear is fresh by definition.
+    pub fn clear(&self) {
+        self.map
+            .lock()
+            .retain(|_, e| matches!(e, Entry::Pending(_)));
+    }
+
+    /// Number of ready entries currently held.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// hits / (hits + misses + coalesced), 0.0 when nothing happened yet.
+    /// Coalesced waiters count toward the denominator only: they did not
+    /// simulate, but they did not reuse a *finished* result either.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.counters.hits.load(Ordering::Relaxed) as f64;
+        let total = h
+            + self.counters.misses.load(Ordering::Relaxed) as f64
+            + self.counters.coalesced.load(Ordering::Relaxed) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn get_or_compute(
+        cache: &Arc<ResultCache>,
+        key: CacheKey,
+        f: impl FnOnce() -> String,
+    ) -> Arc<str> {
+        match cache.begin(key) {
+            Begin::Hit(v) => v,
+            Begin::Wait(flight) => ResultCache::wait(&flight).expect("flight ok"),
+            Begin::Lead(guard) => {
+                let v: Arc<str> = f().into();
+                guard.fulfill(v.clone());
+                v
+            }
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = ResultCache::new(8);
+        let k = CacheKey(42);
+        let a = get_or_compute(&cache, k, || "payload".to_string());
+        let b = get_or_compute(&cache, k, || panic!("must not recompute"));
+        assert_eq!(a, b);
+        assert_eq!(cache.counters.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters.hits.load(Ordering::Relaxed), 1);
+        assert!(cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn single_flight_computes_once() {
+        let cache = ResultCache::new(8);
+        let computations = AtomicUsize::new(0);
+        let n = 8;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..n {
+                handles.push(s.spawn(|| {
+                    get_or_compute(&cache, CacheKey(7), || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the other
+                        // threads to park behind it.
+                        std::thread::sleep(Duration::from_millis(50));
+                        "result".to_string()
+                    })
+                }));
+            }
+            let results: Vec<Arc<str>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect();
+            for r in &results {
+                assert_eq!(&**r, "result");
+            }
+        });
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            1,
+            "exactly one simulation"
+        );
+        assert_eq!(cache.counters.misses.load(Ordering::Relaxed), 1);
+        // Everyone else either coalesced behind the flight or (rarely,
+        // if the leader finished first) hit the ready entry.
+        let others = cache.counters.coalesced.load(Ordering::Relaxed)
+            + cache.counters.hits.load(Ordering::Relaxed);
+        assert_eq!(others, (n - 1) as u64);
+    }
+
+    #[test]
+    fn lru_bound_and_order() {
+        let cache = ResultCache::new(2);
+        for i in 0..2u64 {
+            get_or_compute(&cache, CacheKey(i), || format!("v{i}"));
+        }
+        // Touch key 0 so key 1 is the LRU victim.
+        get_or_compute(&cache, CacheKey(0), || panic!("hit expected"));
+        get_or_compute(&cache, CacheKey(2), || "v2".to_string());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters.evictions.load(Ordering::Relaxed), 1);
+        // Key 0 survived; key 1 was evicted and recomputes.
+        get_or_compute(&cache, CacheKey(0), || panic!("0 must have survived"));
+        let recomputed = AtomicUsize::new(0);
+        get_or_compute(&cache, CacheKey(1), || {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            "v1-again".to_string()
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = ResultCache::new(0);
+        let computed = AtomicUsize::new(0);
+        for _ in 0..3 {
+            get_or_compute(&cache, CacheKey(1), || {
+                computed.fetch_add(1, Ordering::SeqCst);
+                "x".to_string()
+            });
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 3);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dropped_leader_fails_waiters() {
+        let cache = ResultCache::new(4);
+        let k = CacheKey(9);
+        let guard = match cache.begin(k) {
+            Begin::Lead(g) => g,
+            _ => panic!("first requester must lead"),
+        };
+        let waiter = {
+            let cache = cache.clone();
+            std::thread::spawn(move || match cache.begin(k) {
+                Begin::Wait(f) => ResultCache::wait(&f),
+                _ => panic!("second requester must wait"),
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(guard); // leader dies without fulfilling
+        let res = waiter.join().expect("join");
+        assert!(res.is_err(), "waiter must see the failure");
+        // The key is free again: a new leader can claim it.
+        assert!(matches!(cache.begin(k), Begin::Lead(_)));
+    }
+
+    #[test]
+    fn clear_drops_ready_entries_only() {
+        let cache = ResultCache::new(4);
+        get_or_compute(&cache, CacheKey(1), || "a".to_string());
+        let pending = match cache.begin(CacheKey(2)) {
+            Begin::Lead(g) => g,
+            _ => panic!("lead"),
+        };
+        cache.clear();
+        assert!(cache.is_empty());
+        // The in-flight computation still publishes to its waiters, and
+        // its result — computed after the clear, hence fresh — is cached.
+        pending.fulfill("b".into());
+        match cache.begin(CacheKey(2)) {
+            Begin::Hit(v) => assert_eq!(&*v, "b"),
+            _ => panic!("fresh in-flight result must be retained"),
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The wire protocol: JSON lines over TCP, one request per line, one
+//! response line per request, in order.
+//!
+//! ```text
+//! -> {"Run": {"config": {...RunConfig...}, "record_tasks": false, "dynamic_iterations": null}}
+//! <- {"Run": {...RunReport...}}
+//! -> {"Stats": null}
+//! <- {"Stats": {...StatsReport...}}
+//! -> not json
+//! <- {"Error": {"code": "bad_request", "message": "...", "retry_after_ms": null}}
+//! ```
+//!
+//! Malformed input always gets a structured [`ErrorReply`] — the
+//! connection is never dropped in response to bad bytes. The only error
+//! carrying `retry_after_ms` is `backpressure` (the worker-pool queue was
+//! full); clients should wait that long and resend.
+
+use serde::{Deserialize, Serialize};
+use ugpc_core::{CacheKey, DynamicStudyReport, RunConfig, RunReport};
+
+/// One simulation request: a full [`RunConfig`] plus service-level options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRequest {
+    pub config: RunConfig,
+    /// Keep per-task records in the simulator trace (forces
+    /// `config.keep_records`; part of the cache identity).
+    pub record_tasks: bool,
+    /// `Some(k)` runs the k-iteration dynamic-capping study instead of a
+    /// single static run, answering with `Response::Dynamic`.
+    pub dynamic_iterations: Option<usize>,
+}
+
+impl RunRequest {
+    pub fn new(config: RunConfig) -> Self {
+        RunRequest {
+            config,
+            record_tasks: false,
+            dynamic_iterations: None,
+        }
+    }
+
+    /// The effective config the simulator will see (`record_tasks`
+    /// folded in).
+    pub fn effective_config(&self) -> RunConfig {
+        let mut cfg = self.config.clone();
+        cfg.keep_records |= self.record_tasks;
+        cfg
+    }
+
+    /// Content-addressed identity of this request: the effective
+    /// config's key, extended with the request kind and the dynamic
+    /// iteration count so static and dynamic studies of the same config
+    /// never alias.
+    pub fn cache_key(&self) -> CacheKey {
+        let key = self.effective_config().cache_key();
+        let mut tail = vec![0x10];
+        match self.dynamic_iterations {
+            None => tail.push(0x00),
+            Some(k) => {
+                tail.push(0x01);
+                tail.extend_from_slice(&(k as u64).to_le_bytes());
+            }
+        }
+        CacheKey(ugpc_core::key::fnv1a(key.0, &tail))
+    }
+}
+
+/// Everything a client can ask the service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Simulate (or fetch from cache) one run.
+    Run(RunRequest),
+    /// Ops snapshot: uptime, queue, cache counters, latency histograms.
+    Stats,
+    /// Drop every cached result (used by benchmarks to measure the
+    /// cache-miss path).
+    ClearCache,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// Machine-readable error categories.
+pub mod error_code {
+    /// Not valid JSON, or JSON not matching the request schema.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Config rejected by `RunConfig::validate` or service limits.
+    pub const INVALID_CONFIG: &str = "invalid_config";
+    /// Worker-pool queue full; retry after `retry_after_ms`.
+    pub const BACKPRESSURE: &str = "backpressure";
+    /// The simulation worker failed; nothing was cached.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A structured error reply (never a dropped connection).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// One of the [`error_code`] constants.
+    pub code: String,
+    pub message: String,
+    /// Set only for `backpressure`: how long to wait before resending.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorReply {
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ErrorReply {
+            code: code.to_string(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    pub fn backpressure(retry_after_ms: u64, queue_depth: usize) -> Self {
+        ErrorReply {
+            code: error_code::BACKPRESSURE.to_string(),
+            message: format!("worker queue full ({queue_depth} requests queued)"),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+}
+
+/// Every possible response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    Run(RunReport),
+    Dynamic(DynamicStudyReport),
+    Stats(crate::stats::StatsReport),
+    Pong,
+    CacheCleared,
+    ShuttingDown,
+    Error(ErrorReply),
+}
+
+/// Encode one protocol message as its wire line (no trailing newline).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    // The shim's value model is infallible for derived types.
+    serde_json::to_string(msg).unwrap_or_else(|e| {
+        format!(
+            "{{\"Error\":{{\"code\":\"internal\",\"message\":\"encode: {e:?}\",\"retry_after_ms\":null}}}}"
+        )
+    })
+}
+
+/// Decode one wire line.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| format!("{e:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+    fn req() -> RunRequest {
+        RunRequest::new(
+            RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(4),
+        )
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for r in [
+            Request::Run(req()),
+            Request::Stats,
+            Request::ClearCache,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let line = encode(&r);
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back: Request = decode(&line).expect("decode");
+            assert_eq!(encode(&back), line, "re-encode differs for {line}");
+        }
+    }
+
+    #[test]
+    fn error_reply_round_trips() {
+        let e = Response::Error(ErrorReply::backpressure(25, 64));
+        let back: Response = decode(&encode(&e)).expect("decode");
+        match back {
+            Response::Error(err) => {
+                assert_eq!(err.code, error_code::BACKPRESSURE);
+                assert_eq!(err.retry_after_ms, Some(25));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_err_not_panic() {
+        assert!(decode::<Request>("not json").is_err());
+        assert!(decode::<Request>("{\"Nope\": 1}").is_err());
+        assert!(decode::<Request>("").is_err());
+    }
+
+    #[test]
+    fn static_and_dynamic_keys_differ() {
+        let stat = req();
+        let mut dyn5 = req();
+        dyn5.dynamic_iterations = Some(5);
+        let mut dyn6 = req();
+        dyn6.dynamic_iterations = Some(6);
+        assert_ne!(stat.cache_key(), dyn5.cache_key());
+        assert_ne!(dyn5.cache_key(), dyn6.cache_key());
+        // record_tasks is part of the identity (it changes the effective
+        // config), but two requests with the same effective config share
+        // a key.
+        let mut recorded = req();
+        recorded.record_tasks = true;
+        assert_ne!(stat.cache_key(), recorded.cache_key());
+        let mut explicit = req();
+        explicit.config.keep_records = true;
+        assert_eq!(recorded.cache_key(), explicit.cache_key());
+    }
+}

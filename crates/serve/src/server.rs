@@ -1,0 +1,149 @@
+//! The TCP layer: accept connections, shuttle JSON lines through
+//! [`Service::handle_line`].
+//!
+//! One OS thread per connection (requests within a connection are
+//! served in order; concurrency comes from concurrent connections), all
+//! simulation work funneled through the service's bounded pool. The
+//! accept loop exits when a `Shutdown` request arrives — the handler
+//! sets the service flag and pokes the listener with a loopback connect
+//! so `accept` returns.
+
+use crate::service::{ServeOptions, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound-but-not-yet-serving service instance.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) with the given
+    /// options.
+    pub fn bind(addr: &str, options: ServeOptions) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Service::new(options),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Serve until shutdown. Blocks the calling thread.
+    pub fn run(self) {
+        let addr = self.local_addr();
+        for stream in self.listener.incoming() {
+            if self.service.shutdown_requested() {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let service = self.service.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("ugpc-serve-conn".to_string())
+                        .spawn(move || handle_connection(&service, stream, addr));
+                }
+                Err(e) => eprintln!("[ugpc-serve] accept error: {e}"),
+            }
+        }
+    }
+
+    /// Serve on a background thread; returns a handle that can stop the
+    /// server and join it. Used by tests, examples, and the benchmark
+    /// harness.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let service = self.service.clone();
+        let join = std::thread::Builder::new()
+            .name("ugpc-serve-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawn accept thread");
+        ServerHandle {
+            addr,
+            service,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed instance.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Request shutdown and join the accept loop.
+    pub fn stop(mut self) {
+        self.service.request_shutdown();
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.service.request_shutdown();
+            let _ = TcpStream::connect(self.addr);
+            let _ = join.join();
+        }
+    }
+}
+
+fn handle_connection(service: &Arc<Service>, stream: TcpStream, addr: SocketAddr) {
+    // One-line request/response turns: without TCP_NODELAY, Nagle plus
+    // the peer's delayed ACK adds ~40 ms to every round trip.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    {
+        *service.metrics.open_connections.lock() += 1;
+    }
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if service.shutdown_requested() {
+            // We may have just handled the Shutdown request on this very
+            // connection: unblock the accept loop ourselves.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    *service.metrics.open_connections.lock() -= 1;
+}

@@ -1,0 +1,434 @@
+//! Transport-independent request handling: parse a wire line, route it
+//! through the cache and worker pool, produce the response line.
+//!
+//! Keeping this free of sockets means the whole service contract —
+//! single-flight, backpressure, error replies, stats — is unit-testable
+//! without TCP, and the TCP layer ([`crate::server`]) stays a thin
+//! accept-and-shuttle loop.
+
+use crate::cache::{Begin, ResultCache};
+use crate::pool::WorkerPool;
+use crate::protocol::{decode, encode, error_code, ErrorReply, Request, Response, RunRequest};
+use crate::stats::{CacheStats, Metrics, StatsReport};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ugpc_core::{run_dynamic_study, try_run_study};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Pending-simulation queue bound (beyond it: backpressure replies).
+    pub queue_capacity: usize,
+    /// Ready-entry bound of the result cache.
+    pub cache_capacity: usize,
+    /// Reject configs with more than this many tiles per dimension
+    /// (guards the service against graph-building DoS by huge requests).
+    pub max_nt: usize,
+    /// Cap on `dynamic_iterations`.
+    pub max_dynamic_iterations: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            queue_capacity: 64,
+            cache_capacity: 256,
+            max_nt: 64,
+            max_dynamic_iterations: 200,
+        }
+    }
+}
+
+/// The shared state behind every connection.
+pub struct Service {
+    pub(crate) cache: Arc<ResultCache>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) metrics: Metrics,
+    /// Simulations actually run, counted *before* the result publishes —
+    /// so a leader observing its own reply already sees the increment
+    /// (unlike the pool's job counter, which lags the flight).
+    simulations: Arc<AtomicU64>,
+    options: ServeOptions,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    pub fn new(options: ServeOptions) -> Arc<Self> {
+        Arc::new(Service {
+            cache: ResultCache::new(options.cache_capacity),
+            pool: WorkerPool::new(options.workers, options.queue_capacity),
+            metrics: Metrics::default(),
+            simulations: Arc::new(AtomicU64::new(0)),
+            options,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Set once a `Shutdown` request is seen; the accept loop polls it.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle one wire line, returning the response line (without the
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(self: &Arc<Self>, line: &str) -> String {
+        self.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let request = match decode::<Request>(line.trim()) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                return encode(&Response::Error(ErrorReply::new(
+                    error_code::BAD_REQUEST,
+                    format!("unparseable request: {e}"),
+                )));
+            }
+        };
+        match request {
+            Request::Ping => encode(&Response::Pong),
+            Request::Stats => {
+                let t0 = Instant::now();
+                let report = self.stats_report();
+                let line = encode(&Response::Stats(report));
+                self.metrics.stats_op.record(t0.elapsed());
+                line
+            }
+            Request::ClearCache => {
+                self.cache.clear();
+                encode(&Response::CacheCleared)
+            }
+            Request::Shutdown => {
+                self.request_shutdown();
+                encode(&Response::ShuttingDown)
+            }
+            Request::Run(run) => self.handle_run(&run),
+        }
+    }
+
+    /// The run path: validate, consult the cache (single-flight), and on
+    /// a miss simulate on the worker pool — or bounce with backpressure.
+    fn handle_run(self: &Arc<Self>, run: &RunRequest) -> String {
+        let t0 = Instant::now();
+        if let Err(reply) = self.validate_run(run) {
+            self.metrics.invalid_configs.fetch_add(1, Ordering::Relaxed);
+            return encode(&Response::Error(reply));
+        }
+        match self.cache.begin(run.cache_key()) {
+            Begin::Hit(line) => {
+                self.metrics.run_hit.record(t0.elapsed());
+                line.to_string()
+            }
+            Begin::Wait(flight) => {
+                let out = match ResultCache::wait(&flight) {
+                    Ok(line) => line.to_string(),
+                    Err(msg) => {
+                        encode(&Response::Error(ErrorReply::new(error_code::INTERNAL, msg)))
+                    }
+                };
+                self.metrics.run_wait.record(t0.elapsed());
+                out
+            }
+            Begin::Lead(guard) => {
+                let flight = match self.cache.begin(guard.key()) {
+                    // Re-registering the same key while we hold the lead
+                    // guard always coalesces onto our own flight.
+                    Begin::Wait(f) => f,
+                    _ => unreachable!("leader's key is pending until the guard resolves"),
+                };
+                // Our own wait on our own flight is bookkeeping, not a
+                // coalesced request; undo the counter bump.
+                self.cache
+                    .counters
+                    .coalesced
+                    .fetch_sub(1, Ordering::Relaxed);
+                let job_run = run.clone();
+                let sims = self.simulations.clone();
+                let submitted = self.pool.try_submit(Box::new(move || {
+                    let response = simulate_response(&job_run);
+                    sims.fetch_add(1, Ordering::SeqCst);
+                    guard.fulfill(encode(&response).into());
+                }));
+                if let Err(rejected) = submitted {
+                    self.metrics
+                        .backpressure_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Fail the flight so concurrent waiters see a clean
+                    // error (the job box still owns the guard; dropping
+                    // it resolves the flight).
+                    drop(rejected);
+                    return encode(&Response::Error(ErrorReply::backpressure(
+                        self.pool.retry_after_ms(),
+                        self.pool.queue_depth(),
+                    )));
+                }
+                let out = match ResultCache::wait(&flight) {
+                    Ok(line) => line.to_string(),
+                    Err(msg) => {
+                        encode(&Response::Error(ErrorReply::new(error_code::INTERNAL, msg)))
+                    }
+                };
+                self.metrics.run_miss.record(t0.elapsed());
+                out
+            }
+        }
+    }
+
+    /// Service-level admission checks on top of `RunConfig::validate`.
+    fn validate_run(&self, run: &RunRequest) -> Result<(), ErrorReply> {
+        let cfg = run.effective_config();
+        cfg.validate()
+            .map_err(|e| ErrorReply::new(error_code::INVALID_CONFIG, e.to_string()))?;
+        if cfg.nt() > self.options.max_nt {
+            return Err(ErrorReply::new(
+                error_code::INVALID_CONFIG,
+                format!(
+                    "nt = {} exceeds this service's limit of {}",
+                    cfg.nt(),
+                    self.options.max_nt
+                ),
+            ));
+        }
+        match run.dynamic_iterations {
+            Some(0) => Err(ErrorReply::new(
+                error_code::INVALID_CONFIG,
+                "dynamic_iterations must be >= 1",
+            )),
+            Some(k) if k > self.options.max_dynamic_iterations => Err(ErrorReply::new(
+                error_code::INVALID_CONFIG,
+                format!(
+                    "dynamic_iterations = {k} exceeds this service's limit of {}",
+                    self.options.max_dynamic_iterations
+                ),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    pub fn stats_report(&self) -> StatsReport {
+        let c = &self.cache.counters;
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        StatsReport {
+            uptime_s: self.metrics.uptime().as_secs_f64(),
+            workers: self.pool.workers(),
+            queue_depth: self.pool.queue_depth(),
+            queue_capacity: self.pool.queue_capacity(),
+            open_connections: *self.metrics.open_connections.lock(),
+            requests_total: load(&self.metrics.requests_total),
+            parse_errors: load(&self.metrics.parse_errors),
+            invalid_configs: load(&self.metrics.invalid_configs),
+            backpressure_rejections: load(&self.metrics.backpressure_rejections),
+            simulations_executed: self.simulations.load(Ordering::SeqCst),
+            cache: CacheStats {
+                entries: self.cache.len(),
+                capacity: self.cache.capacity(),
+                hits: load(&c.hits),
+                misses: load(&c.misses),
+                coalesced: load(&c.coalesced),
+                evictions: load(&c.evictions),
+                hit_rate: self.cache.hit_rate(),
+            },
+            latency: vec![
+                self.metrics.run_hit.snapshot("run_hit"),
+                self.metrics.run_miss.snapshot("run_miss"),
+                self.metrics.run_wait.snapshot("run_wait"),
+                self.metrics.stats_op.snapshot("stats"),
+            ],
+        }
+    }
+}
+
+/// Execute a validated run request — the only place the service touches
+/// the simulator. Runs on a pool worker.
+fn simulate_response(run: &RunRequest) -> Response {
+    let cfg = run.effective_config();
+    match run.dynamic_iterations {
+        None => match try_run_study(&cfg) {
+            Ok(report) => Response::Run(report),
+            Err(e) => Response::Error(ErrorReply::new(error_code::INVALID_CONFIG, e.to_string())),
+        },
+        // Validated: k >= 1 and the config passed `validate()`, so the
+        // study's internal `expect`s hold.
+        Some(k) => Response::Dynamic(run_dynamic_study(&cfg, k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::decode;
+    use ugpc_core::RunConfig;
+    use ugpc_hwsim::{OpKind, PlatformId, Precision};
+
+    fn tiny() -> RunConfig {
+        RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(8)
+    }
+
+    fn small_service() -> Arc<Service> {
+        Service::new(ServeOptions {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServeOptions::default()
+        })
+    }
+
+    #[test]
+    fn run_then_hit_skips_simulation() {
+        let svc = small_service();
+        let req = encode(&Request::Run(RunRequest::new(tiny())));
+        let first = svc.handle_line(&req);
+        let second = svc.handle_line(&req);
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        assert!(matches!(
+            decode::<Response>(&first).expect("decode"),
+            Response::Run(_)
+        ));
+        let stats = svc.stats_report();
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.simulations_executed, 1, "hit skipped the pool");
+    }
+
+    #[test]
+    fn malformed_line_gets_error_reply() {
+        let svc = small_service();
+        for bad in ["", "garbage", "{\"Run\": 1}", "{\"Run\": {\"config\": {}}}"] {
+            let out = svc.handle_line(bad);
+            match decode::<Response>(&out).expect("decode") {
+                Response::Error(e) => assert_eq!(e.code, error_code::BAD_REQUEST, "{bad}"),
+                other => panic!("expected error for {bad:?}, got {other:?}"),
+            }
+        }
+        assert_eq!(svc.stats_report().parse_errors, 4);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_not_simulated() {
+        let svc = small_service();
+        // 2-GPU cap config on the 4-GPU platform.
+        let mut cfg = tiny();
+        cfg.gpu_config = ugpc_capping::CapConfig::uniform(ugpc_capping::CapLevel::B, 2);
+        let out = svc.handle_line(&encode(&Request::Run(RunRequest::new(cfg))));
+        match decode::<Response>(&out).expect("decode") {
+            Response::Error(e) => assert_eq!(e.code, error_code::INVALID_CONFIG),
+            other => panic!("{other:?}"),
+        }
+        // Over-sized problems bounce on the nt guard.
+        let mut big = tiny();
+        big.n = big.nb * (svc.options().max_nt + 1);
+        let out = svc.handle_line(&encode(&Request::Run(RunRequest::new(big))));
+        match decode::<Response>(&out).expect("decode") {
+            Response::Error(e) => assert_eq!(e.code, error_code::INVALID_CONFIG),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(svc.stats_report().simulations_executed, 0);
+    }
+
+    #[test]
+    fn dynamic_study_served_and_cached() {
+        let svc = small_service();
+        let mut req = RunRequest::new(tiny());
+        req.dynamic_iterations = Some(2);
+        let line = encode(&Request::Run(req));
+        let first = svc.handle_line(&line);
+        match decode::<Response>(&first).expect("decode") {
+            Response::Dynamic(d) => assert_eq!(d.iterations.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let second = svc.handle_line(&line);
+        assert_eq!(first, second);
+        assert_eq!(svc.stats_report().simulations_executed, 1);
+    }
+
+    #[test]
+    fn ping_stats_clear_shutdown() {
+        let svc = small_service();
+        assert!(matches!(
+            decode::<Response>(&svc.handle_line(&encode(&Request::Ping))).expect("decode"),
+            Response::Pong
+        ));
+        let out = svc.handle_line(&encode(&Request::Stats));
+        match decode::<Response>(&out).expect("decode") {
+            Response::Stats(s) => {
+                assert_eq!(s.workers, 2);
+                assert_eq!(s.queue_capacity, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+        svc.handle_line(&encode(&Request::Run(RunRequest::new(tiny()))));
+        assert_eq!(svc.stats_report().cache.entries, 1);
+        svc.handle_line(&encode(&Request::ClearCache));
+        assert_eq!(svc.stats_report().cache.entries, 0);
+        assert!(!svc.shutdown_requested());
+        svc.handle_line(&encode(&Request::Shutdown));
+        assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn backpressure_when_queue_full() {
+        // One worker (blocked), queue bound 1 (occupied): the next run
+        // request must bounce with a structured retry-after error rather
+        // than queue without bound or drop anything.
+        let svc = Service::new(ServeOptions {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 8,
+            ..ServeOptions::default()
+        });
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        svc.pool
+            .try_submit(Box::new(move || {
+                let _ = gate_rx.recv_timeout(std::time::Duration::from_secs(10));
+            }))
+            .expect("blocker");
+        // Wait for the worker to take the blocker off the queue, then
+        // occupy the single queue slot.
+        for _ in 0..200 {
+            if svc.pool.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(
+            svc.pool.queue_depth(),
+            0,
+            "worker never picked up the blocker"
+        );
+        svc.pool.try_submit(Box::new(|| ())).expect("fills queue");
+        let out = svc.handle_line(&encode(&Request::Run(RunRequest::new(tiny()))));
+        match decode::<Response>(&out).expect("decode") {
+            Response::Error(e) => {
+                assert_eq!(e.code, error_code::BACKPRESSURE);
+                assert!(e.retry_after_ms.is_some());
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        gate_tx.send(()).expect("release blocker");
+        let stats = svc.stats_report();
+        assert_eq!(stats.backpressure_rejections, 1);
+        // Wait for the blocker and filler to drain, then the same
+        // request succeeds: the rejected flight was resolved, not wedged.
+        for _ in 0..400 {
+            if svc.pool.executed() == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let out = svc.handle_line(&encode(&Request::Run(RunRequest::new(tiny()))));
+        assert!(matches!(
+            decode::<Response>(&out).expect("decode"),
+            Response::Run(_)
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! The ops surface: request counters and per-operation latency
+//! histograms, snapshotted into a serializable [`StatsReport`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Log₂ microsecond buckets: `<1µs, <2µs, <4µs, …, <~8.6s, rest`.
+pub const BUCKETS: usize = 24;
+
+/// A fixed-bucket latency histogram (log₂ scale in microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, op: &str) -> OpLatency {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        OpLatency {
+            op: op.to_string(),
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+            max_us: self.max_us.load(Ordering::Relaxed),
+            // (bucket upper bound in µs, count) — zero buckets elided.
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (1u64 << i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serialized histogram snapshot for one operation class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpLatency {
+    pub op: String,
+    pub count: u64,
+    pub mean_us: f64,
+    pub max_us: u64,
+    /// `(upper bound in µs, samples)` per non-empty log₂ bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Live (non-serialized) service metrics.
+pub struct Metrics {
+    started: Instant,
+    pub requests_total: AtomicU64,
+    pub parse_errors: AtomicU64,
+    pub invalid_configs: AtomicU64,
+    pub backpressure_rejections: AtomicU64,
+    /// Latency of cache-hit run requests (no simulation).
+    pub run_hit: Histogram,
+    /// Latency of cache-miss run requests (leader: queue + simulate).
+    pub run_miss: Histogram,
+    /// Latency of requests coalesced behind an in-flight leader.
+    pub run_wait: Histogram,
+    pub stats_op: Histogram,
+    /// Connections currently open (guarded by a plain mutex so the
+    /// accept loop and handlers stay trivially consistent).
+    pub open_connections: Mutex<usize>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            invalid_configs: AtomicU64::new(0),
+            backpressure_rejections: AtomicU64::new(0),
+            run_hit: Histogram::default(),
+            run_miss: Histogram::default(),
+            run_wait: Histogram::default(),
+            stats_op: Histogram::default(),
+            open_connections: Mutex::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Cache counters as reported over the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+    /// Requests that parked behind an in-flight identical request.
+    pub coalesced: u64,
+    pub evictions: u64,
+    /// hits / (hits + misses + coalesced).
+    pub hit_rate: f64,
+}
+
+/// The `stats` response payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReport {
+    pub uptime_s: f64,
+    pub workers: usize,
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    pub open_connections: usize,
+    pub requests_total: u64,
+    pub parse_errors: u64,
+    pub invalid_configs: u64,
+    pub backpressure_rejections: u64,
+    pub simulations_executed: u64,
+    pub cache: CacheStats,
+    pub latency: Vec<OpLatency>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0)); // bucket 0 (<1µs)
+        h.record(Duration::from_micros(3)); // 3µs -> bucket 2 (<4µs)
+        h.record(Duration::from_millis(2)); // 2000µs -> bucket 11
+        let snap = h.snapshot("test");
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max_us, 2000);
+        assert!((snap.mean_us - (0.0 + 3.0 + 2000.0) / 3.0).abs() < 1e-9);
+        let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 3);
+        assert!(snap.buckets.iter().any(|&(ub, _)| ub == 4));
+        // Monster durations land in the last bucket, not out of range.
+        h.record(Duration::from_secs(40_000));
+        assert_eq!(h.snapshot("test").count, 4);
+    }
+
+    #[test]
+    fn stats_report_round_trips() {
+        let report = StatsReport {
+            uptime_s: 1.5,
+            workers: 2,
+            queue_depth: 0,
+            queue_capacity: 64,
+            open_connections: 1,
+            requests_total: 10,
+            parse_errors: 1,
+            invalid_configs: 2,
+            backpressure_rejections: 3,
+            simulations_executed: 4,
+            cache: CacheStats {
+                entries: 1,
+                capacity: 256,
+                hits: 5,
+                misses: 5,
+                coalesced: 0,
+                evictions: 0,
+                hit_rate: 0.5,
+            },
+            latency: vec![Histogram::default().snapshot("run_hit")],
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: StatsReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.cache.hits, 5);
+        assert_eq!(back.latency.len(), 1);
+        assert_eq!(back.latency[0].op, "run_hit");
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the TCP service: byte-fidelity, single-flight
+//! under concurrent clients, malformed-input resilience, backpressure,
+//! and the ops surface.
+
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
+use ugpc_core::{run_study, RunConfig};
+use ugpc_hwsim::{OpKind, PlatformId, Precision};
+use ugpc_serve::{error_code, Client, Response, ServeOptions, Server};
+
+fn tiny() -> RunConfig {
+    RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(8)
+}
+
+fn spawn_server(options: ServeOptions) -> ugpc_serve::ServerHandle {
+    Server::bind("127.0.0.1:0", options)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn small_options() -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn served_report_matches_direct_library_call() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let served = client.run(tiny()).unwrap();
+    let direct = run_study(&tiny());
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "service must be byte-identical to the library"
+    );
+    handle.stop();
+}
+
+#[test]
+fn concurrent_identical_requests_simulate_once() {
+    let handle = spawn_server(small_options());
+    let n = 6;
+    let responses: Vec<String> = std::thread::scope(|s| {
+        let addr = handle.addr();
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let report = client.run(tiny()).unwrap();
+                    serde_json::to_string(&report).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &responses[1..] {
+        assert_eq!(r, &responses[0], "all N responses identical");
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.simulations_executed, 1,
+        "single-flight: one simulation"
+    );
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(
+        stats.cache.hits + stats.cache.coalesced,
+        (n - 1) as u64,
+        "everyone else reused the leader's result: {stats:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn malformed_input_gets_error_reply_and_connection_survives() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.roundtrip_raw("this is not json").unwrap() {
+        Response::Error(e) => assert_eq!(e.code, error_code::BAD_REQUEST),
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client.roundtrip_raw("{\"Run\": {\"config\": 5}}").unwrap() {
+        Response::Error(e) => assert_eq!(e.code, error_code::BAD_REQUEST),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Same connection still works for a real request afterwards.
+    client.ping().unwrap();
+    let report = client.run(tiny()).unwrap();
+    assert!(report.gflops > 0.0);
+    handle.stop();
+}
+
+#[test]
+fn invalid_config_is_structured_error() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut cfg = tiny();
+    cfg.nb += 1; // tile no longer divides N
+    match client.run(cfg) {
+        Err(ugpc_serve::ClientError::Server(e)) => {
+            assert_eq!(e.code, error_code::INVALID_CONFIG);
+            assert!(e.message.contains("divide"), "{}", e.message);
+        }
+        other => panic!("expected invalid_config, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn dynamic_study_over_the_wire() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let report = client.run_dynamic(tiny(), 3).unwrap();
+    assert_eq!(report.iterations.len(), 3);
+    assert!(report.final_efficiency_gflops_w > 0.0);
+    // Served dynamic study matches the direct call byte-for-byte too.
+    let direct = ugpc_core::run_dynamic_study(&tiny(), 3);
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&direct).unwrap()
+    );
+    handle.stop();
+}
+
+#[test]
+fn cache_eviction_respects_bound_over_the_wire() {
+    let handle = spawn_server(ServeOptions {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 2,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for seed in 0..4u64 {
+        let cfg = tiny().with_scheduler(ugpc_runtime::SchedPolicy::Random { seed });
+        client.run(cfg).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.entries, 2, "LRU bound holds");
+    assert_eq!(stats.cache.evictions, 2);
+    assert_eq!(stats.cache.misses, 4);
+    handle.stop();
+}
+
+#[test]
+fn stats_and_clear_cache_roundtrip() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.run(tiny()).unwrap();
+    client.run(tiny()).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.uptime_s >= 0.0);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.cache.hits, 1);
+    assert!(stats.cache.hit_rate > 0.0);
+    assert_eq!(stats.open_connections, 1);
+    // Latency histograms recorded both classes.
+    let lat = |op: &str| {
+        stats
+            .latency
+            .iter()
+            .find(|l| l.op == op)
+            .map(|l| l.count)
+            .unwrap_or(0)
+    };
+    assert_eq!(lat("run_miss"), 1);
+    assert_eq!(lat("run_hit"), 1);
+    client.clear_cache().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.entries, 0);
+    handle.stop();
+}
+
+#[test]
+fn shutdown_stops_the_accept_loop() {
+    let handle = spawn_server(small_options());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    handle.stop(); // joins promptly because the loop already exited
+                   // New connections are refused (or reset) once the server is gone.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        Client::connect(addr).and_then(|mut c| c.ping()).is_err(),
+        "server should be gone"
+    );
+}

@@ -1,0 +1,57 @@
+//! Serve roundtrip: spawn the simulation service on an ephemeral port,
+//! submit a GEMM request through the bundled client, and check that the
+//! reply is byte-for-byte identical to calling the library directly.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+// Demo code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
+use ugpc::prelude::*;
+use ugpc::serve::{Client, RunRequest, ServeOptions, Server};
+
+fn main() {
+    let cfg =
+        RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double).scaled_down(4);
+
+    // Port 0 → the OS picks a free ephemeral port; no config needed.
+    let handle = Server::bind("127.0.0.1:0", ServeOptions::default())
+        .unwrap()
+        .spawn();
+    println!("serving on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = RunRequest::new(cfg.clone());
+    println!("cache key: {}", request.cache_key());
+
+    let served = client.run_request(&request).unwrap();
+    let direct = ugpc::run_study(&cfg);
+
+    // The cache stores fully serialized response lines, so a served
+    // report is byte-identical to the library call by construction.
+    let served_json = serde_json::to_string(&served).unwrap();
+    let direct_json = serde_json::to_string(&direct).unwrap();
+    assert_eq!(served_json, direct_json, "service must mirror the library");
+    println!(
+        "served == direct: {} Gflop/s, {:.3} Gflop/s/W ({} bytes of JSON)",
+        served.gflops.round(),
+        served.efficiency_gflops_w,
+        served_json.len()
+    );
+
+    // A second identical request is answered from the cache.
+    let again = client.run_request(&request).unwrap();
+    assert_eq!(serde_json::to_string(&again).unwrap(), served_json);
+    let stats = client.stats().unwrap();
+    println!(
+        "cache: {} hit(s), {} miss(es), {} simulation(s) executed",
+        stats.cache.hits, stats.cache.misses, stats.simulations_executed
+    );
+    assert_eq!(stats.simulations_executed, 1);
+
+    handle.stop();
+    println!("server stopped cleanly");
+}

@@ -16,6 +16,8 @@
 //! * [`linalg`] — tiled GEMM / Cholesky with real reference kernels
 //! * [`capping`] — L/B/H cap configurations, sweeps, dynamic controller
 //! * [`experiments`] — per-figure/table reproduction runners
+//! * [`serve`] — concurrent TCP simulation service with a content-addressed
+//!   result cache, bounded worker pool, client, and load generator
 //! * the top-level [`RunConfig`] / [`run_study`] API from `ugpc-core`
 //!
 //! ## Quickstart
@@ -37,10 +39,11 @@ pub use ugpc_experiments as experiments;
 pub use ugpc_hwsim as hwsim;
 pub use ugpc_linalg as linalg;
 pub use ugpc_runtime as runtime;
+pub use ugpc_serve as serve;
 
 pub use ugpc_core::{
-    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, Comparison, DynamicIteration,
-    DynamicStudyReport, RunConfig, RunReport,
+    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, try_run_study, CacheKey,
+    Comparison, DynamicIteration, DynamicStudyReport, InvalidConfig, RunConfig, RunReport,
 };
 
 /// Everything most programs need.
