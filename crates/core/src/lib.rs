@@ -29,13 +29,16 @@ pub use dynamic::{
     dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,
 };
 pub use key::CacheKey;
-pub use report::{compare, Comparison, RunReport};
+pub use report::{compare, Comparison, RunReport, TracedRun};
 
 use serde::{Deserialize, Serialize};
 use ugpc_capping::{apply_cpu_cap, apply_gpu_caps, CapConfig};
 use ugpc_hwsim::{table_ii_entry, Node, OpKind, PlatformId, Precision, Watts};
 use ugpc_linalg::{build_gemm, build_potrf};
-use ugpc_runtime::{simulate, DataRegistry, SchedPolicy, SimOptions, TaskGraph};
+use ugpc_runtime::{
+    simulate_observed, DataRegistry, Observer, PerfModel, PowerTimeline, SchedPolicy, SimOptions,
+    StatsCollector, TaskGraph, TraceBuilder,
+};
 
 /// Everything that defines one measured run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -175,6 +178,16 @@ pub fn try_run_study(cfg: &RunConfig) -> Result<RunReport, InvalidConfig> {
 
 /// Execute one measured run: apply caps, calibrate, simulate, report.
 pub fn run_study(cfg: &RunConfig) -> RunReport {
+    run_study_observed(cfg, &mut [])
+}
+
+/// [`run_study`] with additional observers attached to the executor event
+/// stream — Perfetto sinks, power timelines, progress meters. The report
+/// itself is built by a `TraceBuilder`/`StatsCollector` pair riding the
+/// same stream, so extra observers never change the numbers (the
+/// observer-neutrality invariant, pinned by
+/// `tests/observer_differential.rs`).
+pub fn run_study_observed(cfg: &RunConfig, extra: &mut [&mut dyn Observer]) -> RunReport {
     let mut node = Node::new(cfg.platform);
     apply_gpu_caps(&mut node, &cfg.gpu_config, cfg.op, cfg.precision)
         .expect("cap configuration matches the platform");
@@ -183,17 +196,47 @@ pub fn run_study(cfg: &RunConfig) -> RunReport {
     }
     let mut reg = DataRegistry::new();
     let graph = cfg.build_graph(&mut reg);
-    let trace = simulate(
-        &mut node,
-        &graph,
-        &mut reg,
-        SimOptions {
-            policy: cfg.scheduler,
-            keep_records: cfg.keep_records,
-            ..Default::default()
-        },
-    );
-    RunReport::from_trace(cfg, &trace)
+    let mut builder = TraceBuilder::new();
+    let mut stats = StatsCollector::new();
+    {
+        let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(2 + extra.len());
+        observers.push(&mut builder);
+        observers.push(&mut stats);
+        for o in extra.iter_mut() {
+            observers.push(&mut **o);
+        }
+        let mut perf = PerfModel::new();
+        simulate_observed(
+            &mut node,
+            &graph,
+            &mut reg,
+            SimOptions {
+                policy: cfg.scheduler,
+                keep_records: cfg.keep_records,
+                ..Default::default()
+            },
+            &mut perf,
+            &mut observers,
+        );
+    }
+    RunReport::from_parts(cfg, &builder.into_trace(), &stats.into_stats())
+}
+
+/// One run with its per-device power timeline (`bins` time bins over the
+/// makespan) — the paper's Fig. 5 energy breakdown, resolved in time.
+pub fn run_study_traced(cfg: &RunConfig, bins: usize) -> TracedRun {
+    let mut timeline = PowerTimeline::new(bins);
+    let report = run_study_observed(cfg, &mut [&mut timeline]);
+    TracedRun {
+        report,
+        power: timeline.into_profile(),
+    }
+}
+
+/// [`run_study_traced`] with malformed configurations reported as errors.
+pub fn try_run_study_traced(cfg: &RunConfig, bins: usize) -> Result<TracedRun, InvalidConfig> {
+    cfg.validate()?;
+    Ok(run_study_traced(cfg, bins))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::RunConfig;
 use serde::{Deserialize, Serialize};
-use ugpc_runtime::RunTrace;
+use ugpc_runtime::{ExecStats, PowerProfile, RunTrace};
 
 /// The measured outcome of one run, in the paper's units.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,10 +30,23 @@ pub struct RunReport {
     /// Task placement counts.
     pub cpu_tasks: usize,
     pub gpu_tasks: usize,
+    /// Memory-system breakdown from the executor event stream.
+    pub evictions: usize,
+    pub writebacks: usize,
+    /// Operand transfers (each hop of a staged copy counts once).
+    pub transfers: usize,
+    /// Bytes moved by operand transfers.
+    pub transferred_b: f64,
 }
 
 impl RunReport {
     pub fn from_trace(cfg: &RunConfig, trace: &RunTrace) -> Self {
+        Self::from_parts(cfg, trace, &ExecStats::default())
+    }
+
+    /// Build a report from the trace aggregates plus the stream-derived
+    /// [`ExecStats`] (transfer counts the trace never carried).
+    pub fn from_parts(cfg: &RunConfig, trace: &RunTrace, stats: &ExecStats) -> Self {
         RunReport {
             platform: cfg.platform.name().to_string(),
             op: cfg.op.name().to_string(),
@@ -51,6 +64,10 @@ impl RunReport {
             energy_per_gpu: trace.energy.per_gpu.iter().map(|e| e.value()).collect(),
             cpu_tasks: trace.cpu_tasks,
             gpu_tasks: trace.gpu_tasks,
+            evictions: trace.evictions,
+            writebacks: trace.writebacks,
+            transfers: stats.transfers,
+            transferred_b: stats.transferred.value(),
         }
     }
 
@@ -59,6 +76,15 @@ impl RunReport {
         let cpu: f64 = self.energy_per_cpu.iter().sum();
         cpu / self.total_energy_j.max(1e-300)
     }
+}
+
+/// A run report paired with its per-device power timeline — what
+/// [`run_study_traced`](crate::run_study_traced) returns and `ugpc-serve`
+/// ships for traced requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedRun {
+    pub report: RunReport,
+    pub power: PowerProfile,
 }
 
 /// A run measured against a baseline, in the paper's Fig. 3/4 axes.
@@ -103,6 +129,10 @@ mod tests {
             energy_per_gpu: vec![energy * 0.75],
             cpu_tasks: 1,
             gpu_tasks: 9,
+            evictions: 0,
+            writebacks: 0,
+            transfers: 12,
+            transferred_b: 1e6,
         }
     }
 

@@ -1,13 +1,18 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|all]...
+//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|all]...
 //! repro --serve [ADDR]
+//! repro --trace-out DIR [--scale K]
 //! ```
 //!
 //! `--serve` skips the reproduction entirely and runs the `ugpc-serve`
 //! simulation service on ADDR (default `127.0.0.1:7878`), blocking until
 //! a client sends a `Shutdown` request.
+//! `--trace-out DIR` runs one instrumented POTRF and writes
+//! `trace.json` (Perfetto/Chrome trace-event), `power.json` (per-device
+//! power timeline) and `summary.json` (the run report) into DIR, then
+//! self-validates the trace (parses, task count matches the report).
 //! `--scale K` shrinks every task graph by K× (fewer tiles, same tile
 //! size) for quick runs; the default 1 reproduces the paper's sizes.
 //! `--jobs N` fans independent simulations over N worker threads
@@ -29,12 +34,13 @@ struct Args {
     json_dir: Option<PathBuf>,
     validate: bool,
     serve: Option<String>,
+    trace_out: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig1",
     "table1",
     "table2",
@@ -48,6 +54,7 @@ const ALL: [&str; 13] = [
     "models",
     "placements",
     "mixed",
+    "power",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         json_dir: None,
         validate: false,
         serve: None,
+        trace_out: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
                 args.json_dir = Some(PathBuf::from(v));
             }
             "--validate" => args.validate = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a directory")?;
+                args.trace_out = Some(PathBuf::from(v));
+            }
             "--serve" => {
                 // Optional positional ADDR; the next token is an address
                 // unless it is another flag or an experiment name.
@@ -100,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})",
+                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -110,9 +122,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    // `repro --validate` alone runs only the validation; `--serve` never
-    // runs experiments; everything else keeps the run-all default.
-    if args.experiments.is_empty() && !args.validate && args.serve.is_none() {
+    // `repro --validate` alone runs only the validation; `--serve` and
+    // `--trace-out` never run experiments; everything else keeps the
+    // run-all default.
+    if args.experiments.is_empty()
+        && !args.validate
+        && args.serve.is_none()
+        && args.trace_out.is_none()
+    {
         args.experiments.extend(ALL.iter().map(|s| s.to_string()));
     }
     Ok(args)
@@ -135,6 +152,88 @@ fn serve(addr: &str) -> ExitCode {
     );
     server.run();
     eprintln!("[serve] stopped");
+    ExitCode::SUCCESS
+}
+
+/// Run one instrumented POTRF (double, 2-V100 platform) and write the
+/// Perfetto trace, the power timeline, and the run report into `dir`.
+/// The written trace is validated before returning: it must parse as
+/// JSON and carry exactly one task slice per executed task.
+fn trace_run(dir: &std::path::Path, scale: usize) -> ExitCode {
+    use ugpc_core::{run_study_observed, RunConfig};
+    use ugpc_hwsim::{OpKind, PlatformId};
+    use ugpc_runtime::{Observer, PerfettoSink, PowerTimeline, Progress};
+
+    let cfg = RunConfig::paper(PlatformId::Intel2V100, OpKind::Potrf, Precision::Double)
+        .scaled_down(scale)
+        .with_records();
+    eprintln!(
+        "[trace] POTRF double on Intel2V100, nt = {} ({} tasks expected)",
+        cfg.nt(),
+        (cfg.nt() * (cfg.nt() + 1) * (cfg.nt() + 2)) / 6,
+    );
+    let mut sink = PerfettoSink::new();
+    let mut timeline = PowerTimeline::new(64);
+    let mut progress = Progress::every(100);
+    let report = {
+        let mut extra: [&mut dyn Observer; 3] = [&mut sink, &mut timeline, &mut progress];
+        run_study_observed(&cfg, &mut extra)
+    };
+    let trace_json = sink.into_json();
+    let power = timeline.into_profile();
+
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let write = |name: &str, data: &str| -> bool {
+        let path = dir.join(name);
+        match std::fs::write(&path, data) {
+            Ok(()) => {
+                eprintln!("wrote {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                false
+            }
+        }
+    };
+    let power_json = serde_json::to_string_pretty(&power).expect("serialize profile");
+    let summary_json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if !(write("trace.json", &trace_json)
+        && write("power.json", &power_json)
+        && write("summary.json", &summary_json))
+    {
+        return ExitCode::FAILURE;
+    }
+
+    // Self-validation: the emitted trace must be well-formed JSON whose
+    // task slices (complete events with a task id) match the run report.
+    let parsed = match serde::json::parse(&trace_json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: trace.json does not parse: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = parsed.get("traceEvents").and_then(|v| v.as_array()) else {
+        eprintln!("error: trace.json has no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+    let task_slices = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("args").is_some_and(|a| a.get("task").is_some())
+        })
+        .count();
+    let tasks = report.cpu_tasks + report.gpu_tasks;
+    if task_slices != tasks {
+        eprintln!("error: trace has {task_slices} task slices, report counts {tasks} tasks");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[trace] validated: {task_slices} task slices match the report");
     ExitCode::SUCCESS
 }
 
@@ -189,6 +288,10 @@ fn main() -> ExitCode {
 
     if let Some(addr) = &args.serve {
         return serve(addr);
+    }
+
+    if let Some(dir) = &args.trace_out {
+        return trace_run(dir, args.scale);
     }
 
     if args.validate && !validate_graphs() {
@@ -281,6 +384,11 @@ fn main() -> ExitCode {
                     ex::ext_models::render("Calibration-noise ablation", &noise)
                 );
                 write_json(&args.json_dir, "ext_models_noise", &noise);
+            }
+            "power" => {
+                let s = ex::power_profile::run(args.scale);
+                println!("{}", ex::power_profile::render(&s));
+                write_json(&args.json_dir, "power_profile", &s);
             }
             "ablation" => {
                 for op in ugpc_hwsim::OpKind::ALL {

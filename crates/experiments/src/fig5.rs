@@ -34,6 +34,8 @@ pub fn render(fig: &Fig5) -> String {
             "CPU share %",
             "cpu tasks",
             "gpu tasks",
+            "transfers",
+            "evictions",
         ]);
         for r in &l.rows {
             table.row(vec![
@@ -45,6 +47,8 @@ pub fn render(fig: &Fig5) -> String {
                 f(r.report.cpu_energy_share() * 100.0, 1),
                 r.report.cpu_tasks.to_string(),
                 r.report.gpu_tasks.to_string(),
+                r.report.transfers.to_string(),
+                r.report.evictions.to_string(),
             ]);
         }
         out.push_str(&table.render());
@@ -96,6 +100,7 @@ mod tests {
         let text = render(&run(8));
         assert!(text.contains("CPU0 J"));
         assert!(text.contains("GPU1 J"));
+        assert!(text.contains("transfers") && text.contains("evictions"));
         assert!(text.contains("GEMM") && text.contains("POTRF"));
     }
 }

@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod format;
 pub mod placements;
+pub mod power_profile;
 pub mod table1;
 pub mod table2;
 pub mod unbalanced;

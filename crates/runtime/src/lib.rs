@@ -17,6 +17,11 @@
 //! Schedulers ([`sched`]) cover StarPU's published family: `eager`,
 //! `random`, `dm`, `dmda`, and the paper's `dmdas`, plus an energy-aware
 //! extension from the paper's future-work list.
+//!
+//! Both executors report through one typed event stream ([`observer`]):
+//! run statistics ([`trace::TraceBuilder`]), Perfetto/Chrome exports
+//! ([`export::PerfettoSink`]), per-device power timelines ([`timeline`]),
+//! and progress/stats meters are all observers over that stream.
 
 pub mod data;
 pub mod des;
@@ -24,21 +29,27 @@ pub mod export;
 pub mod graph;
 pub mod memory;
 pub mod native;
+pub mod observer;
 pub mod perfmodel;
 pub mod sched;
 pub mod sim;
 pub mod task;
+pub mod timeline;
 pub mod trace;
 pub mod worker;
 
 pub use data::{DataId, DataRegistry, MemNode};
-pub use export::chrome_trace;
+pub use export::{chrome_trace, PerfettoSink, TraceError};
 pub use graph::TaskGraph;
 pub use memory::GpuMemory;
 pub use native::{NativeExecutor, NativeStats};
+pub use observer::{
+    EventLog, ExecEvent, ExecStats, Observer, Progress, RunContext, RunSummary, StatsCollector,
+};
 pub use perfmodel::PerfModel;
 pub use sched::{SchedPolicy, SchedView, Scheduler};
-pub use sim::{simulate, simulate_with_model, SimOptions};
+pub use sim::{simulate, simulate_observed, simulate_with_model, SimOptions};
 pub use task::{AccessMode, Footprint, KernelKind, TaskDesc, TaskId};
-pub use trace::{RunTrace, TaskRecord};
+pub use timeline::{PowerProfile, PowerTimeline};
+pub use trace::{RunTrace, TaskRecord, TraceBuilder};
 pub use worker::{build_workers, Worker, WorkerId, WorkerKind};

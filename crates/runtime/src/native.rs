@@ -12,10 +12,16 @@
 //! effects).
 
 use crate::graph::TaskGraph;
+use crate::observer::{ExecEvent, Observer, RunContext, RunSummary};
+use crate::sim::SimOptions;
 use crate::task::{TaskDesc, TaskId};
+use crate::worker::{Worker, WorkerKind};
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use crossbeam::utils::Backoff;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+use ugpc_hwsim::{EnergyReading, Joules, Secs};
 
 /// Statistics of one native run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +67,107 @@ impl NativeExecutor {
     where
         F: Fn(TaskId, &TaskDesc) + Sync,
     {
+        self.execute_observed(graph, kernel, &mut [])
+    }
+
+    /// [`execute`](Self::execute), reporting through the same
+    /// [`Observer`] stream as the simulator: `TaskStart`/`TaskEnd` carry
+    /// wall-clock seconds since run start, and `on_finish` delivers the
+    /// wall-clock makespan (with an empty energy reading — host threads
+    /// have no power model).
+    ///
+    /// Events are serialized through one mutex, so attaching observers
+    /// perturbs timing (not correctness) of concurrent runs; pass an
+    /// empty slice on the measurement path.
+    pub fn execute_observed<F>(
+        &self,
+        graph: &TaskGraph,
+        kernel: F,
+        observers: &mut [&mut dyn Observer],
+    ) -> NativeStats
+    where
+        F: Fn(TaskId, &TaskDesc) + Sync,
+    {
+        // Each host thread presents as one CPU-core worker.
+        let workers: Vec<Worker> = (0..self.threads)
+            .map(|id| Worker {
+                id,
+                kind: WorkerKind::CpuCore {
+                    package: 0,
+                    core: id,
+                },
+            })
+            .collect();
+        for o in observers.iter_mut() {
+            o.on_start(&RunContext {
+                workers: &workers,
+                graph,
+                options: SimOptions::default(),
+                gpu_idle: &[],
+            });
+        }
+        let epoch = Instant::now();
+        let sink = Mutex::new(observers);
+        let notify = |me: usize, task: TaskId, desc: &TaskDesc, start: Secs, end: Secs| {
+            // Tolerate a poisoned lock: a panicking observer on another
+            // thread must not wedge the executor.
+            let mut obs = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            if obs.is_empty() {
+                return;
+            }
+            let start_ev = ExecEvent::TaskStart {
+                task,
+                worker: me,
+                at: start,
+            };
+            let end_ev = ExecEvent::TaskEnd {
+                task,
+                worker: me,
+                start,
+                end,
+                duration: end - start,
+                kind: desc.kind,
+                precision: desc.precision,
+                nb: desc.nb,
+                priority: desc.priority,
+                flops: desc.flops(),
+                energy: Joules::ZERO,
+            };
+            for o in obs.iter_mut() {
+                o.on_event(&start_ev);
+                o.on_event(&end_ev);
+            }
+        };
+
+        let stats = self.run_graph(graph, &kernel, &notify, epoch);
+
+        let makespan = Secs(epoch.elapsed().as_secs_f64());
+        let summary = RunSummary {
+            makespan,
+            energy: EnergyReading {
+                duration: makespan,
+                per_cpu: Vec::new(),
+                per_gpu: Vec::new(),
+            },
+        };
+        let obs = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+        for o in obs.iter_mut() {
+            o.on_finish(&summary);
+        }
+        stats
+    }
+
+    fn run_graph<F, N>(
+        &self,
+        graph: &TaskGraph,
+        kernel: &F,
+        notify: &N,
+        epoch: Instant,
+    ) -> NativeStats
+    where
+        F: Fn(TaskId, &TaskDesc) + Sync,
+        N: Fn(usize, TaskId, &TaskDesc, Secs, Secs) + Sync,
+    {
         let n = graph.len();
         if n == 0 {
             return NativeStats {
@@ -91,7 +198,6 @@ impl NativeExecutor {
                 let indeg = &indeg;
                 let completed = &completed;
                 let counts = &counts;
-                let kernel = &kernel;
                 scope.spawn(move || {
                     let backoff = Backoff::new();
                     loop {
@@ -117,7 +223,11 @@ impl NativeExecutor {
                         };
                         backoff.reset();
 
-                        kernel(task, graph.task(task));
+                        let desc = graph.task(task);
+                        let start = Secs(epoch.elapsed().as_secs_f64());
+                        kernel(task, desc);
+                        let end = Secs(epoch.elapsed().as_secs_f64());
+                        notify(me, task, desc, start, end);
                         counts[me].fetch_add(1, Ordering::Relaxed);
 
                         for &s in graph.successors(task) {
@@ -245,11 +355,47 @@ mod tests {
         let mut seen = Vec::new();
         let seen_cell = std::sync::Mutex::new(&mut seen);
         NativeExecutor::new(1).execute(&g, |t, _| {
-            seen_cell.lock().unwrap().push(t);
+            seen_cell
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(t);
         });
         assert_eq!(seen.len(), 4);
         assert_eq!(seen[0], 0);
         assert_eq!(seen[3], 3);
+    }
+
+    #[test]
+    fn observers_see_the_native_stream() {
+        use crate::observer::{EventLog, ExecEvent, Observer, StatsCollector};
+
+        let g = diamond();
+        let mut log = EventLog::new();
+        let mut stats = StatsCollector::new();
+        let exec_stats = {
+            let mut obs: [&mut dyn Observer; 2] = [&mut log, &mut stats];
+            NativeExecutor::new(2).execute_observed(&g, |_, _| {}, &mut obs)
+        };
+        assert_eq!(exec_stats.executed, 4);
+        assert_eq!(log.completions().len(), 4);
+        assert_eq!(stats.stats().tasks, 4);
+        assert_eq!(stats.stats().cpu_tasks, 4, "native workers are CPU cores");
+        // The serialized stream respects DAG order: task 0 ends before
+        // task 3 starts.
+        let end0 = log
+            .events
+            .iter()
+            .position(|e| matches!(e, ExecEvent::TaskEnd { task: 0, .. }))
+            .expect("task 0 ends");
+        let start3 = log
+            .events
+            .iter()
+            .position(|e| matches!(e, ExecEvent::TaskStart { task: 3, .. }))
+            .expect("task 3 starts");
+        assert!(end0 < start3, "sink started before its predecessor ended");
+        let summary = log.summary.expect("on_finish delivered");
+        assert!(summary.makespan >= ugpc_hwsim::Secs::ZERO);
+        assert!(summary.energy.per_gpu.is_empty(), "no native power model");
     }
 
     #[test]

@@ -6,19 +6,26 @@
 //! ready (in scheduler-defined order), using the calibrated performance
 //! models; workers drain their queues; DMA engines (one per GPU and
 //! direction) serialize transfers; devices integrate their own energy.
+//!
+//! The executor keeps only *execution* state (queue drain times, DMA
+//! engines, residency, the ready frontier); every statistic is emitted as
+//! an [`ExecEvent`](crate::observer::ExecEvent) through the observer
+//! pipeline — [`simulate`] is a thin wrapper attaching a
+//! [`TraceBuilder`](crate::trace::TraceBuilder) to [`simulate_observed`].
 
 use crate::data::{DataRegistry, MemNode};
 use crate::des::EventQueue;
 use crate::graph::TaskGraph;
 use crate::memory::GpuMemory;
+use crate::observer::{emit, ExecEvent, Observer, RunContext, RunSummary};
 use crate::perfmodel::PerfModel;
 use crate::sched::{SchedPolicy, SchedView};
 use crate::task::{Footprint, TaskId};
-use crate::trace::{RunTrace, TaskRecord};
+use crate::trace::{RunTrace, TraceBuilder};
 use crate::worker::{build_workers, WorkerKind};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
-use ugpc_hwsim::{EnergyProbe, Joules, Node, Secs};
+use ugpc_hwsim::{EnergyProbe, Joules, Node, Secs, Watts};
 
 /// A candidate for the idle-worker `expected_end` resync: worker `worker`
 /// may need its model-predicted queue end pulled back to `now` once
@@ -105,6 +112,26 @@ pub fn simulate_with_model(
     options: SimOptions,
     perf: &mut PerfModel,
 ) -> RunTrace {
+    let mut builder = TraceBuilder::new();
+    {
+        let mut observers: [&mut dyn Observer; 1] = [&mut builder];
+        simulate_observed(node, graph, data, options, perf, &mut observers);
+    }
+    builder.into_trace()
+}
+
+/// The core executor: run `graph` on `node`, emitting the event stream to
+/// `observers` and returning the run-level summary. Observers are
+/// read-only witnesses — nothing they do can perturb virtual time,
+/// scheduling, or device state (see [`crate::observer`]).
+pub fn simulate_observed(
+    node: &mut Node,
+    graph: &TaskGraph,
+    data: &mut DataRegistry,
+    options: SimOptions,
+    perf: &mut PerfModel,
+    observers: &mut [&mut dyn Observer],
+) -> RunSummary {
     let (workers, capable_cores) = build_workers(node.spec());
     for (p, pkg) in node.cpus_mut().iter_mut().enumerate() {
         pkg.set_active_workers(capable_cores[p]);
@@ -127,6 +154,19 @@ pub fn simulate_with_model(
         })
         .collect();
     perf.calibrate(node, &workers, &missing);
+
+    let gpu_idle: Vec<Watts> = node.gpus().iter().map(|g| g.spec().idle_power).collect();
+    {
+        let ctx = RunContext {
+            workers: &workers,
+            graph,
+            options,
+            gpu_idle: &gpu_idle,
+        };
+        for o in observers.iter_mut() {
+            o.on_start(&ctx);
+        }
+    }
 
     // Fresh run state.
     data.reset_to_host();
@@ -170,12 +210,6 @@ pub fn simulate_with_model(
     let mut now = Secs::ZERO;
     let mut remaining = graph.len();
 
-    let mut worker_busy = vec![Secs::ZERO; workers.len()];
-    let mut worker_tasks = vec![0usize; workers.len()];
-    let mut worker_flops = vec![ugpc_hwsim::Flops::ZERO; workers.len()];
-    let mut records = Vec::new();
-    let mut cpu_tasks = 0usize;
-    let mut gpu_tasks = 0usize;
     // Reused across loop iterations (the ordered ready batch and the
     // tasks completing at one timestamp) instead of per-batch Vecs.
     let mut batch: Vec<TaskId> = Vec::new();
@@ -236,6 +270,14 @@ pub fn simulate_with_model(
                 let desc = graph.task(task);
                 let dst = worker.mem_node();
                 let mut data_ready = now;
+                emit(
+                    observers,
+                    &ExecEvent::TaskAssigned {
+                        task,
+                        worker: wid,
+                        at: now,
+                    },
+                );
 
                 // GPU memory management: make room for (and pin) every
                 // operand before planning the fetches.
@@ -255,12 +297,30 @@ pub fn simulate_with_model(
                             }
                         }
                         for (victim, writeback) in gpu_mem[g].make_room(incoming, data) {
+                            emit(
+                                observers,
+                                &ExecEvent::Eviction {
+                                    data: victim,
+                                    device: g,
+                                    at: now,
+                                },
+                            );
                             if writeback {
                                 let bytes = data.bytes(victim);
                                 let st = now.max(d2h_free[g]);
                                 let en = st + links.d2h_time(bytes);
                                 d2h_free[g] = en;
                                 data.add_replica(victim, MemNode::Host);
+                                emit(
+                                    observers,
+                                    &ExecEvent::Writeback {
+                                        data: victim,
+                                        device: g,
+                                        bytes,
+                                        start: st,
+                                        end: en,
+                                    },
+                                );
                                 // Space is free once the copy-out lands.
                                 data_ready = data_ready.max(en);
                             }
@@ -286,17 +346,44 @@ pub fn simulate_with_model(
                         continue;
                     };
                     let bytes = data.bytes(d);
+                    // Every reserved engine slot becomes one transfer
+                    // start/end pair on the stream (a staged copy is two).
+                    let mut hop = |s: Secs, e: Secs, src: MemNode, dst: MemNode| {
+                        emit(
+                            observers,
+                            &ExecEvent::TransferStart {
+                                data: d,
+                                src,
+                                dst,
+                                bytes,
+                                at: s,
+                            },
+                        );
+                        emit(
+                            observers,
+                            &ExecEvent::TransferEnd {
+                                data: d,
+                                src,
+                                dst,
+                                bytes,
+                                start: s,
+                                end: e,
+                            },
+                        );
+                    };
                     let done = match (src, dst) {
                         (MemNode::Host, MemNode::Gpu(g)) => {
                             let s = now.max(h2d_free[g]);
                             let e = s + links.h2d_time(bytes);
                             h2d_free[g] = e;
+                            hop(s, e, src, dst);
                             e
                         }
                         (MemNode::Gpu(g), MemNode::Host) => {
                             let s = now.max(d2h_free[g]);
                             let e = s + links.d2h_time(bytes);
                             d2h_free[g] = e;
+                            hop(s, e, src, dst);
                             e
                         }
                         (MemNode::Gpu(sg), MemNode::Gpu(dg)) => {
@@ -306,6 +393,7 @@ pub fn simulate_with_model(
                                 let e = s + links.d2d_time(bytes);
                                 d2h_free[sg] = e;
                                 h2d_free[dg] = e;
+                                hop(s, e, src, dst);
                                 e
                             } else {
                                 // Staged through host memory, two hops.
@@ -313,9 +401,11 @@ pub fn simulate_with_model(
                                 let e1 = s1 + links.d2h_time(bytes);
                                 d2h_free[sg] = e1;
                                 data.add_replica(d, MemNode::Host);
+                                hop(s1, e1, src, MemNode::Host);
                                 let s2 = e1.max(h2d_free[dg]);
                                 let e2 = s2 + links.h2d_time(bytes);
                                 h2d_free[dg] = e2;
+                                hop(s2, e2, MemNode::Host, dst);
                                 e2
                             }
                         }
@@ -338,11 +428,18 @@ pub fn simulate_with_model(
                          ends at {end}"
                     );
                 }
-                let (duration, energy) = match worker.kind {
+                emit(
+                    observers,
+                    &ExecEvent::TaskStart {
+                        task,
+                        worker: wid,
+                        at: t_start,
+                    },
+                );
+                let (duration, energy, power) = match worker.kind {
                     WorkerKind::Gpu { device } => {
                         let run = node.gpu_mut(device).execute(&desc.kernel_work(), t_start);
-                        gpu_tasks += 1;
-                        (run.time, run.energy())
+                        (run.time, run.energy(), run.power)
                     }
                     WorkerKind::CpuCore { package, core } => {
                         let run = node.cpus_mut()[package].execute(
@@ -352,8 +449,7 @@ pub fn simulate_with_model(
                             desc.precision,
                             t_start,
                         );
-                        cpu_tasks += 1;
-                        (run.time, run.core_power * run.time)
+                        (run.time, run.core_power * run.time, run.core_power)
                     }
                 };
                 let t_end = t_start + duration;
@@ -368,9 +464,31 @@ pub fn simulate_with_model(
                         worker: wid,
                     });
                 }
-                worker_busy[wid] += duration;
-                worker_tasks[wid] += 1;
-                worker_flops[wid] += desc.flops();
+                emit(
+                    observers,
+                    &ExecEvent::PowerSample {
+                        worker: wid,
+                        start: t_start,
+                        end: t_end,
+                        power,
+                    },
+                );
+                emit(
+                    observers,
+                    &ExecEvent::TaskEnd {
+                        task,
+                        worker: wid,
+                        start: t_start,
+                        end: t_end,
+                        duration,
+                        kind: desc.kind,
+                        precision: desc.precision,
+                        nb: desc.nb,
+                        priority: desc.priority,
+                        flops: desc.flops(),
+                        energy,
+                    },
+                );
 
                 // Apply write effects to the replica map; replicas on
                 // other devices are invalidated and their memory freed.
@@ -391,15 +509,16 @@ pub fn simulate_with_model(
                 // Feed the history model (online refinement, like StarPU).
                 if options.refine_models {
                     perf.observe(desc.footprint(), wid, duration, energy);
-                }
-
-                if options.keep_records {
-                    records.push(TaskRecord {
-                        task,
-                        worker: wid,
-                        start: t_start,
-                        end: t_end,
-                    });
+                    emit(
+                        observers,
+                        &ExecEvent::ModelRefine {
+                            task,
+                            worker: wid,
+                            observed: duration,
+                            energy,
+                            at: t_end,
+                        },
+                    );
                 }
                 events.push(t_end, task);
             }
@@ -498,19 +617,11 @@ pub fn simulate_with_model(
         );
     }
 
-    RunTrace {
-        makespan,
-        total_flops: graph.total_flops(),
-        energy,
-        worker_busy,
-        worker_tasks,
-        worker_flops,
-        cpu_tasks,
-        gpu_tasks,
-        evictions: gpu_mem.iter().map(|m| m.evictions).sum(),
-        writebacks: gpu_mem.iter().map(|m| m.writebacks).sum(),
-        records,
+    let summary = RunSummary { makespan, energy };
+    for o in observers.iter_mut() {
+        o.on_finish(&summary);
     }
+    summary
 }
 
 #[cfg(test)]

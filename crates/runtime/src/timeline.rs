@@ -1,0 +1,283 @@
+//! Per-device power timelines over virtual time, built from the
+//! executor's `PowerSample` events — the paper's Fig. 5 energy breakdown,
+//! resolved in time instead of integrated over the run.
+//!
+//! [`PowerTimeline`] is an [`Observer`]: attach it to a run, then turn it
+//! into a serializable [`PowerProfile`] — one lane per device (every GPU,
+//! every CPU package), each lane a vector of per-bin average watts.
+//!
+//! GPU samples carry whole-device power, so idle power fills the gaps
+//! between kernels. CPU samples carry per-core power only; package uncore
+//! power is not attributed to lanes, so CPU lanes show busy-core draw and
+//! understate the package total (the run's `EnergyReading` remains the
+//! authoritative integral).
+
+use crate::observer::{ExecEvent, Observer, RunContext, RunSummary};
+use crate::worker::WorkerKind;
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{Secs, Watts};
+
+/// A binned per-device power profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Width of one bin in seconds.
+    pub bin_s: f64,
+    /// Run length the bins cover.
+    pub makespan_s: f64,
+    /// Lane names: `gpu0..gpuN`, then `cpu0..cpuM` (one per package).
+    pub lanes: Vec<String>,
+    /// Average watts per lane per bin (`avg_w[lane][bin]`).
+    pub avg_w: Vec<Vec<f64>>,
+    /// Peak bin average per lane.
+    pub peak_w: Vec<f64>,
+}
+
+impl PowerProfile {
+    /// Lane index by name (`"gpu0"`, `"cpu1"`, …).
+    pub fn lane(&self, name: &str) -> Option<usize> {
+        self.lanes.iter().position(|l| l == name)
+    }
+
+    /// Mean of a lane's bin averages over the whole run.
+    pub fn mean_w(&self, lane: usize) -> f64 {
+        let bins = &self.avg_w[lane];
+        if bins.is_empty() {
+            0.0
+        } else {
+            bins.iter().sum::<f64>() / bins.len() as f64
+        }
+    }
+}
+
+/// Observer that samples per-device watts over time.
+#[derive(Debug)]
+pub struct PowerTimeline {
+    bins: usize,
+    /// Lane index per worker id (GPU workers → device lane, CPU workers →
+    /// package lane).
+    worker_lane: Vec<usize>,
+    lanes: Vec<String>,
+    /// Idle baseline per lane (GPU lanes only; zero for CPU packages).
+    idle: Vec<Watts>,
+    /// Raw samples: (lane, start, end, power).
+    samples: Vec<(usize, Secs, Secs, Watts)>,
+    makespan: Secs,
+}
+
+impl PowerTimeline {
+    /// `bins`: time resolution of the profile (clamped to at least 1).
+    pub fn new(bins: usize) -> Self {
+        PowerTimeline {
+            bins: bins.max(1),
+            worker_lane: Vec::new(),
+            lanes: Vec::new(),
+            idle: Vec::new(),
+            samples: Vec::new(),
+            makespan: Secs::ZERO,
+        }
+    }
+
+    /// Fold the samples into the binned profile.
+    pub fn into_profile(self) -> PowerProfile {
+        let bins = self.bins;
+        let makespan = self.makespan.value();
+        let width = if makespan > 0.0 {
+            makespan / bins as f64
+        } else {
+            0.0
+        };
+        // Busy energy and busy time per (lane, bin); idle fills the rest
+        // of GPU lanes afterwards.
+        let mut energy = vec![vec![0.0f64; bins]; self.lanes.len()];
+        let mut busy = vec![vec![0.0f64; bins]; self.lanes.len()];
+        if width > 0.0 {
+            for (lane, start, end, power) in &self.samples {
+                let (s, e) = (start.value(), end.value());
+                let first = ((s / width) as usize).min(bins - 1);
+                let last = ((e / width) as usize).min(bins - 1);
+                for b in first..=last {
+                    let lo = s.max(b as f64 * width);
+                    let hi = e.min((b + 1) as f64 * width);
+                    let overlap = (hi - lo).max(0.0);
+                    energy[*lane][b] += power.value() * overlap;
+                    busy[*lane][b] += overlap;
+                }
+            }
+        }
+        let avg_w: Vec<Vec<f64>> = energy
+            .iter()
+            .zip(&busy)
+            .zip(&self.idle)
+            .map(|((e, b), idle)| {
+                (0..bins)
+                    .map(|i| {
+                        if width == 0.0 {
+                            0.0
+                        } else {
+                            // Device power while busy, idle power otherwise.
+                            let idle_time = (width - b[i]).max(0.0);
+                            (e[i] + idle.value() * idle_time) / width
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let peak_w = avg_w
+            .iter()
+            .map(|l| l.iter().copied().fold(0.0f64, f64::max))
+            .collect();
+        PowerProfile {
+            bin_s: width,
+            makespan_s: makespan,
+            lanes: self.lanes,
+            avg_w,
+            peak_w,
+        }
+    }
+}
+
+impl Observer for PowerTimeline {
+    fn on_start(&mut self, ctx: &RunContext<'_>) {
+        let n_gpus = ctx.gpu_idle.len();
+        let n_packages = ctx
+            .workers
+            .iter()
+            .filter_map(|w| match w.kind {
+                WorkerKind::CpuCore { package, .. } => Some(package + 1),
+                WorkerKind::Gpu { .. } => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.lanes = (0..n_gpus)
+            .map(|g| format!("gpu{g}"))
+            .chain((0..n_packages).map(|p| format!("cpu{p}")))
+            .collect();
+        self.idle = ctx
+            .gpu_idle
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(Watts(0.0), n_packages))
+            .collect();
+        self.worker_lane = ctx
+            .workers
+            .iter()
+            .map(|w| match w.kind {
+                WorkerKind::Gpu { device } => device,
+                WorkerKind::CpuCore { package, .. } => n_gpus + package,
+            })
+            .collect();
+    }
+
+    fn on_event(&mut self, event: &ExecEvent) {
+        if let ExecEvent::PowerSample {
+            worker,
+            start,
+            end,
+            power,
+        } = *event
+        {
+            if let Some(&lane) = self.worker_lane.get(worker) {
+                self.samples.push((lane, start, end, power));
+            }
+        }
+    }
+
+    fn on_finish(&mut self, summary: &RunSummary) {
+        self.makespan = summary.makespan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataRegistry;
+    use crate::graph::TaskGraph;
+    use crate::sim::{simulate_observed, SimOptions};
+    use crate::task::{AccessMode, KernelKind, TaskDesc};
+    use crate::PerfModel;
+    use ugpc_hwsim::{Bytes, Node, PlatformId, Precision};
+
+    fn profile_of(platform: PlatformId, chains: usize, bins: usize) -> PowerProfile {
+        let mut node = Node::new(platform);
+        let mut data = DataRegistry::new();
+        let mut g = TaskGraph::new();
+        for _ in 0..chains {
+            let t = data.register(Bytes(8.0 * 1440.0 * 1440.0));
+            for _ in 0..3 {
+                g.submit(
+                    TaskDesc::new(KernelKind::Gemm, Precision::Double, 1440)
+                        .access(t, AccessMode::ReadWrite),
+                );
+            }
+        }
+        let mut timeline = PowerTimeline::new(bins);
+        let mut perf = PerfModel::new();
+        {
+            let mut obs: [&mut dyn Observer; 1] = [&mut timeline];
+            simulate_observed(
+                &mut node,
+                &g,
+                &mut data,
+                SimOptions::default(),
+                &mut perf,
+                &mut obs,
+            );
+        }
+        timeline.into_profile()
+    }
+
+    #[test]
+    fn lanes_cover_all_devices() {
+        let p = profile_of(PlatformId::Intel2V100, 4, 16);
+        assert_eq!(
+            p.lanes,
+            vec!["gpu0", "gpu1", "cpu0", "cpu1"],
+            "2 GPUs + 2 packages"
+        );
+        assert_eq!(p.avg_w.len(), 4);
+        assert!(p.avg_w.iter().all(|l| l.len() == 16));
+        assert!(p.bin_s > 0.0);
+        assert!((p.bin_s * 16.0 - p.makespan_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_lanes_never_drop_below_idle() {
+        let p = profile_of(PlatformId::Intel2V100, 4, 24);
+        let idle = 40.0; // V100 idle power floor on this platform.
+        for g in 0..2 {
+            let lane = p.lane(&format!("gpu{g}")).expect("gpu lane");
+            for (b, w) in p.avg_w[lane].iter().enumerate() {
+                assert!(
+                    *w >= idle * 0.99,
+                    "gpu{g} bin {b}: {w} W below idle {idle} W"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_bins_exceed_idle_bins() {
+        let p = profile_of(PlatformId::Amd4A100, 8, 32);
+        let lane = p.lane("gpu0").expect("gpu0");
+        assert!(
+            p.peak_w[lane] > p.avg_w[lane].iter().copied().fold(f64::MAX, f64::min),
+            "a busy run has power variation over time"
+        );
+        assert!(p.peak_w[lane] <= 450.0, "peak within device limits");
+    }
+
+    #[test]
+    fn empty_run_gives_flat_zero_profile() {
+        let p = profile_of(PlatformId::Intel2V100, 0, 8);
+        assert_eq!(p.makespan_s, 0.0);
+        assert!(p.avg_w.iter().flatten().all(|w| *w == 0.0));
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let p = profile_of(PlatformId::Intel2V100, 2, 8);
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: PowerProfile = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

@@ -1,5 +1,10 @@
 //! Execution traces and run-level statistics.
+//!
+//! The aggregates in [`RunTrace`] are no longer computed by the executor:
+//! [`TraceBuilder`] reconstructs them — bit-identically — from the event
+//! stream of [`crate::observer`].
 
+use crate::observer::{ExecEvent, Observer, RunContext, RunSummary};
 use crate::task::TaskId;
 use crate::worker::{Worker, WorkerId, WorkerKind};
 use serde::{Deserialize, Serialize};
@@ -103,6 +108,106 @@ impl RunTrace {
             out.push('\n');
         }
         out
+    }
+}
+
+/// The observer that rebuilds [`RunTrace`] from the event stream.
+///
+/// Accumulation mirrors the old in-loop counters exactly: busy time adds
+/// the raw device `duration` (not `end - start`, which re-rounds in f64),
+/// per-worker vectors update in event order (the executor's scheduling
+/// order), and the makespan/energy pair is copied from the executor's
+/// [`RunSummary`] — so the resulting trace is bit-identical to what the
+/// executor used to assemble inline.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    keep_records: bool,
+    gpu_worker: Vec<bool>,
+    total_flops: Flops,
+    worker_busy: Vec<Secs>,
+    worker_tasks: Vec<usize>,
+    worker_flops: Vec<Flops>,
+    cpu_tasks: usize,
+    gpu_tasks: usize,
+    evictions: usize,
+    writebacks: usize,
+    records: Vec<TaskRecord>,
+    summary: Option<RunSummary>,
+}
+
+impl TraceBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The finished trace. Panics if the run never completed (no
+    /// `on_finish` was delivered).
+    pub fn into_trace(self) -> RunTrace {
+        let summary = self
+            .summary
+            .expect("TraceBuilder::into_trace before the run finished");
+        RunTrace {
+            makespan: summary.makespan,
+            total_flops: self.total_flops,
+            energy: summary.energy,
+            worker_busy: self.worker_busy,
+            worker_tasks: self.worker_tasks,
+            worker_flops: self.worker_flops,
+            cpu_tasks: self.cpu_tasks,
+            gpu_tasks: self.gpu_tasks,
+            evictions: self.evictions,
+            writebacks: self.writebacks,
+            records: self.records,
+        }
+    }
+}
+
+impl Observer for TraceBuilder {
+    fn on_start(&mut self, ctx: &RunContext<'_>) {
+        self.keep_records = ctx.options.keep_records;
+        self.gpu_worker = ctx.workers.iter().map(Worker::is_gpu).collect();
+        self.total_flops = ctx.graph.total_flops();
+        self.worker_busy = vec![Secs::ZERO; ctx.workers.len()];
+        self.worker_tasks = vec![0; ctx.workers.len()];
+        self.worker_flops = vec![Flops::ZERO; ctx.workers.len()];
+    }
+
+    fn on_event(&mut self, event: &ExecEvent) {
+        match *event {
+            ExecEvent::TaskEnd {
+                task,
+                worker,
+                start,
+                end,
+                duration,
+                flops,
+                ..
+            } => {
+                self.worker_busy[worker] += duration;
+                self.worker_tasks[worker] += 1;
+                self.worker_flops[worker] += flops;
+                if self.gpu_worker[worker] {
+                    self.gpu_tasks += 1;
+                } else {
+                    self.cpu_tasks += 1;
+                }
+                if self.keep_records {
+                    self.records.push(TaskRecord {
+                        task,
+                        worker,
+                        start,
+                        end,
+                    });
+                }
+            }
+            ExecEvent::Eviction { .. } => self.evictions += 1,
+            ExecEvent::Writeback { .. } => self.writebacks += 1,
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, summary: &RunSummary) {
+        self.summary = Some(summary.clone());
     }
 }
 

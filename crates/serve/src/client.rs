@@ -6,7 +6,7 @@ use crate::protocol::{decode, encode, ErrorReply, Request, Response, RunRequest}
 use crate::stats::StatsReport;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use ugpc_core::{DynamicStudyReport, RunConfig, RunReport};
+use ugpc_core::{DynamicStudyReport, RunConfig, RunReport, TracedRun};
 
 /// Anything that can go wrong on the client side.
 #[derive(Debug)]
@@ -110,6 +110,17 @@ impl Client {
         request.dynamic_iterations = Some(iterations);
         match self.roundtrip(&Request::Run(request))? {
             Response::Dynamic(report) => Ok(report),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Run one static study with a `bins`-bin power timeline attached.
+    pub fn run_traced(&mut self, config: RunConfig, bins: usize) -> Result<TracedRun, ClientError> {
+        let mut request = RunRequest::new(config);
+        request.power_bins = Some(bins);
+        match self.roundtrip(&Request::Run(request))? {
+            Response::Traced(traced) => Ok(traced),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
         }

@@ -16,7 +16,7 @@
 //! full); clients should wait that long and resend.
 
 use serde::{Deserialize, Serialize};
-use ugpc_core::{CacheKey, DynamicStudyReport, RunConfig, RunReport};
+use ugpc_core::{CacheKey, DynamicStudyReport, RunConfig, RunReport, TracedRun};
 
 /// One simulation request: a full [`RunConfig`] plus service-level options.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,6 +28,11 @@ pub struct RunRequest {
     /// `Some(k)` runs the k-iteration dynamic-capping study instead of a
     /// single static run, answering with `Response::Dynamic`.
     pub dynamic_iterations: Option<usize>,
+    /// `Some(bins)` attaches a power timeline with that many time bins
+    /// and answers with `Response::Traced`. Mutually exclusive with
+    /// `dynamic_iterations`. (`Option` so older clients' lines, which
+    /// omit the field, still decode.)
+    pub power_bins: Option<usize>,
 }
 
 impl RunRequest {
@@ -36,6 +41,7 @@ impl RunRequest {
             config,
             record_tasks: false,
             dynamic_iterations: None,
+            power_bins: None,
         }
     }
 
@@ -59,6 +65,13 @@ impl RunRequest {
             Some(k) => {
                 tail.push(0x01);
                 tail.extend_from_slice(&(k as u64).to_le_bytes());
+            }
+        }
+        match self.power_bins {
+            None => tail.push(0x00),
+            Some(bins) => {
+                tail.push(0x01);
+                tail.extend_from_slice(&(bins as u64).to_le_bytes());
             }
         }
         CacheKey(ugpc_core::key::fnv1a(key.0, &tail))
@@ -126,6 +139,7 @@ impl ErrorReply {
 pub enum Response {
     Run(RunReport),
     Dynamic(DynamicStudyReport),
+    Traced(TracedRun),
     Stats(crate::stats::StatsReport),
     Pong,
     CacheCleared,
@@ -204,6 +218,13 @@ mod tests {
         dyn6.dynamic_iterations = Some(6);
         assert_ne!(stat.cache_key(), dyn5.cache_key());
         assert_ne!(dyn5.cache_key(), dyn6.cache_key());
+        // Traced requests never alias plain or differently-binned ones.
+        let mut traced32 = req();
+        traced32.power_bins = Some(32);
+        let mut traced64 = req();
+        traced64.power_bins = Some(64);
+        assert_ne!(stat.cache_key(), traced32.cache_key());
+        assert_ne!(traced32.cache_key(), traced64.cache_key());
         // record_tasks is part of the identity (it changes the effective
         // config), but two requests with the same effective config share
         // a key.

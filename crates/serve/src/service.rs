@@ -13,7 +13,7 @@ use crate::stats::{CacheStats, Metrics, StatsReport};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use ugpc_core::{run_dynamic_study, try_run_study};
+use ugpc_core::{run_dynamic_study, try_run_study, try_run_study_traced};
 
 /// Tunables for one service instance.
 #[derive(Debug, Clone)]
@@ -29,6 +29,8 @@ pub struct ServeOptions {
     pub max_nt: usize,
     /// Cap on `dynamic_iterations`.
     pub max_dynamic_iterations: usize,
+    /// Cap on `power_bins` (bounds the size of a traced response).
+    pub max_power_bins: usize,
 }
 
 impl Default for ServeOptions {
@@ -39,6 +41,7 @@ impl Default for ServeOptions {
             cache_capacity: 256,
             max_nt: 64,
             max_dynamic_iterations: 200,
+            max_power_bins: 4096,
         }
     }
 }
@@ -200,16 +203,38 @@ impl Service {
             ));
         }
         match run.dynamic_iterations {
+            Some(0) => {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    "dynamic_iterations must be >= 1",
+                ))
+            }
+            Some(k) if k > self.options.max_dynamic_iterations => {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    format!(
+                        "dynamic_iterations = {k} exceeds this service's limit of {}",
+                        self.options.max_dynamic_iterations
+                    ),
+                ))
+            }
+            _ => {}
+        }
+        match run.power_bins {
             Some(0) => Err(ErrorReply::new(
                 error_code::INVALID_CONFIG,
-                "dynamic_iterations must be >= 1",
+                "power_bins must be >= 1",
             )),
-            Some(k) if k > self.options.max_dynamic_iterations => Err(ErrorReply::new(
+            Some(b) if b > self.options.max_power_bins => Err(ErrorReply::new(
                 error_code::INVALID_CONFIG,
                 format!(
-                    "dynamic_iterations = {k} exceeds this service's limit of {}",
-                    self.options.max_dynamic_iterations
+                    "power_bins = {b} exceeds this service's limit of {}",
+                    self.options.max_power_bins
                 ),
+            )),
+            Some(_) if run.dynamic_iterations.is_some() => Err(ErrorReply::new(
+                error_code::INVALID_CONFIG,
+                "power_bins and dynamic_iterations are mutually exclusive",
             )),
             _ => Ok(()),
         }
@@ -252,14 +277,19 @@ impl Service {
 /// the simulator. Runs on a pool worker.
 fn simulate_response(run: &RunRequest) -> Response {
     let cfg = run.effective_config();
-    match run.dynamic_iterations {
-        None => match try_run_study(&cfg) {
+    match (run.dynamic_iterations, run.power_bins) {
+        (None, Some(bins)) => match try_run_study_traced(&cfg, bins) {
+            Ok(traced) => Response::Traced(traced),
+            Err(e) => Response::Error(ErrorReply::new(error_code::INVALID_CONFIG, e.to_string())),
+        },
+        (None, None) => match try_run_study(&cfg) {
             Ok(report) => Response::Run(report),
             Err(e) => Response::Error(ErrorReply::new(error_code::INVALID_CONFIG, e.to_string())),
         },
         // Validated: k >= 1 and the config passed `validate()`, so the
-        // study's internal `expect`s hold.
-        Some(k) => Response::Dynamic(run_dynamic_study(&cfg, k)),
+        // study's internal `expect`s hold (power_bins is rejected in
+        // combination with dynamic runs before reaching here).
+        (Some(k), _) => Response::Dynamic(run_dynamic_study(&cfg, k)),
     }
 }
 
@@ -348,6 +378,51 @@ mod tests {
         }
         let second = svc.handle_line(&line);
         assert_eq!(first, second);
+        assert_eq!(svc.stats_report().simulations_executed, 1);
+    }
+
+    #[test]
+    fn traced_run_served_cached_and_validated() {
+        let svc = small_service();
+        let mut req = RunRequest::new(tiny());
+        req.power_bins = Some(16);
+        let line = encode(&Request::Run(req.clone()));
+        let first = svc.handle_line(&line);
+        match decode::<Response>(&first).expect("decode") {
+            Response::Traced(t) => {
+                assert!(t.report.makespan_s > 0.0);
+                assert!(t.power.avg_w.iter().all(|l| l.len() == 16));
+                assert_eq!(t.power.lanes.len(), 5, "4 GPUs + 1 package");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(svc.handle_line(&line), first, "traced hits byte-identical");
+        assert_eq!(svc.stats_report().simulations_executed, 1);
+        // Limits: zero bins, oversized bins, and combining with a
+        // dynamic study are all rejected before simulation.
+        for bad in [
+            {
+                let mut r = req.clone();
+                r.power_bins = Some(0);
+                r
+            },
+            {
+                let mut r = req.clone();
+                r.power_bins = Some(svc.options().max_power_bins + 1);
+                r
+            },
+            {
+                let mut r = req.clone();
+                r.dynamic_iterations = Some(2);
+                r
+            },
+        ] {
+            let out = svc.handle_line(&encode(&Request::Run(bad)));
+            match decode::<Response>(&out).expect("decode") {
+                Response::Error(e) => assert_eq!(e.code, error_code::INVALID_CONFIG),
+                other => panic!("{other:?}"),
+            }
+        }
         assert_eq!(svc.stats_report().simulations_executed, 1);
     }
 

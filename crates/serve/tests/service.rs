@@ -130,6 +130,22 @@ fn dynamic_study_over_the_wire() {
 }
 
 #[test]
+fn traced_run_over_the_wire() {
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let traced = client.run_traced(tiny(), 24).unwrap();
+    assert!(traced.report.makespan_s > 0.0);
+    assert!(traced.power.avg_w.iter().all(|l| l.len() == 24));
+    // Served timeline matches the direct call byte-for-byte.
+    let direct = ugpc_core::run_study_traced(&tiny(), 24);
+    assert_eq!(
+        serde_json::to_string(&traced).unwrap(),
+        serde_json::to_string(&direct).unwrap()
+    );
+    handle.stop();
+}
+
+#[test]
 fn cache_eviction_respects_bound_over_the_wire() {
     let handle = spawn_server(ServeOptions {
         workers: 1,

@@ -2,6 +2,11 @@
 //! terminal Gantt sketch — the simulator's counterpart to StarPU's FxT
 //! traces.
 //!
+//! The sinks all ride the executor's observer stream: one simulation
+//! feeds the `RunTrace` aggregates (via `TraceBuilder`), the streaming
+//! Perfetto export (with transfer and eviction lanes the post-hoc
+//! `chrome_trace` cannot reconstruct), and a per-device power timeline.
+//!
 //! ```text
 //! cargo run --release --example trace_export
 //! # then open /tmp/ugpc_trace.json in https://ui.perfetto.dev
@@ -9,7 +14,10 @@
 
 use ugpc::linalg::build_potrf;
 use ugpc::prelude::*;
-use ugpc::runtime::{build_workers, chrome_trace, simulate, DataRegistry, SimOptions};
+use ugpc::runtime::{
+    build_workers, simulate_observed, DataRegistry, Observer, PerfModel, PerfettoSink,
+    PowerTimeline, SimOptions, TraceBuilder,
+};
 
 fn main() {
     let mut node = Node::new(PlatformId::Amd4A100);
@@ -24,15 +32,26 @@ fn main() {
 
     let mut reg = DataRegistry::new();
     let op = build_potrf(12, 2880, Precision::Double, &mut reg);
-    let trace = simulate(
-        &mut node,
-        &op.graph,
-        &mut reg,
-        SimOptions {
-            keep_records: true,
-            ..Default::default()
-        },
-    );
+
+    let mut builder = TraceBuilder::new();
+    let mut sink = PerfettoSink::new();
+    let mut timeline = PowerTimeline::new(48);
+    {
+        let mut observers: [&mut dyn Observer; 3] = [&mut builder, &mut sink, &mut timeline];
+        let mut perf = PerfModel::new();
+        simulate_observed(
+            &mut node,
+            &op.graph,
+            &mut reg,
+            SimOptions {
+                keep_records: true,
+                ..Default::default()
+            },
+            &mut perf,
+            &mut observers,
+        );
+    }
+    let trace = builder.into_trace();
     let (workers, _) = build_workers(node.spec());
 
     println!(
@@ -51,7 +70,16 @@ fn main() {
         }
     }
 
-    let json = chrome_trace(&trace, &op.graph, &workers).expect("records kept");
+    let profile = timeline.into_profile();
+    println!(
+        "\nPeak device power over {} time bins:",
+        profile.avg_w[0].len()
+    );
+    for (lane, peak) in profile.lanes.iter().zip(&profile.peak_w) {
+        println!("  {lane:>6}: {peak:.0} W");
+    }
+
+    let json = sink.into_json();
     let path = "/tmp/ugpc_trace.json";
     std::fs::write(path, &json).expect("write trace");
     println!(

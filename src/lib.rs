@@ -42,8 +42,9 @@ pub use ugpc_runtime as runtime;
 pub use ugpc_serve as serve;
 
 pub use ugpc_core::{
-    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, try_run_study, CacheKey,
-    Comparison, DynamicIteration, DynamicStudyReport, InvalidConfig, RunConfig, RunReport,
+    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, run_study_observed,
+    run_study_traced, try_run_study, try_run_study_traced, CacheKey, Comparison, DynamicIteration,
+    DynamicStudyReport, InvalidConfig, RunConfig, RunReport, TracedRun,
 };
 
 /// Everything most programs need.

@@ -64,6 +64,77 @@ fn assert_sim_respects_dag(graph: &TaskGraph, data: &mut DataRegistry) {
     }
 }
 
+/// Both executors report through the same observer stream, so the
+/// differential can compare the streams themselves: identical task sets,
+/// per-task start-before-end ordering, and DAG order inside the native
+/// stream (events are serialized through one mutex, so the interleaved
+/// stream is a valid linearization of the run).
+#[test]
+fn executors_emit_comparable_event_streams() {
+    use ugpc_runtime::{simulate_observed, EventLog, ExecEvent, Observer, PerfModel};
+
+    let mut reg = DataRegistry::new();
+    let op = build_potrf(NT, NB, Precision::Double, &mut reg);
+
+    let mut sim_log = EventLog::new();
+    {
+        let mut node = Node::new(PlatformId::Amd4A100);
+        let mut perf = PerfModel::new();
+        let mut obs: [&mut dyn Observer; 1] = [&mut sim_log];
+        simulate_observed(
+            &mut node,
+            &op.graph,
+            &mut reg,
+            SimOptions::default(),
+            &mut perf,
+            &mut obs,
+        );
+    }
+
+    let mut native_log = EventLog::new();
+    {
+        let mut obs: [&mut dyn Observer; 1] = [&mut native_log];
+        NativeExecutor::new(4).execute_observed(&op.graph, |_, _| {}, &mut obs);
+    }
+
+    // Same tasks completed, each exactly once.
+    let mut sim_tasks = sim_log.completions();
+    let mut native_tasks = native_log.completions();
+    sim_tasks.sort_unstable();
+    native_tasks.sort_unstable();
+    assert_eq!(sim_tasks, native_tasks);
+    assert_eq!(sim_tasks.len(), op.graph.len());
+    assert!(sim_tasks.windows(2).all(|w| w[0] != w[1]), "no duplicates");
+
+    // Both streams put every task's start before its end, and the native
+    // stream respects DAG order (a successor's start never precedes a
+    // predecessor's end in the serialized stream).
+    for (name, log) in [("sim", &sim_log), ("native", &native_log)] {
+        let pos = |pred: &dyn Fn(&ExecEvent) -> bool| log.events.iter().position(pred);
+        for t in 0..op.graph.len() {
+            let s = pos(&|e| matches!(e, ExecEvent::TaskStart { task, .. } if *task == t))
+                .unwrap_or_else(|| panic!("{name}: task {t} never started"));
+            let e = pos(&|e| matches!(e, ExecEvent::TaskEnd { task, .. } if *task == t))
+                .unwrap_or_else(|| panic!("{name}: task {t} never ended"));
+            assert!(s < e, "{name}: task {t} ended before it started");
+        }
+        assert!(log.summary.is_some(), "{name}: no on_finish");
+    }
+    let native_pos =
+        |pred: &dyn Fn(&ExecEvent) -> bool| native_log.events.iter().position(pred).unwrap();
+    for t in 0..op.graph.len() {
+        let start = native_pos(&|e| matches!(e, ExecEvent::TaskStart { task, .. } if *task == t));
+        for &p in op.graph.predecessors(t) {
+            let pred_end =
+                native_pos(&|e| matches!(e, ExecEvent::TaskEnd { task, .. } if *task == p));
+            assert!(
+                pred_end < start,
+                "native stream: task {t} started before predecessor {p} ended"
+            );
+        }
+    }
+}
+
 #[test]
 fn gemm_native_is_correct_serial_and_threaded() {
     let mut reg = DataRegistry::new();
