@@ -29,7 +29,7 @@ pub use dynamic::{
     dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,
 };
 pub use key::CacheKey;
-pub use report::{compare, Comparison, RunReport, TracedRun};
+pub use report::{compare, Comparison, ProfiledRun, RunReport, TracedRun};
 
 use serde::{Deserialize, Serialize};
 use ugpc_capping::{apply_cpu_cap, apply_gpu_caps, CapConfig};
@@ -39,6 +39,7 @@ use ugpc_runtime::{
     simulate_observed, DataRegistry, Observer, PerfModel, PowerTimeline, SchedPolicy, SimOptions,
     StatsCollector, TaskGraph, TraceBuilder,
 };
+use ugpc_telemetry::CriticalPathProfiler;
 
 /// Everything that defines one measured run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -220,6 +221,27 @@ pub fn run_study_observed(cfg: &RunConfig, extra: &mut [&mut dyn Observer]) -> R
         );
     }
     RunReport::from_parts(cfg, &builder.into_trace(), &stats.into_stats())
+}
+
+/// One run with its critical-path energy-attribution profile: where the
+/// makespan and the busy joules went, split on-path vs off-path per
+/// (device, kernel, precision). The profiler rides the same observer
+/// stream as the report builders, so `report` is bitwise identical to a
+/// plain [`run_study`] of the same configuration.
+pub fn run_study_profiled(cfg: &RunConfig, top_k: usize) -> ProfiledRun {
+    let mut profiler = CriticalPathProfiler::new().with_top_k(top_k);
+    let report = run_study_observed(cfg, &mut [&mut profiler]);
+    ProfiledRun {
+        report,
+        profile: profiler.into_report(),
+    }
+}
+
+/// [`run_study_profiled`] with malformed configurations reported as
+/// errors.
+pub fn try_run_study_profiled(cfg: &RunConfig, top_k: usize) -> Result<ProfiledRun, InvalidConfig> {
+    cfg.validate()?;
+    Ok(run_study_profiled(cfg, top_k))
 }
 
 /// One run with its per-device power timeline (`bins` time bins over the

@@ -3,6 +3,7 @@
 use crate::RunConfig;
 use serde::{Deserialize, Serialize};
 use ugpc_runtime::{ExecStats, PowerProfile, RunTrace};
+use ugpc_telemetry::ProfileReport;
 
 /// The measured outcome of one run, in the paper's units.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -85,6 +86,16 @@ impl RunReport {
 pub struct TracedRun {
     pub report: RunReport,
     pub power: PowerProfile,
+}
+
+/// A run report paired with its critical-path energy-attribution
+/// profile — what [`run_study_profiled`](crate::run_study_profiled)
+/// returns. `profile.makespan_s` is bitwise identical to
+/// `report.makespan_s`: both are copied from the executor's summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledRun {
+    pub report: RunReport,
+    pub profile: ProfileReport,
 }
 
 /// A run measured against a baseline, in the paper's Fig. 3/4 axes.

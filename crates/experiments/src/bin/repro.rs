@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|all]...
+//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
 //! repro --serve [ADDR]
 //! repro --trace-out DIR [--scale K]
 //! ```
@@ -40,7 +40,7 @@ struct Args {
 
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig1",
     "table1",
     "table2",
@@ -55,6 +55,7 @@ const ALL: [&str; 14] = [
     "placements",
     "mixed",
     "power",
+    "profile",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -389,6 +390,11 @@ fn main() -> ExitCode {
                 let s = ex::power_profile::run(args.scale);
                 println!("{}", ex::power_profile::render(&s));
                 write_json(&args.json_dir, "power_profile", &s);
+            }
+            "profile" => {
+                let s = ex::profile::run(args.scale);
+                println!("{}", ex::profile::render(&s));
+                write_json(&args.json_dir, "profile", &s);
             }
             "ablation" => {
                 for op in ugpc_hwsim::OpKind::ALL {

@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod format;
 pub mod placements;
 pub mod power_profile;
+pub mod profile;
 pub mod table1;
 pub mod table2;
 pub mod unbalanced;

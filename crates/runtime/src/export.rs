@@ -71,6 +71,10 @@ pub struct PerfettoSink {
     n_workers: usize,
     n_gpus: usize,
     named_lanes: Vec<bool>,
+    /// Optional (trace_id, span_id) hex pair stamped into the document
+    /// as a process metadata record — set by services so an exported
+    /// trace is joinable with their request logs.
+    trace_ids: Option<(String, String)>,
 }
 
 impl Default for PerfettoSink {
@@ -87,7 +91,16 @@ impl PerfettoSink {
             n_workers: 0,
             n_gpus: 0,
             named_lanes: Vec::new(),
+            trace_ids: None,
         }
+    }
+
+    /// Stamp the export with a request's trace context (plain hex
+    /// strings — the runtime stays agnostic of the id scheme). Must be
+    /// set before the run starts; `begin` resets the output buffer, so a
+    /// later call only affects the next run.
+    pub fn set_trace_ids(&mut self, trace_id: &str, span_id: &str) {
+        self.trace_ids = Some((trace_id.to_string(), span_id.to_string()));
     }
 
     /// Open the document and name the worker lanes. Called by `on_start`;
@@ -98,6 +111,17 @@ impl PerfettoSink {
         self.n_workers = workers.len();
         self.n_gpus = n_gpus;
         self.named_lanes = vec![false; workers.len() + 3 * n_gpus];
+        if let Some((trace_id, span_id)) = self.trace_ids.clone() {
+            self.sep();
+            let _ = write!(
+                self.out,
+                "{{\"name\":\"trace_context\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"trace_id\":\""
+            );
+            esc_into(&mut self.out, &trace_id);
+            self.out.push_str("\",\"span_id\":\"");
+            esc_into(&mut self.out, &span_id);
+            self.out.push_str("\"}}");
+        }
         for w in workers {
             self.name_lane(w.id, &w.short_name());
         }
@@ -438,6 +462,39 @@ mod tests {
         // Power counter tracks: two samples (start, end) per task.
         assert_eq!(json.matches("\"ph\":\"C\"").count(), stats.tasks * 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn trace_ids_are_stamped_as_metadata() {
+        let (trace, g, workers) = run(true);
+        let mut sink = PerfettoSink::new();
+        sink.set_trace_ids("00deadbeef01", "00cafef00d02");
+        let n_gpus = workers.iter().filter(|w| w.is_gpu()).count();
+        sink.begin(&workers, n_gpus);
+        for r in &trace.records {
+            let desc = g.task(r.task);
+            sink.on_event(&ExecEvent::TaskEnd {
+                task: r.task,
+                worker: r.worker,
+                start: r.start,
+                end: r.end,
+                duration: r.end - r.start,
+                kind: desc.kind,
+                precision: desc.precision,
+                nb: desc.nb,
+                priority: desc.priority,
+                flops: desc.flops(),
+                energy: Joules::ZERO,
+            });
+        }
+        let json = sink.into_json();
+        assert!(json.contains("\"name\":\"trace_context\""));
+        assert!(json.contains("\"trace_id\":\"00deadbeef01\""));
+        assert!(json.contains("\"span_id\":\"00cafef00d02\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Unstamped sinks carry no trace_context record.
+        let unstamped = chrome_trace(&trace, &g, &workers).expect("records kept");
+        assert!(!unstamped.contains("trace_context"));
     }
 
     #[test]

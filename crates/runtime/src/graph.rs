@@ -182,16 +182,47 @@ impl TaskGraph {
     /// Length (in tasks) of the longest path — the critical path in task
     /// counts. Computed over the submission order, which is topological.
     pub fn critical_path_len(&self) -> usize {
-        let mut depth = vec![0usize; self.len()];
-        for id in 0..self.len() {
-            let d = self.preds[id]
-                .iter()
-                .map(|&p| depth[p] + 1)
-                .max()
-                .unwrap_or(0);
-            depth[id] = d;
+        self.critical_path().len()
+    }
+
+    /// One longest dependency chain, as task ids in dependency order
+    /// (each task is a predecessor of the next). Empty for an empty
+    /// graph. Ties are broken deterministically toward the smallest task
+    /// id, at both the endpoint and every hop, so repeated calls — and
+    /// callers on different platforms — agree on which chain is "the"
+    /// critical path.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        if self.is_empty() {
+            return Vec::new();
         }
-        depth.into_iter().max().map_or(0, |d| d + 1)
+        // Longest-path DP over submission order (which is topological).
+        let mut depth = vec![0usize; self.len()];
+        let mut best_pred: Vec<Option<TaskId>> = vec![None; self.len()];
+        for id in 0..self.len() {
+            // preds are sorted ascending and only strict improvements
+            // update, so the deepest smallest-id predecessor wins.
+            for &p in &self.preds[id] {
+                if depth[p] + 1 > depth[id] {
+                    depth[id] = depth[p] + 1;
+                    best_pred[id] = Some(p);
+                }
+            }
+        }
+        // Deepest endpoint; first occurrence = smallest id among ties.
+        let mut end = 0;
+        for id in 1..self.len() {
+            if depth[id] > depth[end] {
+                end = id;
+            }
+        }
+        let mut path = Vec::with_capacity(depth[end] + 1);
+        let mut cur = Some(end);
+        while let Some(id) = cur {
+            path.push(id);
+            cur = best_pred[id];
+        }
+        path.reverse();
+        path
     }
 }
 
@@ -262,6 +293,30 @@ mod tests {
             assert_eq!(g.predecessors(w[1]), &[w[0]]);
         }
         assert_eq!(g.critical_path_len(), 5);
+        assert_eq!(g.critical_path(), ids);
+    }
+
+    #[test]
+    fn critical_path_is_a_dependency_chain() {
+        // Diamond with one long arm: w → a → b → join, w → c → join.
+        let mut g = TaskGraph::new();
+        let w = g.submit(gemm_on(&[(0, AccessMode::Write), (1, AccessMode::Write)]));
+        let a = g.submit(gemm_on(&[(0, AccessMode::ReadWrite)]));
+        let b = g.submit(gemm_on(&[(0, AccessMode::ReadWrite)]));
+        let _c = g.submit(gemm_on(&[(1, AccessMode::ReadWrite)]));
+        let join = g.submit(gemm_on(&[(0, AccessMode::Read), (1, AccessMode::Read)]));
+        let path = g.critical_path();
+        assert_eq!(path, vec![w, a, b, join]);
+        assert_eq!(path.len(), g.critical_path_len());
+        for pair in path.windows(2) {
+            assert!(
+                g.predecessors(pair[1]).contains(&pair[0]),
+                "{} must be a predecessor of {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(TaskGraph::new().critical_path().is_empty());
     }
 
     #[test]

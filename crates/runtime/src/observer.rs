@@ -174,6 +174,32 @@ impl EventLog {
             })
             .collect()
     }
+
+    /// Event-order fold of every `TaskEnd` raw `duration`. Any observer
+    /// accumulating busy time with `+=` over the same stream produces
+    /// this value bit-for-bit (f64 addition in identical order).
+    pub fn busy_time(&self) -> Secs {
+        let mut total = Secs::ZERO;
+        for e in &self.events {
+            if let ExecEvent::TaskEnd { duration, .. } = e {
+                total += *duration;
+            }
+        }
+        total
+    }
+
+    /// Event-order fold of every `TaskEnd` task energy (the busy joules,
+    /// excluding idle floor power). Bit-for-bit reference for energy
+    /// attribution, like [`EventLog::busy_time`].
+    pub fn busy_energy(&self) -> Joules {
+        let mut total = Joules::ZERO;
+        for e in &self.events {
+            if let ExecEvent::TaskEnd { energy, .. } = e {
+                total += *energy;
+            }
+        }
+        total
+    }
 }
 
 impl Observer for EventLog {

@@ -2,11 +2,12 @@
 //! round-trip example, the integration tests, and the
 //! `ugpc-bench-client` load generator.
 
-use crate::protocol::{decode, encode, ErrorReply, Request, Response, RunRequest};
+use crate::protocol::{decode, encode, ErrorReply, PerfettoRun, Request, Response, RunRequest};
 use crate::stats::StatsReport;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use ugpc_core::{DynamicStudyReport, RunConfig, RunReport, TracedRun};
+use ugpc_telemetry::TraceCtx;
 
 /// Anything that can go wrong on the client side.
 #[derive(Debug)]
@@ -121,6 +122,40 @@ impl Client {
         request.power_bins = Some(bins);
         match self.roundtrip(&Request::Run(request))? {
             Response::Traced(traced) => Ok(traced),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Run one static study and get back a Perfetto trace export stamped
+    /// with a server-minted trace context.
+    pub fn run_perfetto(&mut self, config: RunConfig) -> Result<PerfettoRun, ClientError> {
+        self.run_perfetto_traced(config, None)
+    }
+
+    /// [`run_perfetto`](Client::run_perfetto) with a client-supplied
+    /// trace context, so the caller can correlate the server's JSON log
+    /// lines and the exported trace with its own ids.
+    pub fn run_perfetto_traced(
+        &mut self,
+        config: RunConfig,
+        trace: Option<TraceCtx>,
+    ) -> Result<PerfettoRun, ClientError> {
+        let mut request = RunRequest::new(config);
+        request.perfetto = Some(true);
+        request.trace = trace;
+        match self.roundtrip(&Request::Run(request))? {
+            Response::Perfetto(run) => Ok(run),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the Prometheus text exposition of the server's metrics
+    /// registry.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
         }

@@ -46,7 +46,8 @@ pub mod stats;
 pub use cache::ResultCache;
 pub use client::{Client, ClientError};
 pub use pool::WorkerPool;
-pub use protocol::{error_code, ErrorReply, Request, Response, RunRequest};
+pub use protocol::{error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest};
 pub use server::{Server, ServerHandle};
 pub use service::{ServeOptions, Service};
 pub use stats::{CacheStats, OpLatency, StatsReport};
+pub use ugpc_telemetry::{Level, Logger, Registry, TraceCtx};

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use ugpc_telemetry::{Logger, TraceCtx};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -28,16 +29,24 @@ impl std::fmt::Debug for QueueFull {
     }
 }
 
+/// A queued job plus the trace context of the request that enqueued it,
+/// so the worker's log lines join the request's trace.
+struct Queued {
+    job: Job,
+    trace: Option<TraceCtx>,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<Queued>>,
     available: Condvar,
     capacity: usize,
     stop: AtomicBool,
     executed: AtomicU64,
     rejected: AtomicU64,
+    logger: Arc<Logger>,
 }
 
-fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Queued>> {
     shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -51,6 +60,12 @@ impl WorkerPool {
     /// `workers` threads draining a queue bounded at `queue_capacity`
     /// pending jobs (the job a worker is executing no longer counts).
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        Self::new_with_logger(workers, queue_capacity, Logger::disabled())
+    }
+
+    /// Like [`new`](WorkerPool::new), with worker log lines (dequeue at
+    /// debug, job panic at error) going to `logger`.
+    pub fn new_with_logger(workers: usize, queue_capacity: usize, logger: Arc<Logger>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -59,6 +74,7 @@ impl WorkerPool {
             stop: AtomicBool::new(false),
             executed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            logger,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -77,13 +93,19 @@ impl WorkerPool {
 
     /// Enqueue a job, or reject it if the queue is full.
     pub fn try_submit(&self, job: Job) -> Result<(), QueueFull> {
+        self.try_submit_traced(job, None)
+    }
+
+    /// Enqueue a job carrying the trace context of the request that
+    /// spawned it, or reject it if the queue is full.
+    pub fn try_submit_traced(&self, job: Job, trace: Option<TraceCtx>) -> Result<(), QueueFull> {
         let mut queue = lock_queue(&self.shared);
         if queue.len() >= self.shared.capacity {
             drop(queue);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(QueueFull(job));
         }
-        queue.push_back(job);
+        queue.push_back(Queued { job, trace });
         drop(queue);
         self.shared.available.notify_one();
         Ok(())
@@ -140,11 +162,11 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let queued = {
             let mut queue = lock_queue(shared);
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
+                if let Some(q) = queue.pop_front() {
+                    break q;
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
@@ -155,9 +177,13 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let Queued { job, trace } = queued;
+        shared.logger.debug("job dequeued", trace, &[]);
         // Contain panics: the job's LeadGuard (if any) reports the
         // failure to its waiters on unwind; the worker itself survives.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.logger.error("simulation job panicked", trace, &[]);
+        }
         shared.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -227,6 +253,23 @@ mod tests {
         assert_eq!(done.load(Ordering::SeqCst), 1);
         assert_eq!(pool.executed(), 2);
         pool.shutdown();
+    }
+
+    #[test]
+    fn traced_jobs_log_with_their_trace_ids() {
+        let (logger, buf) = ugpc_telemetry::Logger::to_buffer(ugpc_telemetry::Level::Debug);
+        let pool = WorkerPool::new_with_logger(1, 8, logger);
+        let ctx = TraceCtx {
+            trace_id: 0xabc,
+            span_id: 0xdef,
+        };
+        pool.try_submit_traced(Box::new(|| panic!("boom")), Some(ctx))
+            .expect("submit");
+        pool.shutdown();
+        let text = String::from_utf8(buf.lock().clone()).expect("utf8");
+        assert!(text.contains("job dequeued"), "{text}");
+        assert!(text.contains("simulation job panicked"), "{text}");
+        assert!(text.contains("000000000abc"), "{text}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 use ugpc_core::{CacheKey, DynamicStudyReport, RunConfig, RunReport, TracedRun};
+use ugpc_telemetry::TraceCtx;
 
 /// One simulation request: a full [`RunConfig`] plus service-level options.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +34,18 @@ pub struct RunRequest {
     /// `dynamic_iterations`. (`Option` so older clients' lines, which
     /// omit the field, still decode.)
     pub power_bins: Option<usize>,
+    /// Client-supplied trace context. The server adopts it (masked to
+    /// 48 bits) or mints a fresh one if absent, and stamps it on every
+    /// log line for this request. Not part of the cache identity for
+    /// plain runs — identical configs still share one simulation.
+    pub trace: Option<TraceCtx>,
+    /// `Some(true)` additionally exports the run as a Perfetto trace
+    /// stamped with the trace context, answering with
+    /// `Response::Perfetto`. Mutually exclusive with
+    /// `dynamic_iterations` and `power_bins`. The resolved trace
+    /// context *is* part of the cache identity here, because it is
+    /// embedded in the response bytes.
+    pub perfetto: Option<bool>,
 }
 
 impl RunRequest {
@@ -42,7 +55,14 @@ impl RunRequest {
             record_tasks: false,
             dynamic_iterations: None,
             power_bins: None,
+            trace: None,
+            perfetto: None,
         }
+    }
+
+    /// Whether this request wants a Perfetto export.
+    pub fn wants_perfetto(&self) -> bool {
+        self.perfetto == Some(true)
     }
 
     /// The effective config the simulator will see (`record_tasks`
@@ -74,6 +94,21 @@ impl RunRequest {
                 tail.extend_from_slice(&(bins as u64).to_le_bytes());
             }
         }
+        // Perfetto responses embed the trace context in the exported
+        // JSON, so the resolved ids join the identity; the service
+        // normalizes `trace` before keying so a fresh server-minted ctx
+        // never aliases another. Plain runs ignore `trace` entirely.
+        if self.wants_perfetto() {
+            tail.push(0x02);
+            let (t, s) = match self.trace {
+                Some(ctx) => (ctx.trace_id, ctx.span_id),
+                None => (0, 0),
+            };
+            tail.extend_from_slice(&t.to_le_bytes());
+            tail.extend_from_slice(&s.to_le_bytes());
+        } else {
+            tail.push(0x00);
+        }
         CacheKey(ugpc_core::key::fnv1a(key.0, &tail))
     }
 }
@@ -85,6 +120,8 @@ pub enum Request {
     Run(RunRequest),
     /// Ops snapshot: uptime, queue, cache counters, latency histograms.
     Stats,
+    /// Prometheus text exposition of every registered instrument.
+    Metrics,
     /// Drop every cached result (used by benchmarks to measure the
     /// cache-miss path).
     ClearCache,
@@ -134,13 +171,28 @@ impl ErrorReply {
     }
 }
 
+/// A run report plus its Perfetto export, stamped with the trace
+/// context that identifies this request in the server's logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfettoRun {
+    pub report: RunReport,
+    /// Resolved trace id, zero-padded lowercase hex.
+    pub trace_id: String,
+    pub span_id: String,
+    /// Chrome/Perfetto trace-event JSON with the trace context embedded
+    /// as a `trace_context` metadata record.
+    pub trace_json: String,
+}
+
 /// Every possible response line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
     Run(RunReport),
     Dynamic(DynamicStudyReport),
     Traced(TracedRun),
+    Perfetto(PerfettoRun),
     Stats(crate::stats::StatsReport),
+    Metrics(String),
     Pong,
     CacheCleared,
     ShuttingDown,
@@ -175,9 +227,17 @@ mod tests {
 
     #[test]
     fn request_round_trips() {
+        let mut traced = req();
+        traced.trace = Some(TraceCtx {
+            trace_id: 0xdead_beef_cafe,
+            span_id: 0x0123_4567_89ab,
+        });
+        traced.perfetto = Some(true);
         for r in [
             Request::Run(req()),
+            Request::Run(traced),
             Request::Stats,
+            Request::Metrics,
             Request::ClearCache,
             Request::Ping,
             Request::Shutdown,
@@ -234,5 +294,38 @@ mod tests {
         let mut explicit = req();
         explicit.config.keep_records = true;
         assert_eq!(recorded.cache_key(), explicit.cache_key());
+    }
+
+    #[test]
+    fn perfetto_keys_include_trace_identity() {
+        let plain = req();
+        let mut perf = req();
+        perf.perfetto = Some(true);
+        assert_ne!(plain.cache_key(), perf.cache_key());
+        // Distinct trace contexts never alias: the exported JSON embeds
+        // the ids, so the cached bytes differ.
+        let mut perf_a = perf.clone();
+        perf_a.trace = Some(TraceCtx {
+            trace_id: 1,
+            span_id: 2,
+        });
+        let mut perf_b = perf.clone();
+        perf_b.trace = Some(TraceCtx {
+            trace_id: 3,
+            span_id: 4,
+        });
+        assert_ne!(perf_a.cache_key(), perf_b.cache_key());
+        assert_ne!(perf_a.cache_key(), perf.cache_key());
+        // Same supplied context -> same key (repeat requests hit cache).
+        let perf_a2 = perf_a.clone();
+        assert_eq!(perf_a.cache_key(), perf_a2.cache_key());
+        // For plain runs the trace context is observability-only and
+        // must NOT fragment the cache.
+        let mut plain_traced = req();
+        plain_traced.trace = Some(TraceCtx {
+            trace_id: 9,
+            span_id: 9,
+        });
+        assert_eq!(plain.cache_key(), plain_traced.cache_key());
     }
 }

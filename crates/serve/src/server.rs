@@ -13,6 +13,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use ugpc_telemetry::Logger;
 
 /// A bound-but-not-yet-serving service instance.
 pub struct Server {
@@ -27,6 +28,20 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service: Service::new(options),
+        })
+    }
+
+    /// [`bind`](Server::bind) with an explicit logger — tests use
+    /// [`Logger::to_buffer`] to capture the exact JSON log lines the
+    /// server emits.
+    pub fn bind_with_logger(
+        addr: &str,
+        options: ServeOptions,
+        logger: Arc<Logger>,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Service::with_logger(options, logger),
         })
     }
 
@@ -124,6 +139,7 @@ fn handle_connection(service: &Arc<Service>, stream: TcpStream, addr: SocketAddr
     {
         *service.metrics.open_connections.lock() += 1;
     }
+    service.logger.debug("connection opened", None, &[]);
     let reader = BufReader::new(read_half);
     let mut writer = stream;
     for line in reader.lines() {
@@ -146,4 +162,5 @@ fn handle_connection(service: &Arc<Service>, stream: TcpStream, addr: SocketAddr
         }
     }
     *service.metrics.open_connections.lock() -= 1;
+    service.logger.debug("connection closed", None, &[]);
 }

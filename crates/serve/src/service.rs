@@ -8,12 +8,16 @@
 
 use crate::cache::{Begin, ResultCache};
 use crate::pool::WorkerPool;
-use crate::protocol::{decode, encode, error_code, ErrorReply, Request, Response, RunRequest};
-use crate::stats::{CacheStats, Metrics, StatsReport};
+use crate::protocol::{
+    decode, encode, error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest,
+};
+use crate::stats::{CacheStats, Metrics, OpLatency, StatsReport};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use ugpc_core::{run_dynamic_study, try_run_study, try_run_study_traced};
+use ugpc_core::{run_dynamic_study, run_study_observed, try_run_study, try_run_study_traced};
+use ugpc_runtime::export::PerfettoSink;
+use ugpc_telemetry::{json_str, Logger, TraceCtx};
 
 /// Tunables for one service instance.
 #[derive(Debug, Clone)]
@@ -51,6 +55,7 @@ pub struct Service {
     pub(crate) cache: Arc<ResultCache>,
     pub(crate) pool: WorkerPool,
     pub(crate) metrics: Metrics,
+    pub(crate) logger: Arc<Logger>,
     /// Simulations actually run, counted *before* the result publishes —
     /// so a leader observing its own reply already sees the increment
     /// (unlike the pool's job counter, which lags the flight).
@@ -60,11 +65,23 @@ pub struct Service {
 }
 
 impl Service {
+    /// A service logging to stderr, filtered by `UGPC_LOG`.
     pub fn new(options: ServeOptions) -> Arc<Self> {
+        Self::with_logger(options, Logger::from_env())
+    }
+
+    /// A service with an explicit logger — tests capture the exact log
+    /// bytes with [`Logger::to_buffer`].
+    pub fn with_logger(options: ServeOptions, logger: Arc<Logger>) -> Arc<Self> {
         Arc::new(Service {
             cache: ResultCache::new(options.cache_capacity),
-            pool: WorkerPool::new(options.workers, options.queue_capacity),
+            pool: WorkerPool::new_with_logger(
+                options.workers,
+                options.queue_capacity,
+                logger.clone(),
+            ),
             metrics: Metrics::default(),
+            logger,
             simulations: Arc::new(AtomicU64::new(0)),
             options,
             shutdown: AtomicBool::new(false),
@@ -87,11 +104,12 @@ impl Service {
     /// Handle one wire line, returning the response line (without the
     /// trailing newline). Never panics on malformed input.
     pub fn handle_line(self: &Arc<Self>, line: &str) -> String {
-        self.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests_total.inc();
         let request = match decode::<Request>(line.trim()) {
             Ok(r) => r,
             Err(e) => {
-                self.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.parse_errors.inc();
+                self.logger.warn("unparseable request line", None, &[]);
                 return encode(&Response::Error(ErrorReply::new(
                     error_code::BAD_REQUEST,
                     format!("unparseable request: {e}"),
@@ -107,32 +125,87 @@ impl Service {
                 self.metrics.stats_op.record(t0.elapsed());
                 line
             }
+            Request::Metrics => {
+                let t0 = Instant::now();
+                let line = encode(&Response::Metrics(self.render_metrics()));
+                self.metrics.stats_op.record(t0.elapsed());
+                line
+            }
             Request::ClearCache => {
                 self.cache.clear();
                 encode(&Response::CacheCleared)
             }
             Request::Shutdown => {
+                self.logger.info("shutdown requested", None, &[]);
                 self.request_shutdown();
                 encode(&Response::ShuttingDown)
             }
-            Request::Run(run) => self.handle_run(&run),
+            Request::Run(mut run) => {
+                // Resolve the trace context once (adopt the client's or
+                // mint one) and pin it on the request, so the perfetto
+                // cache key and every log line see the same ids.
+                let ctx = TraceCtx::adopt(run.trace);
+                run.trace = Some(ctx);
+                self.logger.info(
+                    "run request",
+                    Some(ctx),
+                    &[
+                        ("op", json_str(run.config.op.name())),
+                        ("platform", json_str(run.config.platform.name())),
+                        ("n", run.config.n.to_string()),
+                        ("perfetto", run.wants_perfetto().to_string()),
+                    ],
+                );
+                self.handle_run(&run, ctx)
+            }
         }
+    }
+
+    /// Fill the scrape-time gauges and render the Prometheus text
+    /// exposition of every registered instrument.
+    pub fn render_metrics(&self) -> String {
+        let m = &self.metrics;
+        m.gauge_uptime_s.set(m.uptime().as_secs_f64());
+        m.gauge_open_connections
+            .set(*m.open_connections.lock() as f64);
+        m.gauge_queue_depth.set(self.pool.queue_depth() as f64);
+        m.gauge_queue_capacity
+            .set(self.pool.queue_capacity() as f64);
+        m.gauge_workers.set(self.pool.workers() as f64);
+        let c = &self.cache.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        m.gauge_cache_entries.set(self.cache.len() as f64);
+        m.gauge_cache_capacity.set(self.cache.capacity() as f64);
+        m.gauge_cache_hits.set(load(&c.hits));
+        m.gauge_cache_misses.set(load(&c.misses));
+        m.gauge_cache_coalesced.set(load(&c.coalesced));
+        m.gauge_cache_evictions.set(load(&c.evictions));
+        m.gauge_cache_hit_rate.set(self.cache.hit_rate());
+        m.registry().render()
     }
 
     /// The run path: validate, consult the cache (single-flight), and on
     /// a miss simulate on the worker pool — or bounce with backpressure.
-    fn handle_run(self: &Arc<Self>, run: &RunRequest) -> String {
+    fn handle_run(self: &Arc<Self>, run: &RunRequest, ctx: TraceCtx) -> String {
         let t0 = Instant::now();
         if let Err(reply) = self.validate_run(run) {
-            self.metrics.invalid_configs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.invalid_configs.inc();
+            self.logger.warn(
+                "run rejected",
+                Some(ctx),
+                &[("reason", json_str(&reply.message))],
+            );
             return encode(&Response::Error(reply));
         }
         match self.cache.begin(run.cache_key()) {
             Begin::Hit(line) => {
                 self.metrics.run_hit.record(t0.elapsed());
+                self.logger.debug("cache hit", Some(ctx), &[]);
                 line.to_string()
             }
             Begin::Wait(flight) => {
+                self.logger
+                    .debug("coalesced behind in-flight run", Some(ctx), &[]);
                 let out = match ResultCache::wait(&flight) {
                     Ok(line) => line.to_string(),
                     Err(msg) => {
@@ -155,17 +228,23 @@ impl Service {
                     .counters
                     .coalesced
                     .fetch_sub(1, Ordering::Relaxed);
+                self.logger
+                    .debug("cache miss, leading simulation", Some(ctx), &[]);
                 let job_run = run.clone();
                 let sims = self.simulations.clone();
-                let submitted = self.pool.try_submit(Box::new(move || {
-                    let response = simulate_response(&job_run);
-                    sims.fetch_add(1, Ordering::SeqCst);
-                    guard.fulfill(encode(&response).into());
-                }));
+                let sims_metric = self.metrics.simulations.clone();
+                let submitted = self.pool.try_submit_traced(
+                    Box::new(move || {
+                        let response = simulate_response(&job_run);
+                        sims.fetch_add(1, Ordering::SeqCst);
+                        sims_metric.inc();
+                        guard.fulfill(encode(&response).into());
+                    }),
+                    Some(ctx),
+                );
                 if let Err(rejected) = submitted {
-                    self.metrics
-                        .backpressure_rejections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.backpressure_rejections.inc();
+                    self.logger.warn("backpressure", Some(ctx), &[]);
                     // Fail the flight so concurrent waiters see a clean
                     // error (the job box still owns the guard; dropping
                     // it resolves the flight).
@@ -221,38 +300,51 @@ impl Service {
             _ => {}
         }
         match run.power_bins {
-            Some(0) => Err(ErrorReply::new(
-                error_code::INVALID_CONFIG,
-                "power_bins must be >= 1",
-            )),
-            Some(b) if b > self.options.max_power_bins => Err(ErrorReply::new(
-                error_code::INVALID_CONFIG,
-                format!(
-                    "power_bins = {b} exceeds this service's limit of {}",
-                    self.options.max_power_bins
-                ),
-            )),
-            Some(_) if run.dynamic_iterations.is_some() => Err(ErrorReply::new(
-                error_code::INVALID_CONFIG,
-                "power_bins and dynamic_iterations are mutually exclusive",
-            )),
-            _ => Ok(()),
+            Some(0) => {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    "power_bins must be >= 1",
+                ))
+            }
+            Some(b) if b > self.options.max_power_bins => {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    format!(
+                        "power_bins = {b} exceeds this service's limit of {}",
+                        self.options.max_power_bins
+                    ),
+                ))
+            }
+            Some(_) if run.dynamic_iterations.is_some() => {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    "power_bins and dynamic_iterations are mutually exclusive",
+                ))
+            }
+            _ => {}
         }
+        if run.wants_perfetto() && (run.dynamic_iterations.is_some() || run.power_bins.is_some()) {
+            return Err(ErrorReply::new(
+                error_code::INVALID_CONFIG,
+                "perfetto is mutually exclusive with dynamic_iterations and power_bins",
+            ));
+        }
+        Ok(())
     }
 
     pub fn stats_report(&self) -> StatsReport {
         let c = &self.cache.counters;
-        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         StatsReport {
             uptime_s: self.metrics.uptime().as_secs_f64(),
             workers: self.pool.workers(),
             queue_depth: self.pool.queue_depth(),
             queue_capacity: self.pool.queue_capacity(),
             open_connections: *self.metrics.open_connections.lock(),
-            requests_total: load(&self.metrics.requests_total),
-            parse_errors: load(&self.metrics.parse_errors),
-            invalid_configs: load(&self.metrics.invalid_configs),
-            backpressure_rejections: load(&self.metrics.backpressure_rejections),
+            requests_total: self.metrics.requests_total.get(),
+            parse_errors: self.metrics.parse_errors.get(),
+            invalid_configs: self.metrics.invalid_configs.get(),
+            backpressure_rejections: self.metrics.backpressure_rejections.get(),
             simulations_executed: self.simulations.load(Ordering::SeqCst),
             cache: CacheStats {
                 entries: self.cache.len(),
@@ -264,10 +356,10 @@ impl Service {
                 hit_rate: self.cache.hit_rate(),
             },
             latency: vec![
-                self.metrics.run_hit.snapshot("run_hit"),
-                self.metrics.run_miss.snapshot("run_miss"),
-                self.metrics.run_wait.snapshot("run_wait"),
-                self.metrics.stats_op.snapshot("stats"),
+                OpLatency::from_snapshot("run_hit", &self.metrics.run_hit.snapshot()),
+                OpLatency::from_snapshot("run_miss", &self.metrics.run_miss.snapshot()),
+                OpLatency::from_snapshot("run_wait", &self.metrics.run_wait.snapshot()),
+                OpLatency::from_snapshot("stats", &self.metrics.stats_op.snapshot()),
             ],
         }
     }
@@ -277,6 +369,24 @@ impl Service {
 /// the simulator. Runs on a pool worker.
 fn simulate_response(run: &RunRequest) -> Response {
     let cfg = run.effective_config();
+    if run.wants_perfetto() {
+        // Validated: perfetto excludes dynamic/traced modes. The trace
+        // context was resolved by the service before keying; adopt()
+        // here only covers direct calls in tests.
+        if let Err(e) = cfg.validate() {
+            return Response::Error(ErrorReply::new(error_code::INVALID_CONFIG, e.to_string()));
+        }
+        let ctx = TraceCtx::adopt(run.trace);
+        let mut sink = PerfettoSink::new();
+        sink.set_trace_ids(&ctx.trace_hex(), &ctx.span_hex());
+        let report = run_study_observed(&cfg, &mut [&mut sink]);
+        return Response::Perfetto(PerfettoRun {
+            report,
+            trace_id: ctx.trace_hex(),
+            span_id: ctx.span_hex(),
+            trace_json: sink.into_json(),
+        });
+    }
     match (run.dynamic_iterations, run.power_bins) {
         (None, Some(bins)) => match try_run_study_traced(&cfg, bins) {
             Ok(traced) => Response::Traced(traced),
@@ -305,12 +415,15 @@ mod tests {
     }
 
     fn small_service() -> Arc<Service> {
-        Service::new(ServeOptions {
-            workers: 2,
-            queue_capacity: 8,
-            cache_capacity: 8,
-            ..ServeOptions::default()
-        })
+        Service::with_logger(
+            ServeOptions {
+                workers: 2,
+                queue_capacity: 8,
+                cache_capacity: 8,
+                ..ServeOptions::default()
+            },
+            Logger::disabled(),
+        )
     }
 
     #[test]
@@ -424,6 +537,110 @@ mod tests {
             }
         }
         assert_eq!(svc.stats_report().simulations_executed, 1);
+    }
+
+    #[test]
+    fn metrics_exposition_agrees_with_stats() {
+        let svc = small_service();
+        let req = encode(&Request::Run(RunRequest::new(tiny())));
+        svc.handle_line(&req); // miss
+        svc.handle_line(&req); // hit
+        let out = svc.handle_line(&encode(&Request::Metrics));
+        let text = match decode::<Response>(&out).expect("decode") {
+            Response::Metrics(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let stats = svc.stats_report();
+        // Counter values in the exposition match the StatsReport view of
+        // the same atomics.
+        assert!(
+            text.contains(&format!("ugpc_requests_total {}", stats.requests_total)),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "ugpc_simulations_total {}",
+                stats.simulations_executed
+            )),
+            "{text}"
+        );
+        assert!(text.contains("ugpc_cache_hits 1"), "{text}");
+        assert!(text.contains("ugpc_cache_misses 1"), "{text}");
+        assert!(text.contains("# TYPE ugpc_run_miss_latency_us histogram"));
+        assert!(text.contains("ugpc_run_miss_latency_us_count 1"), "{text}");
+        assert!(text.contains("ugpc_queue_capacity 8"), "{text}");
+    }
+
+    #[test]
+    fn perfetto_run_embeds_trace_context_and_caches() {
+        let svc = small_service();
+        let mut req = RunRequest::new(tiny());
+        req.perfetto = Some(true);
+        req.trace = Some(TraceCtx {
+            trace_id: 0x1234,
+            span_id: 0x5678,
+        });
+        let line = encode(&Request::Run(req.clone()));
+        let first = svc.handle_line(&line);
+        match decode::<Response>(&first).expect("decode") {
+            Response::Perfetto(p) => {
+                assert_eq!(p.trace_id, "000000001234");
+                assert_eq!(p.span_id, "000000005678");
+                assert!(p.trace_json.contains("trace_context"), "metadata record");
+                assert!(p.trace_json.contains("000000001234"), "trace id embedded");
+                assert!(p.report.makespan_s > 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Same supplied context repeats byte-identically from cache.
+        assert_eq!(svc.handle_line(&line), first);
+        assert_eq!(svc.stats_report().simulations_executed, 1);
+        // Perfetto combined with either study mode is rejected.
+        for bad in [
+            {
+                let mut r = req.clone();
+                r.power_bins = Some(8);
+                r
+            },
+            {
+                let mut r = req.clone();
+                r.dynamic_iterations = Some(2);
+                r
+            },
+        ] {
+            let out = svc.handle_line(&encode(&Request::Run(bad)));
+            match decode::<Response>(&out).expect("decode") {
+                Response::Error(e) => assert_eq!(e.code, error_code::INVALID_CONFIG),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(svc.stats_report().simulations_executed, 1);
+    }
+
+    #[test]
+    fn run_requests_log_with_trace_ids() {
+        let (logger, buf) = Logger::to_buffer(ugpc_telemetry::Level::Debug);
+        let svc = Service::with_logger(
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 4,
+                cache_capacity: 4,
+                ..ServeOptions::default()
+            },
+            logger,
+        );
+        let mut req = RunRequest::new(tiny());
+        req.trace = Some(TraceCtx {
+            trace_id: 0xfeed,
+            span_id: 0x1,
+        });
+        svc.handle_line(&encode(&Request::Run(req)));
+        let text = String::from_utf8(buf.lock().clone()).expect("utf8");
+        assert!(text.contains("\"run request\""), "{text}");
+        assert!(text.contains("00000000feed"), "{text}");
+        assert!(text.contains("cache miss, leading simulation"), "{text}");
+        // The pool worker's dequeue line carries the same trace id.
+        assert!(text.contains("job dequeued"), "{text}");
     }
 
     #[test]

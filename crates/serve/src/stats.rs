@@ -1,69 +1,19 @@
-//! The ops surface: request counters and per-operation latency
-//! histograms, snapshotted into a serializable [`StatsReport`].
+//! The ops surface, as a thin view over the `ugpc-telemetry` registry.
+//!
+//! Every live counter and latency histogram is an instrument registered
+//! on one [`Registry`]; [`StatsReport`] (the `stats` response) and the
+//! Prometheus text exposition (the `metrics` response) are two
+//! projections of the same atomics, so the numbers can never drift
+//! apart. The histogram implementation itself moved to
+//! [`ugpc_telemetry::Histogram`] — serve keeps only the wire types.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ugpc_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
-/// Log₂ microsecond buckets: `<1µs, <2µs, <4µs, …, <~8.6s, rest`.
-pub const BUCKETS: usize = 24;
-
-/// A fixed-bucket latency histogram (log₂ scale in microseconds).
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    pub fn snapshot(&self, op: &str) -> OpLatency {
-        let count = self.count.load(Ordering::Relaxed);
-        let total_us = self.total_us.load(Ordering::Relaxed);
-        OpLatency {
-            op: op.to_string(),
-            count,
-            mean_us: if count == 0 {
-                0.0
-            } else {
-                total_us as f64 / count as f64
-            },
-            max_us: self.max_us.load(Ordering::Relaxed),
-            // (bucket upper bound in µs, count) — zero buckets elided.
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(i, b)| {
-                    let n = b.load(Ordering::Relaxed);
-                    (n > 0).then(|| (1u64 << i, n))
-                })
-                .collect(),
-        }
-    }
-}
+pub use ugpc_telemetry::BUCKETS;
 
 /// Serialized histogram snapshot for one operation class.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,38 +26,114 @@ pub struct OpLatency {
     pub buckets: Vec<(u64, u64)>,
 }
 
-/// Live (non-serialized) service metrics.
+impl OpLatency {
+    /// Project a telemetry histogram snapshot into the wire form this
+    /// service has always reported (kept byte-identical through the
+    /// registry refactor).
+    pub fn from_snapshot(op: &str, snap: &HistogramSnapshot) -> OpLatency {
+        OpLatency {
+            op: op.to_string(),
+            count: snap.count,
+            mean_us: snap.mean_us(),
+            max_us: snap.max_us,
+            buckets: snap.nonzero_buckets(),
+        }
+    }
+}
+
+/// Live service metrics: handles into the shared registry, plus the few
+/// values that are genuinely scrape-time (gauges, uptime).
 pub struct Metrics {
     started: Instant,
-    pub requests_total: AtomicU64,
-    pub parse_errors: AtomicU64,
-    pub invalid_configs: AtomicU64,
-    pub backpressure_rejections: AtomicU64,
+    registry: Arc<Registry>,
+    pub requests_total: Arc<Counter>,
+    pub parse_errors: Arc<Counter>,
+    pub invalid_configs: Arc<Counter>,
+    pub backpressure_rejections: Arc<Counter>,
+    /// Simulations actually executed on the pool (incremented by the
+    /// worker job before the result publishes).
+    pub simulations: Arc<Counter>,
     /// Latency of cache-hit run requests (no simulation).
-    pub run_hit: Histogram,
+    pub run_hit: Arc<Histogram>,
     /// Latency of cache-miss run requests (leader: queue + simulate).
-    pub run_miss: Histogram,
+    pub run_miss: Arc<Histogram>,
     /// Latency of requests coalesced behind an in-flight leader.
-    pub run_wait: Histogram,
-    pub stats_op: Histogram,
+    pub run_wait: Arc<Histogram>,
+    pub stats_op: Arc<Histogram>,
     /// Connections currently open (guarded by a plain mutex so the
     /// accept loop and handlers stay trivially consistent).
     pub open_connections: Mutex<usize>,
+    // Scrape-time gauges, filled by `Service` right before rendering
+    // (queue depth and cache state live outside this struct; cache
+    // counters mirror as gauges because `coalesced` is not monotone —
+    // the leader's self-wait is subtracted back out).
+    pub gauge_uptime_s: Arc<Gauge>,
+    pub gauge_open_connections: Arc<Gauge>,
+    pub gauge_queue_depth: Arc<Gauge>,
+    pub gauge_queue_capacity: Arc<Gauge>,
+    pub gauge_workers: Arc<Gauge>,
+    pub gauge_cache_entries: Arc<Gauge>,
+    pub gauge_cache_capacity: Arc<Gauge>,
+    pub gauge_cache_hits: Arc<Gauge>,
+    pub gauge_cache_misses: Arc<Gauge>,
+    pub gauge_cache_coalesced: Arc<Gauge>,
+    pub gauge_cache_evictions: Arc<Gauge>,
+    pub gauge_cache_hit_rate: Arc<Gauge>,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        let r = Registry::new();
         Metrics {
             started: Instant::now(),
-            requests_total: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            invalid_configs: AtomicU64::new(0),
-            backpressure_rejections: AtomicU64::new(0),
-            run_hit: Histogram::default(),
-            run_miss: Histogram::default(),
-            run_wait: Histogram::default(),
-            stats_op: Histogram::default(),
+            requests_total: r.counter("ugpc_requests_total", "Wire requests received."),
+            parse_errors: r.counter("ugpc_parse_errors_total", "Unparseable request lines."),
+            invalid_configs: r.counter(
+                "ugpc_invalid_configs_total",
+                "Run requests rejected by validation.",
+            ),
+            backpressure_rejections: r.counter(
+                "ugpc_backpressure_rejections_total",
+                "Run requests bounced because the worker queue was full.",
+            ),
+            simulations: r.counter(
+                "ugpc_simulations_total",
+                "Simulations executed on the worker pool.",
+            ),
+            run_hit: r.histogram(
+                "ugpc_run_hit_latency_us",
+                "Latency of cache-hit run requests (microseconds).",
+            ),
+            run_miss: r.histogram(
+                "ugpc_run_miss_latency_us",
+                "Latency of cache-miss run requests (microseconds).",
+            ),
+            run_wait: r.histogram(
+                "ugpc_run_wait_latency_us",
+                "Latency of run requests coalesced behind a leader (microseconds).",
+            ),
+            stats_op: r.histogram(
+                "ugpc_stats_latency_us",
+                "Latency of stats requests (microseconds).",
+            ),
             open_connections: Mutex::new(0),
+            gauge_uptime_s: r.gauge("ugpc_uptime_seconds", "Service uptime."),
+            gauge_open_connections: r.gauge("ugpc_open_connections", "Connections currently open."),
+            gauge_queue_depth: r.gauge("ugpc_queue_depth", "Jobs waiting in the worker queue."),
+            gauge_queue_capacity: r.gauge("ugpc_queue_capacity", "Worker queue bound."),
+            gauge_workers: r.gauge("ugpc_workers", "Simulation worker threads."),
+            gauge_cache_entries: r.gauge("ugpc_cache_entries", "Ready results cached."),
+            gauge_cache_capacity: r.gauge("ugpc_cache_capacity", "Result cache bound."),
+            gauge_cache_hits: r.gauge("ugpc_cache_hits", "Cache hits."),
+            gauge_cache_misses: r.gauge("ugpc_cache_misses", "Cache misses."),
+            gauge_cache_coalesced: r.gauge(
+                "ugpc_cache_coalesced",
+                "Requests that parked behind an in-flight identical request.",
+            ),
+            gauge_cache_evictions: r.gauge("ugpc_cache_evictions", "LRU evictions."),
+            gauge_cache_hit_rate: r
+                .gauge("ugpc_cache_hit_rate", "hits / (hits + misses + coalesced)."),
+            registry: r,
         }
     }
 }
@@ -115,6 +141,11 @@ impl Default for Metrics {
 impl Metrics {
     pub fn uptime(&self) -> Duration {
         self.started.elapsed()
+    }
+
+    /// The registry every instrument above is registered on.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 }
 
@@ -154,21 +185,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_moments() {
-        let h = Histogram::default();
-        h.record(Duration::from_micros(0)); // bucket 0 (<1µs)
-        h.record(Duration::from_micros(3)); // 3µs -> bucket 2 (<4µs)
-        h.record(Duration::from_millis(2)); // 2000µs -> bucket 11
-        let snap = h.snapshot("test");
-        assert_eq!(snap.count, 3);
-        assert_eq!(snap.max_us, 2000);
-        assert!((snap.mean_us - (0.0 + 3.0 + 2000.0) / 3.0).abs() < 1e-9);
-        let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+    fn histogram_view_matches_historical_wire_form() {
+        let m = Metrics::default();
+        m.run_hit.record(Duration::from_micros(0)); // bucket 0 (<1µs)
+        m.run_hit.record(Duration::from_micros(3)); // 3µs -> bucket 2 (<4µs)
+        m.run_hit.record(Duration::from_millis(2)); // 2000µs -> bucket 11
+        let snap = m.run_hit.snapshot();
+        let lat = OpLatency::from_snapshot("test", &snap);
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.max_us, 2000);
+        assert!((lat.mean_us - (0.0 + 3.0 + 2000.0) / 3.0).abs() < 1e-9);
+        let total: u64 = lat.buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 3);
-        assert!(snap.buckets.iter().any(|&(ub, _)| ub == 4));
+        assert!(lat.buckets.iter().any(|&(ub, _)| ub == 4));
         // Monster durations land in the last bucket, not out of range.
-        h.record(Duration::from_secs(40_000));
-        assert_eq!(h.snapshot("test").count, 4);
+        m.run_hit.record(Duration::from_secs(40_000));
+        assert_eq!(m.run_hit.snapshot().count, 4);
+    }
+
+    #[test]
+    fn counters_flow_into_the_exposition() {
+        let m = Metrics::default();
+        m.requests_total.add(7);
+        m.parse_errors.inc();
+        let text = m.registry().render();
+        assert!(text.contains("ugpc_requests_total 7"));
+        assert!(text.contains("ugpc_parse_errors_total 1"));
+        assert!(text.contains("# TYPE ugpc_run_hit_latency_us histogram"));
     }
 
     #[test]
@@ -193,7 +236,10 @@ mod tests {
                 evictions: 0,
                 hit_rate: 0.5,
             },
-            latency: vec![Histogram::default().snapshot("run_hit")],
+            latency: vec![OpLatency::from_snapshot(
+                "run_hit",
+                &Histogram::new().snapshot(),
+            )],
         };
         let json = serde_json::to_string(&report).expect("serialize");
         let back: StatsReport = serde_json::from_str(&json).expect("parse");

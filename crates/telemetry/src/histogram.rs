@@ -1,0 +1,206 @@
+//! The log₂ latency histogram, generalized out of `ugpc-serve`'s stats
+//! module so every layer (serve, driver, runtime) shares one
+//! implementation.
+//!
+//! Buckets are half-open microsecond ranges on a log₂ scale: bucket `i`
+//! counts samples in `[2^(i-1), 2^i) µs` (bucket 0 holds sub-microsecond
+//! samples, i.e. `us == 0`), and the last bucket additionally absorbs
+//! everything at or beyond its lower bound — saturation never loses a
+//! sample. The documented upper bound of bucket `i` is therefore `< 2^i
+//! µs`, exclusive; an exact power of two `2^k` lands in bucket `k + 1`.
+//! These edge cases are pinned by unit tests below.
+//!
+//! Recording is lock-free (relaxed atomics); [`Histogram::merge`] folds
+//! another histogram in, so per-worker histograms can be aggregated
+//! without sharing one instance behind a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log₂ microsecond buckets: `<1µs, <2µs, <4µs, …, <~8.4s, rest`.
+pub const BUCKETS: usize = 24;
+
+/// A fixed-bucket latency histogram (log₂ scale in microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a microsecond value: `0` for `us == 0`, otherwise
+/// `floor(log2(us)) + 1`, clamped into the last bucket.
+#[inline]
+pub fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration (saturating to whole microseconds).
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one sample given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Fold `other`'s samples into `self`. Bucket-wise addition: the two
+    /// histograms need not share any lock, so per-worker instances can be
+    /// recorded independently and aggregated at scrape time.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_us
+            .fetch_add(other.total_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_us
+            .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters (individual
+    /// loads are relaxed; a scrape racing a record may see the sample in
+    /// some fields and not others, which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` covers `[2^(i-1), 2^i) µs`).
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in microseconds (0 for an empty histogram).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// `(exclusive upper bound in µs, count)` per non-empty bucket — the
+    /// compact wire form `ugpc-serve` has always reported.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| (n > 0).then_some((1u64 << i, n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_pinned() {
+        // us == 0 is the sub-microsecond bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Exact powers of two sit at the *lower* edge of their bucket:
+        // 2^k lands in bucket k+1, whose documented bound `< 2^(k+1) µs`
+        // holds with room, and bucket k's exclusive bound `< 2^k` holds.
+        assert_eq!(bucket_index(1), 1, "us = 1 = 2^0 opens bucket 1");
+        for k in 1..20 {
+            let us = 1u64 << k;
+            assert_eq!(bucket_index(us), (k + 1).min(BUCKETS - 1), "us = 2^{k}");
+            assert_eq!(bucket_index(us - 1), k.min(BUCKETS - 1), "us = 2^{k}-1");
+        }
+        // Every bucket's contents respect its documented exclusive bound.
+        for i in 1..BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+        // Saturation: anything at or beyond 2^(BUCKETS-2) µs clamps into
+        // the last bucket instead of indexing out of range.
+        assert_eq!(bucket_index(1 << (BUCKETS - 2)), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_and_moments() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(2));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_us, 2000);
+        assert!((s.mean_us() - (0.0 + 3.0 + 2000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert!(s.nonzero_buckets().iter().any(|&(ub, _)| ub == 4));
+        // Monster durations land in the last bucket, not out of range.
+        h.record(Duration::from_secs(40_000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in [0, 1, 2, 7, 1000] {
+            a.record_us(us);
+        }
+        for us in [3, 4096, 1 << 40] {
+            b.record_us(us);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge(&b);
+        let merged = a.snapshot();
+        assert_eq!(merged.count, sa.count + sb.count);
+        assert_eq!(merged.total_us, sa.total_us + sb.total_us);
+        assert_eq!(merged.max_us, sa.max_us.max(sb.max_us));
+        for i in 0..BUCKETS {
+            assert_eq!(
+                merged.buckets[i],
+                sa.buckets[i] + sb.buckets[i],
+                "bucket {i}"
+            );
+        }
+        // Merging an empty histogram is the identity.
+        a.merge(&Histogram::new());
+        assert_eq!(a.snapshot(), merged);
+    }
+}

@@ -1,0 +1,250 @@
+//! Leveled structured logging as JSON lines.
+//!
+//! Every line is one JSON object: `{"ts":…,"level":"info","msg":…,
+//! "trace_id":…,"span_id":…, …fields}`. The `UGPC_LOG` environment
+//! variable sets the minimum level (`error`, `warn`, `info`, `debug`,
+//! `trace`; default `info`; `off` silences everything). Lines below the
+//! threshold cost one atomic load and nothing else.
+//!
+//! The sink defaults to stderr but is swappable ([`Logger::to_buffer`]),
+//! so tests — and the CI telemetry-smoke leg — can capture the exact
+//! bytes a server would have emitted and assert a known `trace_id`
+//! appears in them.
+
+use crate::trace::TraceCtx;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse an `UGPC_LOG` value. `None` means "off".
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" | "" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None, // includes explicit "off"/"none"
+        }
+    }
+}
+
+/// Sentinel for "everything filtered out" in the atomic level cell.
+const LEVEL_OFF: u8 = u8::MAX;
+
+enum Sink {
+    Stderr,
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+/// A leveled JSON-lines logger. Cheap to clone via `Arc`; one instance
+/// is shared by the serve front-end, pool, and request handlers.
+pub struct Logger {
+    max: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+impl Logger {
+    /// Logger writing to stderr, filtered by the `UGPC_LOG` env var
+    /// (default `info`).
+    pub fn from_env() -> Arc<Logger> {
+        let level = match std::env::var("UGPC_LOG") {
+            Ok(v) => Level::parse(&v),
+            Err(_) => Some(Level::Info),
+        };
+        Arc::new(Logger {
+            max: AtomicU8::new(level.map_or(LEVEL_OFF, |l| l as u8)),
+            sink: Mutex::new(Sink::Stderr),
+        })
+    }
+
+    /// Logger writing into a shared in-memory buffer — for tests that
+    /// assert on emitted lines. Returns the logger and the buffer.
+    pub fn to_buffer(level: Level) -> (Arc<Logger>, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let logger = Arc::new(Logger {
+            max: AtomicU8::new(level as u8),
+            sink: Mutex::new(Sink::Buffer(buf.clone())),
+        });
+        (logger, buf)
+    }
+
+    /// A logger that drops everything (for handlers that require one).
+    pub fn disabled() -> Arc<Logger> {
+        Arc::new(Logger {
+            max: AtomicU8::new(LEVEL_OFF),
+            sink: Mutex::new(Sink::Stderr),
+        })
+    }
+
+    pub fn enabled(&self, level: Level) -> bool {
+        let max = self.max.load(Ordering::Relaxed);
+        max != LEVEL_OFF && level as u8 <= max
+    }
+
+    /// Emit one structured line. `fields` are pre-rendered JSON values
+    /// (use [`json_str`] for strings); keys must be plain identifiers.
+    pub fn log(&self, level: Level, msg: &str, trace: Option<TraceCtx>, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"ts\":{ts:.6},\"level\":\"{}\",\"msg\":{}",
+            level.as_str(),
+            json_str(msg)
+        );
+        if let Some(ctx) = trace {
+            let _ = write!(
+                line,
+                ",\"trace_id\":\"{}\",\"span_id\":\"{}\"",
+                ctx.trace_hex(),
+                ctx.span_hex()
+            );
+        }
+        for (key, value) in fields {
+            debug_assert!(
+                key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "field key {key:?} must be a plain identifier"
+            );
+            let _ = write!(line, ",\"{key}\":{value}");
+        }
+        line.push('}');
+        line.push('\n');
+        match &*self.sink.lock() {
+            Sink::Stderr => {
+                let _ = std::io::stderr().write_all(line.as_bytes());
+            }
+            Sink::Buffer(buf) => buf.lock().extend_from_slice(line.as_bytes()),
+        }
+    }
+
+    pub fn error(&self, msg: &str, trace: Option<TraceCtx>, fields: &[(&str, String)]) {
+        self.log(Level::Error, msg, trace, fields);
+    }
+
+    pub fn warn(&self, msg: &str, trace: Option<TraceCtx>, fields: &[(&str, String)]) {
+        self.log(Level::Warn, msg, trace, fields);
+    }
+
+    pub fn info(&self, msg: &str, trace: Option<TraceCtx>, fields: &[(&str, String)]) {
+        self.log(Level::Info, msg, trace, fields);
+    }
+
+    pub fn debug(&self, msg: &str, trace: Option<TraceCtx>, fields: &[(&str, String)]) {
+        self.log(Level::Debug, msg, trace, fields);
+    }
+}
+
+/// Render a string as a JSON string literal (quotes + escapes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_json_and_carry_trace_ids() {
+        let (logger, buf) = Logger::to_buffer(Level::Debug);
+        let ctx = TraceCtx {
+            trace_id: 0xbeef,
+            span_id: 0xcafe,
+        };
+        logger.info(
+            "run accepted",
+            Some(ctx),
+            &[("op", json_str("run")), ("queue_depth", "3".to_string())],
+        );
+        let text = String::from_utf8(buf.lock().clone()).expect("utf8");
+        let line = text.lines().next().expect("one line");
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        assert_eq!(v["level"].as_str(), Some("info"));
+        assert_eq!(v["msg"].as_str(), Some("run accepted"));
+        assert_eq!(v["trace_id"].as_str(), Some("00000000beef"));
+        assert_eq!(v["span_id"].as_str(), Some("00000000cafe"));
+        assert_eq!(v["op"].as_str(), Some("run"));
+        assert!(v["ts"].as_f64().expect("ts") > 0.0);
+    }
+
+    #[test]
+    fn levels_filter() {
+        let (logger, buf) = Logger::to_buffer(Level::Warn);
+        assert!(logger.enabled(Level::Error));
+        assert!(!logger.enabled(Level::Info));
+        logger.info("dropped", None, &[]);
+        logger.debug("dropped", None, &[]);
+        logger.error("kept", None, &[]);
+        let text = String::from_utf8(buf.lock().clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kept\""));
+    }
+
+    #[test]
+    fn disabled_logger_drops_everything() {
+        let logger = Logger::disabled();
+        assert!(!logger.enabled(Level::Error));
+        logger.error("nobody hears this", None, &[]);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse(" WARN "), Some(Level::Warn));
+        assert_eq!(Level::parse(""), Some(Level::Info));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("garbage"), None);
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,576 @@
+//! The critical-path energy-attribution profiler.
+//!
+//! [`CriticalPathProfiler`] is an [`Observer`]: it computes the task
+//! graph's critical path once at run start ([`TaskGraph::critical_path`])
+//! and then replays the executor's `TaskEnd` events against it,
+//! attributing busy time and busy energy to on-path vs off-path work per
+//! (device, kernel kind, precision) group, per worker, and per task
+//! (top-k hottest). The result answers the question the paper's tables
+//! answer for real hardware: *where did the makespan and the joules
+//! actually go* under a given power-cap configuration.
+//!
+//! ## Exactness contract
+//!
+//! - `makespan_s` is copied from the executor's [`RunSummary`], so it is
+//!   bitwise identical to `RunReport::makespan_s` for the same run.
+//! - `total_busy_s` / `total_busy_energy_j` accumulate the raw `TaskEnd`
+//!   `duration` / `energy` fields with `+=` in event order — bitwise
+//!   identical to any other observer folding the same stream in the same
+//!   order (pinned by `tests/observer_differential.rs`).
+//! - Group, worker, and path subtotals are *separate* event-order
+//!   accumulators; f64 addition is not associative, so their cross-sums
+//!   match the totals to rounding error (≤ a few ulps), not bitwise.
+//!   [`ProfileReport::check_consistency`] encodes exactly this split.
+//!
+//! Like every observer, the profiler is a read-only witness: attaching
+//! it cannot change run outcomes (observer-neutrality invariant).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use ugpc_runtime::{
+    ExecEvent, Observer, RunContext, RunSummary, TaskGraph, TaskId, Worker, WorkerKind,
+};
+
+/// Attribution for one (device, kernel kind, precision, on/off path)
+/// group of tasks.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupRow {
+    /// Device lane name: `gpu{d}` or `cpu{package}` (CPU cores aggregate
+    /// to their package, matching the power-timeline lanes).
+    pub device: String,
+    /// Kernel kind name (`GEMM`, `SYRK`, …).
+    pub kind: String,
+    /// `single` or `double`.
+    pub precision: String,
+    /// Whether these tasks lie on the critical path.
+    pub on_path: bool,
+    pub tasks: usize,
+    pub busy_s: f64,
+    pub energy_j: f64,
+    pub flops: f64,
+}
+
+/// Busy/idle attribution for one worker over the makespan.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerRow {
+    pub worker: String,
+    pub is_gpu: bool,
+    pub tasks: usize,
+    pub busy_s: f64,
+    /// `makespan − busy`: time this worker spent waiting.
+    pub idle_s: f64,
+    /// Portion of `busy_s` spent on critical-path tasks.
+    pub on_path_busy_s: f64,
+}
+
+/// One of the top-k longest-running tasks.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HotTask {
+    pub task: TaskId,
+    pub worker: String,
+    pub kind: String,
+    pub precision: String,
+    pub nb: usize,
+    pub duration_s: f64,
+    pub energy_j: f64,
+    pub on_path: bool,
+}
+
+/// The profiler's output: makespan/energy attribution against the
+/// critical path. Serializable, so services can ship it as JSON.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProfileReport {
+    /// Copied from the executor's summary (bitwise == `RunReport`).
+    pub makespan_s: f64,
+    /// Tasks in the graph / tasks on the critical path.
+    pub graph_tasks: usize,
+    pub path_len: usize,
+    /// Event-order fold of every `TaskEnd` duration / energy.
+    pub total_busy_s: f64,
+    pub total_busy_energy_j: f64,
+    /// Event-order folds restricted to critical-path tasks.
+    pub path_busy_s: f64,
+    pub path_energy_j: f64,
+    /// `makespan − path_busy`: time the critical path spent *not*
+    /// executing (waiting on transfers, scheduling, off-path work).
+    pub path_slack_s: f64,
+    pub groups: Vec<GroupRow>,
+    pub workers: Vec<WorkerRow>,
+    pub hot_tasks: Vec<HotTask>,
+}
+
+impl ProfileReport {
+    /// Fraction of the makespan covered by critical-path execution.
+    pub fn path_coverage(&self) -> f64 {
+        if self.makespan_s == 0.0 {
+            0.0
+        } else {
+            self.path_busy_s / self.makespan_s
+        }
+    }
+
+    /// Busy-time spread across GPU workers (max − min): the imbalance a
+    /// non-uniform cap configuration induces.
+    pub fn gpu_imbalance_s(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .workers
+            .iter()
+            .filter(|w| w.is_gpu)
+            .map(|w| w.busy_s)
+            .collect();
+        match (
+            busy.iter().copied().reduce(f64::max),
+            busy.iter().copied().reduce(f64::min),
+        ) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0.0,
+        }
+    }
+
+    /// Verify the attribution identities (module docs): subtotals must
+    /// reproduce the totals to `tol` relative error. Returns the first
+    /// violated identity. Used by the differential tests.
+    pub fn check_consistency(&self, tol: f64) -> Result<(), String> {
+        let close = |a: f64, b: f64| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-300);
+        let group_busy: f64 = self.groups.iter().map(|g| g.busy_s).sum();
+        if !close(group_busy, self.total_busy_s) {
+            return Err(format!(
+                "group busy {} != total busy {}",
+                group_busy, self.total_busy_s
+            ));
+        }
+        let group_energy: f64 = self.groups.iter().map(|g| g.energy_j).sum();
+        if !close(group_energy, self.total_busy_energy_j) {
+            return Err(format!(
+                "group energy {} != total busy energy {}",
+                group_energy, self.total_busy_energy_j
+            ));
+        }
+        let worker_busy: f64 = self.workers.iter().map(|w| w.busy_s).sum();
+        if !close(worker_busy, self.total_busy_s) {
+            return Err(format!(
+                "worker busy {} != total busy {}",
+                worker_busy, self.total_busy_s
+            ));
+        }
+        let on_path_busy: f64 = self
+            .groups
+            .iter()
+            .filter(|g| g.on_path)
+            .map(|g| g.busy_s)
+            .sum();
+        if !close(on_path_busy, self.path_busy_s) {
+            return Err(format!(
+                "on-path group busy {} != path busy {}",
+                on_path_busy, self.path_busy_s
+            ));
+        }
+        if self.path_slack_s != self.makespan_s - self.path_busy_s {
+            return Err("path slack is not makespan - path busy".to_string());
+        }
+        Ok(())
+    }
+
+    /// Human-readable attribution table (the `repro profile` rendering).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "makespan {:.4} s | busy {:.4} s | busy energy {:.1} J",
+            self.makespan_s, self.total_busy_s, self.total_busy_energy_j
+        );
+        let _ = writeln!(
+            out,
+            "critical path: {} of {} tasks | on-path busy {:.4} s ({:.1}% of makespan) | slack {:.4} s",
+            self.path_len,
+            self.graph_tasks,
+            self.path_busy_s,
+            100.0 * self.path_coverage(),
+            self.path_slack_s
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:<6} {:<7} {:<5} {:>6} {:>11} {:>12} {:>8}",
+            "device", "kind", "prec", "path", "tasks", "busy (s)", "energy (J)", "share"
+        );
+        for g in &self.groups {
+            let share = if self.total_busy_energy_j > 0.0 {
+                100.0 * g.energy_j / self.total_busy_energy_j
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:<6} {:<7} {:<5} {:>6} {:>11.4} {:>12.1} {:>7.1}%",
+                g.device,
+                g.kind,
+                g.precision,
+                if g.on_path { "on" } else { "off" },
+                g.tasks,
+                g.busy_s,
+                g.energy_j,
+                share
+            );
+        }
+        let _ = writeln!(
+            out,
+            "workers: gpu imbalance {:.4} s (max-min busy)",
+            self.gpu_imbalance_s()
+        );
+        let mut fully_idle = 0usize;
+        for w in &self.workers {
+            if w.tasks == 0 {
+                fully_idle += 1;
+                continue;
+            }
+            let util = if self.makespan_s > 0.0 {
+                100.0 * w.busy_s / self.makespan_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>5} tasks | busy {:>9.4} s ({:>5.1}%) | idle {:>9.4} s | on-path {:>9.4} s",
+                w.worker, w.tasks, w.busy_s, util, w.idle_s, w.on_path_busy_s
+            );
+        }
+        if fully_idle > 0 {
+            let _ = writeln!(
+                out,
+                "  ({fully_idle} workers ran no tasks: idle for the whole makespan)"
+            );
+        }
+        if !self.hot_tasks.is_empty() {
+            let _ = writeln!(out, "hottest tasks:");
+            for t in &self.hot_tasks {
+                let _ = writeln!(
+                    out,
+                    "  #{:<5} {:<6} {:<7} nb={} on {:<8} {:>9.4} s {:>9.1} J{}",
+                    t.task,
+                    t.kind,
+                    t.precision,
+                    t.nb,
+                    t.worker,
+                    t.duration_s,
+                    t.energy_j,
+                    if t.on_path { "  [critical path]" } else { "" }
+                );
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    device: String,
+    kind: &'static str,
+    precision: &'static str,
+    on_path: bool,
+}
+
+#[derive(Debug, Default)]
+struct GroupAccum {
+    tasks: usize,
+    busy_s: f64,
+    energy_j: f64,
+    flops: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct WorkerAccum {
+    tasks: usize,
+    busy_s: f64,
+    on_path_busy_s: f64,
+}
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct CriticalPathProfiler {
+    top_k: usize,
+    workers: Vec<Worker>,
+    on_path: Vec<bool>,
+    path_len: usize,
+    graph_tasks: usize,
+    total_busy_s: f64,
+    total_busy_energy_j: f64,
+    path_busy_s: f64,
+    path_energy_j: f64,
+    groups: HashMap<GroupKey, GroupAccum>,
+    worker_accum: Vec<WorkerAccum>,
+    tasks: Vec<HotTask>,
+    summary: Option<RunSummary>,
+}
+
+/// Device lane for a worker: GPUs individually, CPU cores per package.
+fn device_lane(worker: &Worker) -> String {
+    match worker.kind {
+        WorkerKind::Gpu { device } => format!("gpu{device}"),
+        WorkerKind::CpuCore { package, .. } => format!("cpu{package}"),
+    }
+}
+
+impl CriticalPathProfiler {
+    pub fn new() -> Self {
+        CriticalPathProfiler {
+            top_k: 10,
+            ..Default::default()
+        }
+    }
+
+    /// How many hottest tasks to keep in the report (default 10).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// The critical path computed at run start (task ids in dependency
+    /// order). Empty before `on_start`.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        (0..self.on_path.len())
+            .filter(|&t| self.on_path[t])
+            .collect()
+    }
+
+    /// Finish and return the report. Panics if the run never completed.
+    pub fn into_report(self) -> ProfileReport {
+        let summary = self
+            .summary
+            .expect("CriticalPathProfiler::into_report before the run finished");
+        let makespan_s = summary.makespan.value();
+
+        let mut groups: Vec<(GroupKey, GroupAccum)> = self.groups.into_iter().collect();
+        // Deterministic order: device, kind, precision, on-path first.
+        groups.sort_by(|(a, _), (b, _)| {
+            (&a.device, a.kind, a.precision, !a.on_path).cmp(&(
+                &b.device,
+                b.kind,
+                b.precision,
+                !b.on_path,
+            ))
+        });
+        let groups = groups
+            .into_iter()
+            .map(|(k, a)| GroupRow {
+                device: k.device,
+                kind: k.kind.to_string(),
+                precision: k.precision.to_string(),
+                on_path: k.on_path,
+                tasks: a.tasks,
+                busy_s: a.busy_s,
+                energy_j: a.energy_j,
+                flops: a.flops,
+            })
+            .collect();
+
+        let workers = self
+            .workers
+            .iter()
+            .zip(&self.worker_accum)
+            .map(|(w, a)| WorkerRow {
+                worker: w.short_name(),
+                is_gpu: w.is_gpu(),
+                tasks: a.tasks,
+                busy_s: a.busy_s,
+                idle_s: makespan_s - a.busy_s,
+                on_path_busy_s: a.on_path_busy_s,
+            })
+            .collect();
+
+        let mut hot = self.tasks;
+        // Longest first; ties toward the smaller task id for determinism.
+        hot.sort_by(|a, b| {
+            b.duration_s
+                .partial_cmp(&a.duration_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.task.cmp(&b.task))
+        });
+        hot.truncate(self.top_k);
+
+        ProfileReport {
+            makespan_s,
+            graph_tasks: self.graph_tasks,
+            path_len: self.path_len,
+            total_busy_s: self.total_busy_s,
+            total_busy_energy_j: self.total_busy_energy_j,
+            path_busy_s: self.path_busy_s,
+            path_energy_j: self.path_energy_j,
+            path_slack_s: makespan_s - self.path_busy_s,
+            groups,
+            workers,
+            hot_tasks: hot,
+        }
+    }
+}
+
+impl Observer for CriticalPathProfiler {
+    fn on_start(&mut self, ctx: &RunContext<'_>) {
+        self.workers = ctx.workers.to_vec();
+        self.worker_accum = vec![WorkerAccum::default(); ctx.workers.len()];
+        self.graph_tasks = ctx.graph.len();
+        let path = TaskGraph::critical_path(ctx.graph);
+        self.path_len = path.len();
+        self.on_path = vec![false; ctx.graph.len()];
+        for t in path {
+            self.on_path[t] = true;
+        }
+    }
+
+    fn on_event(&mut self, event: &ExecEvent) {
+        let ExecEvent::TaskEnd {
+            task,
+            worker,
+            duration,
+            kind,
+            precision,
+            nb,
+            flops,
+            energy,
+            ..
+        } = *event
+        else {
+            return;
+        };
+        let on_path = self.on_path.get(task).copied().unwrap_or(false);
+        let duration_s = duration.value();
+        let energy_j = energy.value();
+
+        self.total_busy_s += duration_s;
+        self.total_busy_energy_j += energy_j;
+        if on_path {
+            self.path_busy_s += duration_s;
+            self.path_energy_j += energy_j;
+        }
+
+        let key = GroupKey {
+            device: device_lane(&self.workers[worker]),
+            kind: kind.name(),
+            precision: precision.short(),
+            on_path,
+        };
+        let g = self.groups.entry(key).or_default();
+        g.tasks += 1;
+        g.busy_s += duration_s;
+        g.energy_j += energy_j;
+        g.flops += flops.value();
+
+        let w = &mut self.worker_accum[worker];
+        w.tasks += 1;
+        w.busy_s += duration_s;
+        if on_path {
+            w.on_path_busy_s += duration_s;
+        }
+
+        self.tasks.push(HotTask {
+            task,
+            worker: self.workers[worker].short_name(),
+            kind: kind.name().to_string(),
+            precision: precision.short().to_string(),
+            nb,
+            duration_s,
+            energy_j,
+            on_path,
+        });
+    }
+
+    fn on_finish(&mut self, summary: &RunSummary) {
+        self.summary = Some(summary.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugpc_hwsim::{Node, PlatformId, Precision};
+    use ugpc_runtime::{
+        simulate_observed, AccessMode, DataRegistry, KernelKind, PerfModel, SimOptions, TaskDesc,
+    };
+
+    fn profiled_chain_run() -> ProfileReport {
+        let mut node = Node::new(PlatformId::Intel2V100);
+        let mut data = DataRegistry::new();
+        let mut g = TaskGraph::new();
+        let shared = data.register(ugpc_hwsim::Bytes(8.0 * 960.0 * 960.0));
+        let free = data.register(ugpc_hwsim::Bytes(8.0 * 960.0 * 960.0));
+        // A 4-chain on one tile plus 2 independent tasks on another.
+        for _ in 0..4 {
+            g.submit(
+                TaskDesc::new(KernelKind::Gemm, Precision::Double, 960)
+                    .access(shared, AccessMode::ReadWrite),
+            );
+        }
+        for _ in 0..2 {
+            g.submit(
+                TaskDesc::new(KernelKind::Syrk, Precision::Double, 960)
+                    .access(free, AccessMode::Read),
+            );
+        }
+        let mut profiler = CriticalPathProfiler::new().with_top_k(3);
+        {
+            let mut obs: [&mut dyn Observer; 1] = [&mut profiler];
+            let mut perf = PerfModel::new();
+            simulate_observed(
+                &mut node,
+                &g,
+                &mut data,
+                SimOptions::default(),
+                &mut perf,
+                &mut obs,
+            );
+        }
+        profiler.into_report()
+    }
+
+    #[test]
+    fn attribution_identities_hold() {
+        let p = profiled_chain_run();
+        assert_eq!(p.graph_tasks, 6);
+        assert_eq!(p.path_len, 4, "the RW chain is the critical path");
+        assert!(p.makespan_s > 0.0);
+        assert!(p.total_busy_s > 0.0);
+        assert!(p.total_busy_energy_j > 0.0);
+        assert!(p.path_busy_s <= p.total_busy_s);
+        p.check_consistency(1e-12).expect("identities");
+        let on_path_tasks: usize = p.groups.iter().filter(|g| g.on_path).map(|g| g.tasks).sum();
+        assert_eq!(on_path_tasks, 4);
+        let all_tasks: usize = p.groups.iter().map(|g| g.tasks).sum();
+        assert_eq!(all_tasks, 6);
+    }
+
+    #[test]
+    fn hot_tasks_are_sorted_and_truncated() {
+        let p = profiled_chain_run();
+        assert_eq!(p.hot_tasks.len(), 3);
+        for pair in p.hot_tasks.windows(2) {
+            assert!(pair[0].duration_s >= pair[1].duration_s);
+        }
+    }
+
+    #[test]
+    fn report_renders_and_round_trips() {
+        let p = profiled_chain_run();
+        let text = p.render();
+        assert!(text.contains("critical path: 4 of 6 tasks"));
+        assert!(text.contains("gemm"));
+        assert!(text.contains("hottest tasks:"));
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: ProfileReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn worker_idle_plus_busy_spans_makespan() {
+        let p = profiled_chain_run();
+        for w in &p.workers {
+            assert!(
+                (w.busy_s + w.idle_s - p.makespan_s).abs() <= 1e-9 * p.makespan_s.max(1.0),
+                "{}: busy {} + idle {} vs makespan {}",
+                w.worker,
+                w.busy_s,
+                w.idle_s,
+                p.makespan_s
+            );
+            assert!(w.on_path_busy_s <= w.busy_s + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The unified metrics registry: named counters, gauges, and histograms
+//! behind cheap atomic handles, rendered on demand in the Prometheus
+//! text exposition format.
+//!
+//! One registry is shared by every layer of a process (serve front-end,
+//! worker pool, cache): each layer registers its instruments once at
+//! startup and updates them lock-free on the hot path; a scrape walks
+//! the registry under a short lock and renders every instrument.
+//!
+//! ```
+//! use ugpc_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("ugpc_requests_total", "Requests received.");
+//! requests.inc();
+//! let text = registry.render();
+//! assert!(text.contains("ugpc_requests_total 1"));
+//! ```
+
+use crate::histogram::{Histogram, BUCKETS};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an arbitrary instantaneous f64 value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// A metric name must match `[a-zA-Z_:][a-zA-Z0-9_:]*` (the Prometheus
+/// grammar); registration panics otherwise, because a bad name is a
+/// programming error, not runtime input.
+fn assert_valid_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+}
+
+impl Registry {
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry::default())
+    }
+
+    fn register(&self, name: &str, help: &str, instrument: Instrument) {
+        assert_valid_name(name);
+        let mut entries = self.entries.lock();
+        assert!(
+            entries.iter().all(|e| e.name != name),
+            "metric {name:?} registered twice"
+        );
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument,
+        });
+    }
+
+    /// Register and return a counter. Panics on a duplicate name —
+    /// instruments are process-lifetime singletons.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.register(name, help, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, help, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return a histogram (log₂ microsecond buckets).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register(name, help, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Render every registered instrument in the Prometheus text
+    /// exposition format (version 0.0.4). Histograms render cumulative
+    /// `_bucket{le="..."}` series with microsecond bounds, plus `_sum`
+    /// (microseconds) and `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries.lock().iter() {
+            match &e.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    let mut cumulative = 0u64;
+                    for (i, &n) in snap.buckets.iter().enumerate().take(BUCKETS - 1) {
+                        cumulative += n;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            e.name,
+                            1u64 << i,
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count);
+                    let _ = writeln!(out, "{}_sum {}", e.name, snap.total_us);
+                    let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        let c = r.counter("ugpc_test_total", "A test counter.");
+        let g = r.gauge("ugpc_test_depth", "A test gauge.");
+        c.add(41);
+        c.inc();
+        g.set(2.5);
+        let text = r.render();
+        assert!(text.contains("# TYPE ugpc_test_total counter"));
+        assert!(text.contains("ugpc_test_total 42"));
+        assert!(text.contains("# TYPE ugpc_test_depth gauge"));
+        assert!(text.contains("ugpc_test_depth 2.5"));
+        assert!(text.contains("# HELP ugpc_test_total A test counter."));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_to_count() {
+        let r = Registry::new();
+        let h = r.histogram("ugpc_test_us", "A test histogram.");
+        for us in [0u64, 1, 3, 3, 500, 1 << 40] {
+            h.record(Duration::from_micros(us));
+        }
+        let text = r.render();
+        assert!(text.contains("# TYPE ugpc_test_us histogram"));
+        assert!(text.contains("ugpc_test_us_count 6"));
+        assert!(text.contains("ugpc_test_us_bucket{le=\"+Inf\"} 6"));
+        // Cumulative counts never decrease and end at the total.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("ugpc_test_us_bucket"))
+        {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .expect("value")
+                .parse()
+                .expect("u64");
+            assert!(v >= last, "bucket series must be cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic() {
+        let r = Registry::new();
+        let _a = r.counter("ugpc_dup_total", "first");
+        let _b = r.counter("ugpc_dup_total", "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        let r = Registry::new();
+        let _ = r.counter("0bad-name", "nope");
+    }
+}

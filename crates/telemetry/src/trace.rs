@@ -1,0 +1,166 @@
+//! Request-scoped trace context.
+//!
+//! A [`TraceCtx`] names one logical request (`trace_id`) and one hop of
+//! work within it (`span_id`). The serve front-end generates a context
+//! per request (or adopts a client-supplied one), threads it through the
+//! worker pool into the simulation, stamps it on every structured log
+//! line, and embeds it in Perfetto exports — so a served run's trace is
+//! joinable with the server's logs by grepping one hex id.
+//!
+//! Ids are 48-bit, not 64-bit, on purpose: the wire protocol is JSON and
+//! the in-tree serde shim carries numbers as `f64`, which holds integers
+//! exactly only up to 2⁵³. 48 bits round-trip exactly through every
+//! transport layer while still giving a collision probability below
+//! 10⁻⁸ for a million concurrent traces.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ids are masked to this many low bits (see module docs).
+pub const ID_BITS: u32 = 48;
+const ID_MASK: u64 = (1 << ID_BITS) - 1;
+
+/// A trace/span id pair identifying one request and one hop within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Shared by every span of one logical request. Nonzero.
+    pub trace_id: u64,
+    /// Identifies this hop (connection handler, worker, simulation).
+    pub span_id: u64,
+}
+
+/// Splitmix64 finalizer — a full-period mixer, so distinct seeds give
+/// well-scattered ids without any shared-state RNG.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn next_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let id = mix(seq ^ nanos.rotate_left(17) ^ (u64::from(std::process::id()) << 32)) & ID_MASK;
+    // Zero is reserved as "absent"; remap the 2⁻⁴⁸ collision.
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+impl TraceCtx {
+    /// Generate a fresh context (new trace, new root span).
+    pub fn generate() -> TraceCtx {
+        TraceCtx {
+            trace_id: next_id(),
+            span_id: next_id(),
+        }
+    }
+
+    /// A child context: same trace, fresh span id.
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+        }
+    }
+
+    /// Adopt a client-supplied context if valid, else mint a fresh one.
+    /// Supplied ids are masked to [`ID_BITS`] so an out-of-range id can't
+    /// produce a context that won't round-trip through the f64 wire.
+    pub fn adopt(supplied: Option<TraceCtx>) -> TraceCtx {
+        match supplied {
+            Some(ctx) if ctx.trace_id & ID_MASK != 0 => TraceCtx {
+                trace_id: ctx.trace_id & ID_MASK,
+                span_id: if ctx.span_id & ID_MASK != 0 {
+                    ctx.span_id & ID_MASK
+                } else {
+                    next_id()
+                },
+            },
+            _ => TraceCtx::generate(),
+        }
+    }
+
+    /// Canonical fixed-width lowercase-hex rendering of the trace id —
+    /// the form stamped in logs and Perfetto exports.
+    pub fn trace_hex(&self) -> String {
+        format!("{:012x}", self.trace_id)
+    }
+
+    /// Fixed-width hex rendering of the span id.
+    pub fn span_hex(&self) -> String {
+        format!("{:012x}", self.span_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_fit_the_wire_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let ctx = TraceCtx::generate();
+            assert!(ctx.trace_id != 0 && ctx.trace_id <= ID_MASK);
+            assert!(ctx.span_id != 0 && ctx.span_id <= ID_MASK);
+            // Survives an f64 round-trip (the serde shim's number type).
+            assert_eq!(ctx.trace_id as f64 as u64, ctx.trace_id);
+            seen.insert(ctx.trace_id);
+        }
+        assert!(
+            seen.len() > 990,
+            "ids collide far too often: {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn child_shares_trace_id() {
+        let root = TraceCtx::generate();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn adopt_respects_valid_and_replaces_invalid() {
+        let supplied = TraceCtx {
+            trace_id: 0xabc,
+            span_id: 0xdef,
+        };
+        assert_eq!(TraceCtx::adopt(Some(supplied)), supplied);
+        // Oversized ids are masked into range, not rejected.
+        let big = TraceCtx {
+            trace_id: u64::MAX,
+            span_id: 5,
+        };
+        let adopted = TraceCtx::adopt(Some(big));
+        assert_eq!(adopted.trace_id, ID_MASK);
+        assert_eq!(adopted.span_id, 5);
+        // Zero trace id means "absent": mint fresh.
+        let minted = TraceCtx::adopt(Some(TraceCtx {
+            trace_id: 0,
+            span_id: 7,
+        }));
+        assert_ne!(minted.trace_id, 0);
+        assert_ne!(TraceCtx::adopt(None).trace_id, 0);
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        let ctx = TraceCtx {
+            trace_id: 0x1f,
+            span_id: 0xa,
+        };
+        assert_eq!(ctx.trace_hex(), "00000000001f");
+        assert_eq!(ctx.span_hex(), "00000000000a");
+    }
+}

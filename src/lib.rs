@@ -18,6 +18,9 @@
 //! * [`experiments`] — per-figure/table reproduction runners
 //! * [`serve`] — concurrent TCP simulation service with a content-addressed
 //!   result cache, bounded worker pool, client, and load generator
+//! * [`telemetry`] — metrics registry with Prometheus exposition,
+//!   trace-context propagation, structured JSON logging, and the
+//!   critical-path energy-attribution profiler
 //! * the top-level [`RunConfig`] / [`run_study`] API from `ugpc-core`
 //!
 //! ## Quickstart
@@ -40,11 +43,13 @@ pub use ugpc_hwsim as hwsim;
 pub use ugpc_linalg as linalg;
 pub use ugpc_runtime as runtime;
 pub use ugpc_serve as serve;
+pub use ugpc_telemetry as telemetry;
 
 pub use ugpc_core::{
     compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, run_study_observed,
-    run_study_traced, try_run_study, try_run_study_traced, CacheKey, Comparison, DynamicIteration,
-    DynamicStudyReport, InvalidConfig, RunConfig, RunReport, TracedRun,
+    run_study_profiled, run_study_traced, try_run_study, try_run_study_profiled,
+    try_run_study_traced, CacheKey, Comparison, DynamicIteration, DynamicStudyReport,
+    InvalidConfig, ProfiledRun, RunConfig, RunReport, TracedRun,
 };
 
 /// Everything most programs need.

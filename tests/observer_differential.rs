@@ -65,13 +65,15 @@ fn observers_never_perturb_the_run() {
     let mut stats = StatsCollector::new();
     let mut perfetto = PerfettoSink::new();
     let mut timeline = PowerTimeline::new(32);
+    let mut profiler = ugpc::telemetry::CriticalPathProfiler::new();
     let all_summary = {
-        let mut observers: [&mut dyn Observer; 5] = [
+        let mut observers: [&mut dyn Observer; 6] = [
             &mut builder,
             &mut log,
             &mut stats,
             &mut perfetto,
             &mut timeline,
+            &mut profiler,
         ];
         let mut perf = PerfModel::new();
         simulate_observed(
@@ -109,6 +111,27 @@ fn observers_never_perturb_the_run() {
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     let profile = timeline.into_profile();
     assert_eq!(profile.makespan_s, bare.makespan.value());
+
+    // The critical-path profiler reproduces the run's totals exactly:
+    // its makespan is the summary's (bitwise), and its busy time/energy
+    // are the same event-order folds the event log performs.
+    let attribution = profiler.into_report();
+    assert_eq!(attribution.makespan_s.to_bits(), bare.makespan.0.to_bits());
+    assert_eq!(
+        attribution.total_busy_s.to_bits(),
+        log.busy_time().0.to_bits(),
+        "busy-time fold must match the event log bit-for-bit"
+    );
+    assert_eq!(
+        attribution.total_busy_energy_j.to_bits(),
+        log.busy_energy().0.to_bits(),
+        "busy-energy fold must match the event log bit-for-bit"
+    );
+    assert_eq!(attribution.graph_tasks, graph.len());
+    assert_eq!(attribution.path_len, graph.critical_path_len());
+    attribution
+        .check_consistency(1e-12)
+        .expect("attribution identities");
 }
 
 #[test]
@@ -130,4 +153,30 @@ fn study_reports_are_observer_neutral() {
         serde_json::to_string(&observed).unwrap(),
         "extra sinks must not change the report"
     );
+}
+
+#[test]
+fn profiled_study_is_observer_neutral_and_exact() {
+    use ugpc::{run_study, run_study_profiled, RunConfig};
+
+    let cfg = RunConfig::paper(PlatformId::Amd4A100, OpKind::Gemm, Precision::Double)
+        .scaled_down(6)
+        .with_records();
+    let plain = run_study(&cfg);
+    let profiled = run_study_profiled(&cfg, 5);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&profiled.report).unwrap(),
+        "the profiler must not change the report"
+    );
+    assert_eq!(
+        profiled.profile.makespan_s.to_bits(),
+        profiled.report.makespan_s.to_bits(),
+        "attributed makespan is the report's makespan, bitwise"
+    );
+    profiled
+        .profile
+        .check_consistency(1e-12)
+        .expect("attribution identities");
+    assert_eq!(profiled.profile.hot_tasks.len(), 5);
 }

@@ -188,6 +188,61 @@ proptest! {
         prop_assert!(trace.efficiency().as_gflops_per_watt() < 200.0);
     }
 
+    /// For any random access pattern, `critical_path` returns a real
+    /// dependency chain: consecutive tasks are predecessor-linked, ids
+    /// are strictly increasing (submission order is topological), its
+    /// length matches `critical_path_len`, and no longer chain exists.
+    #[test]
+    fn critical_path_is_a_maximal_dependency_chain(
+        accesses in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, 0u8..3), 1..4),
+            1..40,
+        ),
+    ) {
+        let mut g = TaskGraph::new();
+        for task_accesses in &accesses {
+            let mut t = TaskDesc::new(KernelKind::Gemm, Precision::Double, 4);
+            let mut seen = std::collections::HashSet::new();
+            for &(data, mode) in task_accesses {
+                if !seen.insert(data) {
+                    continue;
+                }
+                let mode = match mode {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    _ => AccessMode::ReadWrite,
+                };
+                t = t.access(data, mode);
+            }
+            g.submit(t);
+        }
+        let path = g.critical_path();
+        prop_assert_eq!(path.len(), g.critical_path_len());
+        prop_assert!(!path.is_empty(), "non-empty graph has a non-empty path");
+        for pair in path.windows(2) {
+            prop_assert!(pair[0] < pair[1], "submission order is topological");
+            prop_assert!(
+                g.predecessors(pair[1]).contains(&pair[0]),
+                "consecutive path tasks must be dependency-linked: {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Maximality: longest-path depths computed independently must
+        // never exceed the claimed path length.
+        let mut depth = vec![1usize; g.len()];
+        for t in 0..g.len() {
+            for &p in g.predecessors(t) {
+                depth[t] = depth[t].max(depth[p] + 1);
+            }
+        }
+        prop_assert_eq!(
+            depth.iter().copied().max().unwrap_or(0),
+            path.len(),
+            "critical path must be a longest chain"
+        );
+    }
+
     /// POTRF task-count formulas hold for arbitrary tile counts.
     #[test]
     fn potrf_formulas(nt in 1usize..15) {
