@@ -1,170 +1,46 @@
-//! Workspace source lint: forbid raw `f64` physical quantities.
+//! `ugpc-lint` — back-compat entry point for the PR-1 unit-hygiene scan.
 //!
-//! `ugpc_hwsim::units` provides `Watts`, `Joules`, `Secs`, `Bytes`,
-//! `Flops`, ... precisely so power/energy arithmetic cannot silently mix
-//! units. This scanner walks the workspace's library sources and flags
-//! declarations of the form `name: f64` whose `name` is a physical
-//! quantity — the pattern that reintroduces unit-unsafe arithmetic.
+//! The original line-scanner this binary shipped with has been folded
+//! into the multi-rule audit driver as the `raw-unit` rule (see
+//! `ugpc_analysis::lints`); this wrapper now runs exactly that one rule
+//! through the shared walker, keeping the old CLI contract (no flags,
+//! exit `0` clean / `1` findings / `2` I/O error) for scripts and CI
+//! configs that still call it. New checks belong in `ugpc-audit`.
 //!
-//! What is exempt, and why:
-//!
-//! * Names carrying an explicit unit suffix (`_j`, `_w`, `_s`, `_b`,
-//!   `_pct`, or a `gflops` rate) — the serialization-boundary idiom:
-//!   report rows and JSON exports are plain numbers by design, and the
-//!   suffix documents the unit where the type system no longer does.
-//! * Test modules (everything below a `#[cfg(test)]` line) and the
-//!   `tests/` and `benches/` directories — assertions on raw numbers are
-//!   fine.
-//! * `shims/` (vendored API surface of external crates) and generated
-//!   `target/` output.
-//! * Any line carrying a `lint:allow raw-unit` marker comment, for the
-//!   rare deliberate exception.
-//!
-//! Exit status: 0 clean, 1 findings, 2 usage/IO error. Run via
-//! `cargo run -p ugpc-analysis --bin ugpc-lint` (CI does).
+//! The shared walker also fixes a false negative the old scanner had:
+//! it stopped scanning a file at the first `#[cfg(test)]` attribute, so
+//! production code *after* a test module was never checked. The walker
+//! tracks test regions by brace depth instead.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// A `name: f64` declaration is suspicious when the name mentions one of
-/// these quantities...
-const UNIT_WORDS: &[&str] = &[
-    "watt", "joule", "byte", "secs", "second", "power", "energy", "flop",
-];
-
-/// ...unless it carries an explicit unit suffix (serialization idiom).
-const ALLOWED_SUFFIXES: &[&str] = &["_j", "_w", "_s", "_b", "_pct", "_ratio"];
-
-const ALLOW_MARKER: &str = "lint:allow raw-unit";
-
-struct SourceFinding {
-    file: PathBuf,
-    line: usize,
-    ident: String,
-}
-
-fn is_suspicious(ident: &str) -> bool {
-    let lower = ident.to_lowercase();
-    if !UNIT_WORDS.iter().any(|w| lower.contains(w)) {
-        return false;
-    }
-    if lower.contains("gflops") {
-        return false; // rate-per-watt report fields: gflops, gflops_w, ...
-    }
-    !ALLOWED_SUFFIXES.iter().any(|s| lower.ends_with(s))
-}
-
-/// Extract the identifier preceding a `:` at byte offset `colon`.
-fn ident_before(line: &str, colon: usize) -> Option<&str> {
-    let head = line[..colon].trim_end();
-    let start = head
-        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .map_or(0, |i| i + 1);
-    let ident = &head[start..];
-    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
-        .then_some(ident)
-}
-
-fn scan_file(path: &Path, out: &mut Vec<SourceFinding>) -> std::io::Result<()> {
-    let text = fs::read_to_string(path)?;
-    for (idx, line) in text.lines().enumerate() {
-        // Test modules sit below the library code in this codebase; stop
-        // scanning at the first test attribute (documented heuristic).
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        if line.contains(ALLOW_MARKER) {
-            continue;
-        }
-        let code = line.split("//").next().unwrap_or(line);
-        let mut from = 0;
-        while let Some(pos) = code[from..].find(": f64") {
-            let colon = from + pos;
-            if let Some(ident) = ident_before(code, colon) {
-                if is_suspicious(ident) {
-                    out.push(SourceFinding {
-                        file: path.to_path_buf(),
-                        line: idx + 1,
-                        ident: ident.to_string(),
-                    });
-                }
-            }
-            from = colon + 1;
-        }
-    }
-    Ok(())
-}
-
-fn walk(dir: &Path, out: &mut Vec<SourceFinding>) -> std::io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name.starts_with('.')
-                || name == "target"
-                || name == "shims"
-                || name == "tests"
-                || name == "benches"
-            {
-                continue;
-            }
-            walk(&path, out)?;
-        } else if name.ends_with(".rs") {
-            scan_file(&path, out)?;
-        }
-    }
-    Ok(())
-}
-
-/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo
-/// (this crate lives at `crates/analysis`), else the current directory.
-fn workspace_root() -> PathBuf {
-    std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .and_then(|p| p.ancestors().nth(2).map(Path::to_path_buf))
-        .unwrap_or_else(|| PathBuf::from("."))
-}
+use ugpc_analysis::lints::{self, units::RawUnitRule, Baseline, Rule};
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => workspace_root(),
-    };
-    if !root.is_dir() {
-        eprintln!("ugpc-lint: {} is not a directory", root.display());
-        return ExitCode::from(2);
-    }
+    // crates/analysis -> crates -> workspace root
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(manifest);
 
-    let mut findings = Vec::new();
-    // Library sources live under crates/ and the root package's src/.
-    for sub in ["crates", "src"] {
-        let dir = root.join(sub);
-        if dir.is_dir() {
-            if let Err(e) = walk(&dir, &mut findings) {
-                eprintln!("ugpc-lint: scanning {}: {e}", dir.display());
-                return ExitCode::from(2);
-            }
+    let files = match lints::walker::walk_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ugpc-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
         }
-    }
+    };
 
-    for f in &findings {
-        println!(
-            "{}:{}: raw f64 `{}` — use the ugpc_hwsim::units newtypes, add an \
-             explicit unit suffix (e.g. `_j`), or mark `{}`",
-            f.file.display(),
-            f.line,
-            f.ident,
-            ALLOW_MARKER,
-        );
-    }
-    if findings.is_empty() {
-        println!("ugpc-lint: unit hygiene clean under {}", root.display());
+    let rules: Vec<Box<dyn Rule>> = vec![Box::new(RawUnitRule)];
+    let report = lints::run_rules(&files, &rules, &Baseline::default());
+
+    print!("{}", report.render());
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("ugpc-lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }

@@ -14,9 +14,21 @@
 //! 2. **Parallelism report** ([`parallelism::analyze`]): work/span
 //!    summary of the DAG shape (critical path, max width, per-kind
 //!    counts), printed by `repro --validate` alongside the findings.
-//! 3. **Source lint** (`ugpc-lint` binary): scans the workspace for raw
-//!    `f64` declarations named after physical quantities where the
-//!    `ugpc_hwsim::units` newtypes should be used; part of the CI gate.
+//! 3. **Source audit** ([`lints`], `ugpc-audit` binary): a multi-rule
+//!    lint driver over a shared source walker — unit hygiene
+//!    (`raw-unit`), hash-order iteration guarding the byte-identical
+//!    reply/golden invariants (`hash-iteration`), lock guards held
+//!    across blocking calls (`lock-across-blocking`), and panic sites on
+//!    service/worker request paths (`panic-path`) — with `lint:allow`
+//!    markers, a committed baseline, and structured JSON findings; part
+//!    of the CI gate. The PR-1 `ugpc-lint` binary survives as a thin
+//!    wrapper running just the `raw-unit` rule.
+//! 4. **Protocol model checking** ([`model`]): explicit-state DFS
+//!    exploration of the serve layer's single-flight Condvar protocol
+//!    and bounded worker-pool backpressure, exhaustively checking
+//!    no-lost-wakeup, exactly-one-simulation-per-key,
+//!    drop-propagated-failure, and bounded-queue invariants over every
+//!    interleaving to bounded depth.
 //!
 //! The runtime's complementary *dynamic* checks (virtual-time
 //! monotonicity, replica coherence, memory accounting, energy
@@ -24,9 +36,13 @@
 //! this crate forwards.
 
 pub mod lint;
+pub mod lints;
+pub mod model;
 pub mod parallelism;
 pub mod reach;
 
 pub use lint::{lint, lint_with, Finding, FindingKind, Hazard, LintOptions, LintReport, Severity};
+pub use lints::{audit_workspace, AuditReport, SourceFinding};
+pub use model::{CheckOutcome, Checker};
 pub use parallelism::{analyze, KindCount, ParallelismReport};
 pub use reach::Reachability;

@@ -27,7 +27,7 @@
 use crate::parallelism::{analyze, ParallelismReport};
 use crate::reach::Reachability;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use ugpc_runtime::{DataId, DataRegistry, TaskGraph, TaskId};
 
 /// Which hazard a dependency edge enforces.
@@ -255,8 +255,11 @@ impl std::fmt::Display for LintReport {
 /// mirrors submit exactly, including its quirks: per-pair deduplication
 /// (first hazard recorded wins) and in-order processing of a task's
 /// access list when it names the same handle twice.
-fn expected_hazards(graph: &TaskGraph) -> HashMap<(TaskId, TaskId), (DataId, Hazard)> {
-    let mut expected: HashMap<(TaskId, TaskId), (DataId, Hazard)> = HashMap::new();
+/// Ordered map so the hazard pass below can iterate it straight into
+/// the findings list: the findings feed serialized reports, and hash
+/// order would make the same graph lint differently across processes.
+fn expected_hazards(graph: &TaskGraph) -> BTreeMap<(TaskId, TaskId), (DataId, Hazard)> {
+    let mut expected: BTreeMap<(TaskId, TaskId), (DataId, Hazard)> = BTreeMap::new();
     let mut last_writer: HashMap<DataId, TaskId> = HashMap::new();
     let mut readers_since_write: HashMap<DataId, Vec<TaskId>> = HashMap::new();
 
@@ -356,13 +359,13 @@ pub fn lint_with(graph: &TaskGraph, registry: &DataRegistry, opts: &LintOptions)
 
     // --- Hazard pass: expected vs actual edges -------------------------
     let expected = expected_hazards(graph);
-    let mut missing: Vec<(TaskId, TaskId, DataId, Hazard)> = expected
+    // BTreeMap iteration is already (from, to)-ordered — no post-sort.
+    let missing: Vec<(TaskId, TaskId, DataId, Hazard)> = expected
         .iter()
         .filter(|((from, _), _)| *from < n)
         .filter(|((from, to), _)| !graph.successors(*from).contains(to))
         .map(|(&(from, to), &(data, hazard))| (from, to, data, hazard))
         .collect();
-    missing.sort_unstable_by_key(|&(from, to, ..)| (from, to));
     for (from, to, data, hazard) in missing {
         let kind = if reach.has_path(graph, from, to) {
             FindingKind::MissingDirectEdge {
@@ -401,7 +404,10 @@ pub fn lint_with(graph: &TaskGraph, registry: &DataRegistry, opts: &LintOptions)
         }
     }
 
-    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    // Total deterministic order: severity (errors first), then the
+    // rendered finding — every field participates, so equal-severity
+    // findings cannot flip across runs or refactors of the passes above.
+    findings.sort_by_cached_key(|f| (std::cmp::Reverse(f.severity), f.to_string()));
     LintReport {
         findings,
         parallelism: analyze(graph),

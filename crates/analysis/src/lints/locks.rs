@@ -1,0 +1,218 @@
+//! `lock-across-blocking` — flag lock guards held across blocking calls.
+//!
+//! The serve layer's discipline is: a `Mutex`/`RwLock` guard protects
+//! in-memory state transitions and is dropped *before* any operation
+//! that can block indefinitely — socket writes, channel sends/receives,
+//! thread joins, sleeps. Holding a guard across such a call turns one
+//! slow peer into a service-wide convoy (every thread needing the lock
+//! parks behind a stalled `write_all`) and is the classic deadlock
+//! ingredient once two locks are involved. This is exactly the bug class
+//! the async/sharded serve rewrite would otherwise ship.
+//!
+//! Condvar waits are exempt: `Condvar::wait(guard)` *releases* the lock
+//! while parked — holding the guard at the call site is the protocol,
+//! not a bug.
+//!
+//! The rule tracks guards syntactically: a `let g = …lock()/.read()/
+//! .write()` (or a `lock_*` helper call) starts a guard scope; the guard
+//! dies at `drop(g)` or when brace depth falls below the acquisition
+//! depth. `match …lock() { … }` and `if let … = …lock()` scrutinees are
+//! tracked as anonymous guards for the match block — the scrutinee
+//! temporary lives to the end of the match, a fact easy to forget and
+//! the exact shape of the telemetry logger finding this rule surfaced.
+
+use super::walker::SourceFile;
+use super::{Rule, SourceFinding};
+use crate::lint::Severity;
+
+/// Method calls that yield a guard.
+const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Calls that may block indefinitely. `(pattern, needs_args)`: with
+/// `needs_args`, the match only counts if something follows the `(` —
+/// distinguishing `stream.write(buf)` (blocking I/O) from `rw.write()`
+/// (guard acquisition).
+const BLOCKING: &[(&str, bool)] = &[
+    (".write_all(", false),
+    (".flush()", false),
+    (".send(", true),
+    (".recv()", false),
+    (".recv_timeout(", true),
+    (".read_line(", true),
+    (".read_to_string(", true),
+    (".read_to_end(", true),
+    (".read_exact(", true),
+    (".write(", true),
+    (".accept()", false),
+    (".join()", false),
+    ("thread::sleep(", true),
+    ("TcpStream::connect(", true),
+];
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name; `None` for match/if-let scrutinee temporaries.
+    name: Option<String>,
+    /// Guard dies when depth drops below this.
+    depth: usize,
+    acquired_line: usize,
+}
+
+/// The ident bound by `let [mut] name = …` on this line, if any.
+/// Pattern bindings (`let Some(x) = …`, `let (a, b) = …`) return `None`
+/// — guards bound through patterns are rare and uppercase/tuple heads
+/// are not guard names.
+fn let_binding(code: &str) -> Option<String> {
+    let let_pos = code.find("let ")?;
+    if !code[let_pos..].contains('=') {
+        return None;
+    }
+    let after = code[let_pos + 4..].trim_start();
+    let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_'))
+    .then_some(name)
+}
+
+/// Does this line acquire a guard (method or `lock_*`/`*_lock` helper)?
+fn acquires(code: &str) -> bool {
+    if ACQUIRE.iter().any(|a| code.contains(a)) {
+        return true;
+    }
+    // Helper functions conventionally named around "lock":
+    // `lock_queue(…)`, `acquire_lock(…)`.
+    for (i, _) in code.match_indices("lock") {
+        let before_ok = i == 0 || {
+            let c = code.as_bytes()[i - 1];
+            !c.is_ascii_alphanumeric() && c != b'.' // `.lock()` handled above
+        };
+        let rest = &code[i + 4..];
+        let tail: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if before_ok && rest[tail.len()..].starts_with('(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// First blocking call on the line, ignoring condvar waits.
+fn blocking_call(code: &str) -> Option<&'static str> {
+    for (pat, needs_args) in BLOCKING {
+        if let Some(pos) = code.find(pat) {
+            if *needs_args {
+                let after = &code[pos + pat.len()..];
+                if after.trim_start().starts_with(')') {
+                    continue; // zero-arg: not the blocking variant
+                }
+            }
+            return Some(pat);
+        }
+    }
+    None
+}
+
+/// See the module docs.
+pub struct LockAcrossBlockingRule;
+
+impl Rule for LockAcrossBlockingRule {
+    fn id(&self) -> &'static str {
+        "lock-across-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "Mutex/RwLock guards held across blocking I/O, channel ops, sleeps, or joins"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<SourceFinding>) {
+        let mut depth: usize = 0;
+        let mut guards: Vec<Guard> = Vec::new();
+        for line in &file.lines {
+            let code = &line.code;
+            let exempt = line.in_test || line.allows(self.id());
+
+            // A statement that acquires AND blocks on the same line with
+            // no live guard is a temporary (`*m.x.lock() += 1`) — the
+            // guard dies at the `;`. Only multi-line holds are the bug,
+            // so acquisition is processed after the blocking check when
+            // no guard was previously live.
+            if !exempt && !guards.is_empty() && !code.contains(".wait(") {
+                if let Some(pat) = blocking_call(code) {
+                    // Age filter: a guard acquired on this very line is a
+                    // same-statement temporary unless it opened a block.
+                    if let Some(g) = guards.iter().find(|g| g.acquired_line < line.number) {
+                        let held = g.name.as_deref().unwrap_or("match/if-let scrutinee");
+                        out.push(SourceFinding {
+                            rule: self.id().to_string(),
+                            severity: Severity::Error,
+                            file: file.rel_path.clone(),
+                            line: line.number,
+                            ident: format!("{held}:{}", pat.trim_matches(['.', '('])),
+                            message: format!(
+                                "lock guard `{held}` (acquired line {}) held across blocking \
+                                 `{pat}` — drop the guard first, or justify with \
+                                 `lint:allow lock-across-blocking`",
+                                g.acquired_line
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // Explicit releases.
+            if let Some(pos) = code.find("drop(") {
+                let arg: String = code[pos + 5..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                guards.retain(|g| g.name.as_deref() != Some(arg.as_str()));
+            }
+
+            // New acquisitions (tracked even on exempt lines so scope
+            // bookkeeping stays correct; findings are what's exempted).
+            // A guard acquired at depth d dies when depth drops below d;
+            // a match/if-let scrutinee temporary lives for the block the
+            // line opens, so it registers one level deeper.
+            if acquires(code) {
+                let scrutinee = code.trim_start().starts_with("match ")
+                    || code.trim_start().starts_with("if let ")
+                    || code.trim_start().starts_with("while let ");
+                if scrutinee && code.contains('{') {
+                    guards.push(Guard {
+                        name: None,
+                        depth: depth + 1,
+                        acquired_line: line.number,
+                    });
+                } else if let Some(name) = let_binding(code) {
+                    guards.retain(|g| g.name.as_deref() != Some(name.as_str())); // shadowing
+                    guards.push(Guard {
+                        name: Some(name),
+                        depth,
+                        acquired_line: line.number,
+                    });
+                }
+            }
+
+            // Brace-depth scope tracking closes guards.
+            for ch in code.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| depth >= g.depth);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! `panic-path` — panic sites in service request-handling and
+//! worker-pool code.
+//!
+//! The workspace clippy gate already denies `unwrap_used` in libraries;
+//! this rule goes further on the paths where a panic becomes an outage
+//! rather than a crash report: the serve crate's request handling and
+//! the worker-pool/sweep-driver code that executes jobs. There,
+//! `expect`, `panic!`, `unreachable!`, and friends take down a
+//! connection or (worse) a pool worker — the pool contains per-job
+//! panics, but a panic in the pool machinery itself does not get that
+//! cover. Raw slice indexing is reported at warning tier: it panics on
+//! bad input too, but has many benign shapes.
+//!
+//! Startup-time panics (binding listeners, spawning threads before any
+//! request is accepted) are conventionally fine — those live in the
+//! committed baseline with their justification rather than being
+//! exempted wholesale, so a *new* expect on a request path still fails
+//! the gate.
+
+use super::walker::SourceFile;
+use super::{Rule, SourceFinding};
+use crate::lint::Severity;
+
+/// Panic calls reported at error tier: `(pattern, name)`.
+const PANICS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!(", "panic"),
+    ("unreachable!(", "unreachable"),
+    ("todo!(", "todo"),
+    ("unimplemented!(", "unimplemented"),
+    ("assert!(", "assert"),
+    ("assert_eq!(", "assert_eq"),
+];
+
+/// See the module docs.
+pub struct PanicPathRule;
+
+/// The request-handling and worker-pool paths in scope. Binaries
+/// (`src/bin/`) are operator CLIs where panicking on bad flags is fine.
+fn in_scope(rel_path: &str) -> bool {
+    (rel_path.starts_with("crates/serve/src/") && !rel_path.contains("/bin/"))
+        || rel_path == "crates/experiments/src/driver.rs"
+        || rel_path == "crates/runtime/src/worker.rs"
+}
+
+/// `ident[expr]` indexing (not attributes, types, or array literals):
+/// a `[` directly preceded by an identifier character or `)`. Full-range
+/// re-slices (`&xs[..]`) never panic and are skipped.
+fn has_indexing(code: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    (1..b.len()).find(|&i| {
+        b[i] == b'['
+            && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_' || b[i - 1] == b')')
+            && match code[i + 1..].find(']') {
+                Some(close) => code[i + 1..i + 1 + close].trim() != "..",
+                None => false, // same-line close (heuristic)
+            }
+    })
+}
+
+impl Rule for PanicPathRule {
+    fn id(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic/indexing in service request-handling and worker-pool paths"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        in_scope(rel_path)
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<SourceFinding>) {
+        for line in &file.lines {
+            if line.in_test || line.allows(self.id()) {
+                continue;
+            }
+            let code = &line.code;
+            // debug_assert compiles out in release; not a service panic.
+            let code = code.replace("debug_assert", "");
+            for (pat, name) in PANICS {
+                if let Some(pos) = code.find(pat) {
+                    // Context for the baseline key: the call plus its
+                    // first argument characters from the raw line.
+                    let raw_tail: String = line.raw[line.raw.find(pat).map_or(pos, |p| p)..]
+                        .chars()
+                        .take(pat.len() + 24)
+                        .collect();
+                    out.push(SourceFinding {
+                        rule: self.id().to_string(),
+                        severity: Severity::Error,
+                        file: file.rel_path.clone(),
+                        line: line.number,
+                        ident: raw_tail.trim().to_string(),
+                        message: format!(
+                            "`{name}` on a request/worker path — return a structured error \
+                             (the pool only contains panics inside jobs); baseline with a \
+                             justification if this is startup-only"
+                        ),
+                    });
+                }
+            }
+            if let Some(pos) = has_indexing(&code) {
+                let snippet: String = code[..pos]
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                out.push(SourceFinding {
+                    rule: self.id().to_string(),
+                    severity: Severity::Warning,
+                    file: file.rel_path.clone(),
+                    line: line.number,
+                    ident: format!("{snippet}[]"),
+                    message: "raw indexing panics on out-of-bounds input — prefer `.get()` \
+                              on request paths"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `raw-unit` — forbid raw `f64` physical quantities (the PR-1 scan).
+//!
+//! `ugpc_hwsim::units` provides `Watts`, `Joules`, `Secs`, `Bytes`,
+//! `Flops`, … precisely so power/energy arithmetic cannot silently mix
+//! units. This rule flags declarations of the form `name: f64` whose
+//! `name` is a physical quantity — the pattern that reintroduces
+//! unit-unsafe arithmetic.
+//!
+//! Exempt: names with an explicit unit suffix (`_j`, `_w`, `_s`, `_b`,
+//! `_pct`, `_ratio`, or a `gflops` rate) — the serialization-boundary
+//! idiom where report rows are plain numbers by design; test code (the
+//! walker's `in_test`); and `lint:allow raw-unit` lines.
+
+use super::walker::SourceFile;
+use super::{Rule, SourceFinding};
+use crate::lint::Severity;
+
+/// A `name: f64` declaration is suspicious when the name mentions one of
+/// these quantities...
+const UNIT_WORDS: &[&str] = &[
+    "watt", "joule", "byte", "secs", "second", "power", "energy", "flop",
+];
+
+/// ...unless it carries an explicit unit suffix (serialization idiom).
+const ALLOWED_SUFFIXES: &[&str] = &["_j", "_w", "_s", "_b", "_pct", "_ratio"];
+
+fn is_suspicious(ident: &str) -> bool {
+    let lower = ident.to_lowercase();
+    if !UNIT_WORDS.iter().any(|w| lower.contains(w)) {
+        return false;
+    }
+    if lower.contains("gflops") {
+        return false; // rate-per-watt report fields: gflops, gflops_w, ...
+    }
+    !ALLOWED_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+/// Extract the identifier preceding a `:` at byte offset `colon`.
+pub(crate) fn ident_before(line: &str, colon: usize) -> Option<&str> {
+    let head = line[..colon].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map_or(0, |i| i + 1);
+    let ident = &head[start..];
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+/// See the module docs.
+pub struct RawUnitRule;
+
+impl Rule for RawUnitRule {
+    fn id(&self) -> &'static str {
+        "raw-unit"
+    }
+
+    fn description(&self) -> &'static str {
+        "raw f64 declarations named after physical quantities (use ugpc_hwsim::units newtypes)"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<SourceFinding>) {
+        for line in &file.lines {
+            if line.in_test || line.allows(self.id()) {
+                continue;
+            }
+            let code = &line.code;
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(": f64") {
+                let colon = from + pos;
+                if let Some(ident) = ident_before(code, colon) {
+                    if is_suspicious(ident) {
+                        out.push(SourceFinding {
+                            rule: self.id().to_string(),
+                            severity: Severity::Error,
+                            file: file.rel_path.clone(),
+                            line: line.number,
+                            ident: ident.to_string(),
+                            message: format!(
+                                "raw f64 `{ident}` — use the ugpc_hwsim::units newtypes, add an \
+                                 explicit unit suffix (e.g. `_j`), or mark `lint:allow raw-unit`"
+                            ),
+                        });
+                    }
+                }
+                from = colon + 1;
+            }
+        }
+    }
+}

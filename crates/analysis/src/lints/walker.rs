@@ -1,0 +1,458 @@
+//! Shared source walker for the lint driver.
+//!
+//! Every [`Rule`](super::Rule) sees the same pre-processed view of a
+//! source file, so the per-rule logic stays about *patterns*, not about
+//! parsing: for each line the walker provides
+//!
+//! * `raw` — the original text (for messages and `lint:allow` markers);
+//! * `code` — the text with comments **and string/char literals
+//!   stripped**, so a rule matching `.unwrap()` is not fooled by a log
+//!   message that merely mentions it (and the rules' own pattern tables
+//!   do not flag themselves);
+//! * `in_test` — whether the line belongs to a `#[cfg(test)]` item or a
+//!   `mod tests { .. }` block. Unlike the old `ugpc-lint` scanner, which
+//!   stopped at the first `#[cfg(test)]` line it saw (exempting every
+//!   line *below* it, including production code after the test module —
+//!   the documented false negative), the walker tracks brace depth and
+//!   exempts exactly the attributed item, wherever the attribute sits:
+//!   on its own line, inline before `mod tests {`, or as `#[cfg(test)]
+//!   mod tests;`.
+//! * `allows` — the rule ids named by `lint:allow <rule> [<rule>…]`
+//!   marker comments on the line.
+//!
+//! The stripper is a line-oriented scanner, not a Rust parser: it
+//! understands `//` and nested `/* */` comments, regular and raw string
+//! literals (including multi-line ones), and char literals vs.
+//! lifetimes. That is enough for the workspace's rustfmt-shaped code;
+//! pathological token sequences are out of scope by design.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One pre-processed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Original text.
+    pub raw: String,
+    /// Text with comments and string/char literals removed.
+    pub code: String,
+    /// Inside a `#[cfg(test)]` item or `mod tests` block.
+    pub in_test: bool,
+    /// Rule ids exempted on this line via `lint:allow`.
+    pub allows: Vec<String>,
+}
+
+impl Line {
+    /// Whether `rule` is exempted on this line.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allows.iter().any(|a| a == rule)
+    }
+}
+
+/// A walked source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with `/` separators.
+    pub rel_path: String,
+    pub lines: Vec<Line>,
+}
+
+/// Carry-over lexer state between lines.
+#[derive(Debug, Default, Clone)]
+struct LexState {
+    /// Nesting depth of `/* */` comments (they nest in Rust).
+    block_comment: usize,
+    /// Inside a regular `"` string that did not close on its line.
+    in_string: bool,
+    /// Inside a raw string; the payload is the number of `#`s.
+    raw_string: Option<usize>,
+}
+
+/// Strip comments and string/char literals from one line, updating the
+/// carry-over state. Delimiters are kept (a string becomes `""`) so the
+/// surrounding expression structure survives for pattern matching.
+fn strip_line(raw: &str, st: &mut LexState) -> String {
+    let b = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < b.len() {
+        if st.block_comment > 0 {
+            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                st.block_comment -= 1;
+                i += 2;
+            } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                st.block_comment += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            if b[i] == b'\\' {
+                i += 2;
+            } else if b[i] == b'"' {
+                st.in_string = false;
+                out.push('"');
+                i += 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string {
+            if b[i] == b'"' && b[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes {
+                st.raw_string = None;
+                out.push('"');
+                i += 1 + hashes;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                st.block_comment += 1;
+                i += 2;
+            }
+            b'"' => {
+                st.in_string = true;
+                out.push('"');
+                i += 1;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let mut j = i + 1;
+                if b[j] == b'b' || b[j] == b'r' {
+                    // br"..." / rb"..." (only br is legal; be lenient)
+                    j += 1;
+                }
+                let hashes = b[j..].iter().take_while(|&&c| c == b'#').count();
+                st.raw_string = Some(hashes);
+                out.push('"');
+                i = j + hashes + 1; // past the opening quote
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(b, i) => {
+                st.in_string = true;
+                out.push('"');
+                i += 2;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with a `'`
+                // within a couple of chars (`'a'`, `'\n'`, `'\u{1F4A9}'`);
+                // a lifetime never closes.
+                if let Some(close) = char_literal_end(b, i) {
+                    out.push_str("' '");
+                    i = close + 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    if b[i] != b'r' || prev_is_ident(b, i) {
+        return false;
+    }
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'b' {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// If a char literal starts at `i`, return the index of its closing `'`.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: find the next unescaped quote within a short window
+        // (covers `'\u{10FFFF}'`).
+        (j + 1..b.len().min(j + 12)).find(|&k| b[k] == b'\'')
+    } else if j + 1 < b.len() && b[j + 1] == b'\'' && b[j] != b'\'' {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Parse `lint:allow rule-a rule-b` markers out of the raw line.
+fn parse_allows(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let rest = raw;
+    if let Some(pos) = rest.find("lint:allow") {
+        let rest = &rest[pos + "lint:allow".len()..];
+        for token in rest.split([' ', ',', '\t']) {
+            if token.is_empty() {
+                continue;
+            }
+            let id: String = token
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if id.is_empty() || !id.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+                break;
+            }
+            out.push(id);
+            // Only the first token after the marker is required; keep
+            // consuming ids until something that is not one.
+            if token.len() != out.last().map_or(0, String::len) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Whether this code line carries a test attribute (`#[cfg(test)]`,
+/// `#[cfg(all(test, ..))]`, `#[test]`).
+fn has_test_attr(code: &str) -> bool {
+    code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") || code.contains("#[test]")
+}
+
+/// Whether a `mod tests`-style declaration starts on this line (the
+/// conventional test-module names, attribute or not).
+fn has_test_mod(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("mod ") {
+        let before_ok = pos == 0
+            || !rest.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                && rest.as_bytes()[pos - 1] != b'_';
+        let name: String = rest[pos + 4..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if before_ok && (name == "tests" || name == "test") {
+            return true;
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+/// Load and pre-process one file.
+pub fn load_file(path: &Path, rel_path: String) -> std::io::Result<SourceFile> {
+    let text = fs::read_to_string(path)?;
+    Ok(preprocess(&text, rel_path))
+}
+
+/// Pre-process source text (exposed for tests and the proptest
+/// generators, which lint synthetic programs without touching disk).
+pub fn preprocess(text: &str, rel_path: String) -> SourceFile {
+    let mut st = LexState::default();
+    let mut lines = Vec::new();
+
+    // Test-region tracking over the stripped code: brace depth, plus an
+    // optional active region (exempt while depth > region depth) and a
+    // pending flag between the attribute/`mod tests` token and the `{`
+    // or `;` that starts/ends the item.
+    let mut depth: usize = 0;
+    let mut region: Option<usize> = None;
+    let mut pending = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_line(raw, &mut st);
+        let mut in_test = region.is_some() || pending;
+        if region.is_none() && (has_test_attr(&code) || has_test_mod(&code)) {
+            pending = true;
+            in_test = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        region = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region.is_some_and(|d| depth <= d) {
+                        region = None;
+                    }
+                }
+                ';' if pending && !code.contains('{') => {
+                    // `#[cfg(test)] mod tests;` — the item ends here.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        lines.push(Line {
+            number: idx + 1,
+            raw: raw.to_string(),
+            code,
+            in_test,
+            allows: parse_allows(raw),
+        });
+    }
+    SourceFile { rel_path, lines }
+}
+
+/// Directories never scanned: build output, vendored shims, test and
+/// bench sources (assertions on raw values and deliberate bad patterns
+/// are fine there), and hidden directories.
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.')
+        || name == "target"
+        || name == "shims"
+        || name == "tests"
+        || name == "benches"
+        || name == "fixtures"
+}
+
+fn walk_into(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    // Deterministic scan order regardless of filesystem enumeration.
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let name = name.unwrap_or_default();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk_into(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(load_file(&path, rel)?);
+        }
+    }
+    Ok(())
+}
+
+/// Walk an arbitrary directory tree (fixture trees in tests).
+pub fn walk_tree(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_into(root, root, &mut out)?;
+    Ok(out)
+}
+
+/// Walk the workspace's first-party sources: `crates/` and the root
+/// package's `src/`, relative paths anchored at `root`.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for sub in ["crates", "src"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_into(&dir, root, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> SourceFile {
+        preprocess(src, "x.rs".to_string())
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let f = pp("let x = \"a // not a comment\"; // real comment\nlet y = 1; /* gone */ let z;");
+        assert_eq!(f.lines[0].code, "let x = \"\"; ");
+        assert_eq!(f.lines[1].code, "let y = 1;  let z;");
+    }
+
+    #[test]
+    fn strips_multiline_and_raw_strings() {
+        let f = pp("let s = r#\"one \" two\n still in string .unwrap()\n end\"#;\nlet t = 2;");
+        assert!(!f.lines[1].code.contains("unwrap"), "{:?}", f.lines[1].code);
+        assert_eq!(f.lines[3].code, "let t = 2;");
+    }
+
+    #[test]
+    fn char_literals_stripped_lifetimes_kept() {
+        let f = pp("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        // The brace inside the char literal must not disturb depth.
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(!f.lines[0].code.contains("'{'"));
+    }
+
+    #[test]
+    fn cfg_test_region_ends_with_module() {
+        let src = "\
+fn prod_before() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn prod_after() {}
+";
+        let f = pp(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn inline_cfg_test_attribute_placement() {
+        // Attribute and mod on one line — and production code after it
+        // is scanned again (the old scanner's false negative).
+        let src = "\
+#[cfg(test)] mod tests { fn a() {} }
+fn prod_after() {}
+";
+        let f = pp(src);
+        assert!(f.lines[0].in_test);
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn cfg_test_out_of_line_module_file() {
+        let f = pp("#[cfg(test)]\nmod tests;\nfn prod() {}\n");
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn bare_mod_tests_is_exempt() {
+        let f = pp("mod tests {\n    fn t() {}\n}\nfn prod() {}\n");
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[3].in_test);
+    }
+
+    #[test]
+    fn test_attr_on_single_fn() {
+        let f = pp("#[test]\nfn check() {\n    boom();\n}\nfn prod() {}\n");
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn allow_markers_parse() {
+        let f = pp("let x = m.iter(); // lint:allow hash-iteration raw-unit\nlet y = 1;");
+        assert!(f.lines[0].allows("hash-iteration"));
+        assert!(f.lines[0].allows("raw-unit"));
+        assert!(!f.lines[1].allows("hash-iteration"));
+    }
+}

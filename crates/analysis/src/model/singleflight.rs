@@ -1,0 +1,389 @@
+//! Abstract model of the `ResultCache` single-flight protocol
+//! (`crates/serve/src/cache.rs`).
+//!
+//! One key, `threads` clients. The real protocol in terms of atomic
+//! steps (each step holds either the map mutex or the flight mutex,
+//! which is what makes it one transition here):
+//!
+//! * `begin`: under the map lock — `Ready` ⇒ hit; `Pending` ⇒ take a
+//!   handle on the flight; `Absent` ⇒ become leader, insert `Pending`.
+//! * leader `fulfill`/drop-`fail`: under the map lock, replace/remove
+//!   the pending entry (`…:map`); then under the flight lock, resolve
+//!   the slot and `notify_all` (`…:publish`). Two steps — the model
+//!   deliberately exposes the window between them, where a late
+//!   `begin` can hit the ready entry while waiters are still parked.
+//! * waiter `wait`: under the flight lock, check the slot and park in
+//!   one atomic step (`Condvar::wait` releases the lock only as it
+//!   parks); on wake, re-check in a loop (spurious wakeups allowed).
+//!
+//! Flights are numbered by *generation*: when a leader drop-fails, the
+//! key returns to `Absent` and the next `begin` starts generation
+//! `g+1` with a fresh slot — which is how the real cache lets a new
+//! leader retry after a failure while the failed flight's waiters all
+//! receive the error.
+//!
+//! Checked invariants:
+//! * **leader uniqueness** — at most one live leader; a `Pending` entry
+//!   has exactly one;
+//! * **no lost wakeup** — a thread parked on a resolved flight is a
+//!   violation (this is what [`buggy_wait`](SingleFlight::buggy_wait)
+//!   trips: it splits the check and the park into two steps, the
+//!   textbook non-atomic check-then-park);
+//! * **at most one successful simulation**, and exactly one simulation
+//!   total when leaders cannot fail;
+//! * **every client answered** — terminal states must have all threads
+//!   done (deadlock detection covers drop-propagated failure: if a
+//!   dead leader's waiters never woke, the checker reports the stuck
+//!   interleaving).
+
+use super::Model;
+
+/// Per-generation flight slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    Unresolved,
+    Resolved { ok: bool },
+}
+
+/// The cache map entry for the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entry {
+    Absent,
+    /// In flight, generation `g`.
+    Pending(u8),
+    /// Ready value produced by flight `g`.
+    Ready(u8),
+}
+
+/// One client thread's position in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Thread {
+    /// Has not called `begin` yet.
+    Start,
+    /// Holds the `LeadGuard` for flight `g`.
+    Lead(u8),
+    /// Finished the map phase of `finish` (`ok`?), publish pending.
+    MapDone(u8, bool),
+    /// Got `Begin::Wait`, has not locked the flight slot yet.
+    WaitEnter(u8),
+    /// Buggy variant only: observed an empty slot and *released the
+    /// lock* without parking — the lost-wakeup window.
+    Checked(u8),
+    /// Parked on flight `g`'s condvar.
+    Parked(u8),
+    /// Woken (notify or spurious); will re-check the slot.
+    Woken(u8),
+    /// Answered from the ready entry of flight `g`.
+    DoneHit(u8),
+    /// Led flight `g` to fulfillment (`true`) or failure (`false`).
+    DoneLed(u8, bool),
+    /// Waited on flight `g` and observed `ok`.
+    DoneWaited(u8, bool),
+}
+
+impl Thread {
+    fn done(&self) -> bool {
+        matches!(
+            self,
+            Thread::DoneHit(_) | Thread::DoneLed(..) | Thread::DoneWaited(..)
+        )
+    }
+}
+
+/// Global protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SfState {
+    pub entry: Entry,
+    /// Indexed by flight generation.
+    pub slots: Vec<Slot>,
+    pub threads: Vec<Thread>,
+    /// Simulations run (each fulfill or fail is one computed attempt).
+    pub sims: u8,
+}
+
+/// Model configuration. `threads` clients race on one key.
+pub struct SingleFlight {
+    pub threads: usize,
+    /// Explore the leader drop-failure branch (`LeadGuard` dropped
+    /// without `fulfill`).
+    pub leader_may_fail: bool,
+    /// Allow `Parked → Woken` without a notify (spurious wakeups), so
+    /// the re-check loop is exercised.
+    pub spurious_wakeups: bool,
+    /// Replace the atomic check-and-park with a two-step
+    /// check-then-park. The checker must find the lost wakeup.
+    pub buggy_wait: bool,
+}
+
+impl SingleFlight {
+    pub fn correct(threads: usize) -> Self {
+        SingleFlight {
+            threads,
+            leader_may_fail: true,
+            spurious_wakeups: true,
+            buggy_wait: false,
+        }
+    }
+}
+
+impl Model for SingleFlight {
+    type State = SfState;
+
+    fn initial(&self) -> SfState {
+        SfState {
+            entry: Entry::Absent,
+            slots: Vec::new(),
+            threads: vec![Thread::Start; self.threads],
+            sims: 0,
+        }
+    }
+
+    fn transitions(&self, s: &SfState) -> Vec<(String, SfState)> {
+        let mut out = Vec::new();
+        let slot = |s: &SfState, g: u8| s.slots[g as usize];
+        for (i, t) in s.threads.iter().enumerate() {
+            let mut step = |label: &str, f: &dyn Fn(&mut SfState)| {
+                let mut n = s.clone();
+                f(&mut n);
+                out.push((format!("t{i}:{label}"), n));
+            };
+            match *t {
+                Thread::Start => match s.entry {
+                    Entry::Ready(g) => step("begin:hit", &|n| {
+                        n.threads[i] = Thread::DoneHit(g);
+                    }),
+                    Entry::Pending(g) => step("begin:wait", &|n| {
+                        n.threads[i] = Thread::WaitEnter(g);
+                    }),
+                    Entry::Absent => step("begin:lead", &|n| {
+                        let g = n.slots.len() as u8;
+                        n.slots.push(Slot::Unresolved);
+                        n.entry = Entry::Pending(g);
+                        n.threads[i] = Thread::Lead(g);
+                    }),
+                },
+                Thread::Lead(g) => {
+                    step("fulfill:map", &|n| {
+                        n.entry = Entry::Ready(g);
+                        n.sims += 1;
+                        n.threads[i] = Thread::MapDone(g, true);
+                    });
+                    if self.leader_may_fail {
+                        step("fail:map", &|n| {
+                            n.entry = Entry::Absent;
+                            n.sims += 1;
+                            n.threads[i] = Thread::MapDone(g, false);
+                        });
+                    }
+                }
+                Thread::MapDone(g, ok) => step("publish", &|n| {
+                    n.slots[g as usize] = Slot::Resolved { ok };
+                    for t in n.threads.iter_mut() {
+                        if *t == Thread::Parked(g) {
+                            *t = Thread::Woken(g);
+                        }
+                    }
+                    n.threads[i] = Thread::DoneLed(g, ok);
+                }),
+                Thread::WaitEnter(g) => match slot(s, g) {
+                    Slot::Resolved { ok } => step("wait:resolved", &|n| {
+                        n.threads[i] = Thread::DoneWaited(g, ok);
+                    }),
+                    Slot::Unresolved if self.buggy_wait => step("wait:check-empty", &|n| {
+                        n.threads[i] = Thread::Checked(g);
+                    }),
+                    Slot::Unresolved => step("wait:park", &|n| {
+                        n.threads[i] = Thread::Parked(g);
+                    }),
+                },
+                Thread::Checked(g) => step("wait:park", &|n| {
+                    n.threads[i] = Thread::Parked(g);
+                }),
+                Thread::Parked(g) => {
+                    if self.spurious_wakeups {
+                        step("spurious", &|n| {
+                            n.threads[i] = Thread::Woken(g);
+                        });
+                    }
+                }
+                Thread::Woken(g) => match slot(s, g) {
+                    Slot::Resolved { ok } => step("wake:resolved", &|n| {
+                        n.threads[i] = Thread::DoneWaited(g, ok);
+                    }),
+                    Slot::Unresolved => step("wake:repark", &|n| {
+                        n.threads[i] = Thread::Parked(g);
+                    }),
+                },
+                Thread::DoneHit(_) | Thread::DoneLed(..) | Thread::DoneWaited(..) => {}
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &SfState) -> Result<(), String> {
+        // Leader uniqueness: at most one thread holds the pending map
+        // entry. (A thread in `MapDone` has already surrendered the
+        // entry — a *new* leader may legally start a fresh flight while
+        // the failed one is still publishing its error.)
+        let leaders = s
+            .threads
+            .iter()
+            .filter(|t| matches!(t, Thread::Lead(_)))
+            .count();
+        if leaders > 1 {
+            return Err(format!("{leaders} simultaneous leaders for one key"));
+        }
+        if let Entry::Pending(g) = s.entry {
+            let owner = s
+                .threads
+                .iter()
+                .filter(|t| matches!(t, Thread::Lead(h) if *h == g))
+                .count();
+            if owner != 1 {
+                return Err(format!(
+                    "pending entry for flight {g} has {owner} owners (want exactly 1)"
+                ));
+            }
+        }
+        // No lost wakeup: parked on a resolved flight means the notify
+        // that should have woken this thread already happened.
+        for (i, t) in s.threads.iter().enumerate() {
+            if let Thread::Parked(g) = t {
+                if matches!(s.slots[*g as usize], Slot::Resolved { .. }) {
+                    return Err(format!(
+                        "lost wakeup: t{i} parked on flight {g} after it resolved"
+                    ));
+                }
+            }
+        }
+        // At most one simulation can succeed; without failures, exactly
+        // one simulation runs no matter the interleaving.
+        let successes = s
+            .threads
+            .iter()
+            .filter(|t| matches!(t, Thread::MapDone(_, true) | Thread::DoneLed(_, true)))
+            .count();
+        if successes > 1 {
+            return Err(format!("{successes} successful simulations for one key"));
+        }
+        if !self.leader_may_fail && s.sims > 1 {
+            return Err(format!(
+                "{} simulations for one key with no leader failures (want exactly 1)",
+                s.sims
+            ));
+        }
+        // Divergence: a ready entry must come from a fulfilled flight.
+        if let Entry::Ready(g) = s.entry {
+            let owner_ok = s.threads.iter().any(
+                |t| matches!(t, Thread::MapDone(h, true) | Thread::DoneLed(h, true) if *h == g),
+            );
+            if !owner_ok {
+                return Err(format!(
+                    "ready entry from flight {g} that no leader fulfilled"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_expected_terminal(&self, s: &SfState) -> bool {
+        s.threads.iter().all(Thread::done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accepts_trace, Checker};
+
+    #[test]
+    fn correct_protocol_verifies_exhaustively() {
+        let model = SingleFlight::correct(3);
+        let out = Checker::default().run(&model);
+        assert!(
+            out.verified(),
+            "single-flight violated: {:?}",
+            out.violation
+        );
+        // Exhaustive and non-trivial: thousands of interleavings.
+        assert!(out.states > 100, "only {} states", out.states);
+        assert!(out.terminals >= 1);
+    }
+
+    #[test]
+    fn no_failure_means_exactly_one_simulation() {
+        let model = SingleFlight {
+            threads: 3,
+            leader_may_fail: false,
+            spurious_wakeups: true,
+            buggy_wait: false,
+        };
+        let out = Checker::default().run(&model);
+        assert!(out.verified(), "{:?}", out.violation);
+    }
+
+    #[test]
+    fn buggy_wait_loses_a_wakeup() {
+        let model = SingleFlight {
+            threads: 2,
+            leader_may_fail: false,
+            spurious_wakeups: false,
+            buggy_wait: true,
+        };
+        let out = Checker::default().run(&model);
+        let v = out.violation.expect("checker must catch the lost wakeup");
+        assert!(
+            v.message.contains("lost wakeup") || v.message.contains("deadlock"),
+            "unexpected violation: {}",
+            v.message
+        );
+        // The witness trace shows the bug shape: check-empty, then the
+        // publish slips in, then the doomed park.
+        let trace = v.trace.join(" ");
+        assert!(trace.contains("wait:check-empty"), "{trace}");
+    }
+
+    #[test]
+    fn real_scenarios_are_accepted() {
+        let model = SingleFlight::correct(3);
+        // Leader computes, waiter coalesces, late client hits.
+        accepts_trace(
+            &model,
+            &[
+                "t0:begin:lead",
+                "t1:begin:wait",
+                "t1:wait:park",
+                "t0:fulfill:map",
+                "t2:begin:hit",
+                "t0:publish",
+                "t1:wake:resolved",
+            ],
+        )
+        .expect("legal single-flight run rejected");
+        // Leader drop-fails; waiter sees the error; a new leader retries.
+        accepts_trace(
+            &model,
+            &[
+                "t0:begin:lead",
+                "t1:begin:wait",
+                "t0:fail:map",
+                "t0:publish",
+                "t1:wait:resolved",
+                "t2:begin:lead",
+            ],
+        )
+        .expect("drop-propagated failure run rejected");
+    }
+
+    #[test]
+    fn impossible_scenarios_are_rejected() {
+        let model = SingleFlight::correct(2);
+        // Two concurrent leaders for one key can never happen.
+        assert_eq!(
+            accepts_trace(&model, &["t0:begin:lead", "t1:begin:lead"]),
+            Err(1)
+        );
+        // A hit before anything was computed can never happen.
+        assert_eq!(accepts_trace(&model, &["t0:begin:hit"]), Err(0));
+    }
+}

@@ -1,0 +1,11 @@
+//! raw-unit fixture: raw `f64` physical quantities without unit
+//! suffixes. Never compiled — walked by the audit driver tests.
+
+pub struct CapState {
+    pub power: f64,
+    pub energy_j: f64,
+}
+
+pub fn apply_cap(cap_watts: f64) -> f64 {
+    cap_watts
+}

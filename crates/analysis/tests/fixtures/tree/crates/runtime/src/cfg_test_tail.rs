@@ -1,0 +1,30 @@
+//! Regression fixture for the PR-1 `ugpc-lint` false negative: the old
+//! scanner treated everything after the first `#[cfg(test)]` as test
+//! code, so real code *below* a test module was never scanned. The
+//! walker tracks brace depth: only the module itself is exempt.
+
+use std::collections::HashMap;
+
+pub fn head_count() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_inside() {
+        let power: f64 = 1.0;
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        for x in m.iter() {
+            let _ = (x, power);
+        }
+        assert!(head_count() == 1);
+    }
+}
+
+pub fn tail_energy(total_energy: f64) -> f64 {
+    total_energy
+}

@@ -1,0 +1,15 @@
+//! Ordered-container fixture: BTreeMap iteration and sorted-Vec
+//! consumption must never be flagged by the determinism rule.
+
+use std::collections::BTreeMap;
+
+pub fn render(rows: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    let mut pairs: Vec<(&String, &u64)> = rows.iter().collect();
+    pairs.sort();
+    out.push_str(&format!("n={}", pairs.len()));
+    out
+}

@@ -1,0 +1,16 @@
+//! hash-iteration fixture: a HashMap iterated straight into rendered
+//! output (the order leak), plus a justified order-free consumer.
+
+use std::collections::HashMap;
+
+pub fn summarize(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum() // lint:allow hash-iteration — integer sum, order-free
+}

@@ -1,0 +1,7 @@
+//! panic-path fixture: a panic and a raw index on a request path.
+
+pub fn handle(req: &str) -> String {
+    let n: usize = req.trim().parse().unwrap();
+    let parts: Vec<&str> = req.split(',').collect();
+    format!("{}:{}", n, parts[0])
+}

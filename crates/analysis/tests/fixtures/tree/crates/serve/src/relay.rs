@@ -1,0 +1,14 @@
+//! lock-across-blocking fixture: a guard held across socket I/O.
+
+use std::io::Write;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub fn relay(state: &Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) -> std::io::Result<()> {
+    let buf = lock_buf(state);
+    stream.write_all(&buf)?;
+    Ok(())
+}
+
+fn lock_buf(m: &Mutex<Vec<u8>>) -> MutexGuard<'_, Vec<u8>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -185,6 +185,37 @@ fn duplicate_access_is_informational() {
 }
 
 #[test]
+fn findings_are_totally_ordered_for_serialization() {
+    // Corrupt a POTRF enough to produce several findings of mixed
+    // severities; the report must come out in the documented total
+    // order — severity (errors first), then the rendered finding text —
+    // so the serialized report is byte-identical across processes
+    // regardless of internal map iteration order.
+    let mut reg = DataRegistry::new();
+    let mut op = build_potrf(8, 64, Precision::Double, &mut reg);
+    let victims: Vec<_> = op.graph.successors(0).to_vec();
+    for v in victims {
+        assert!(op.graph.remove_edge(0, v));
+    }
+    let report = lint(&op.graph, &reg);
+    assert!(
+        report.findings.len() >= 2,
+        "need several findings to pin an order"
+    );
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (std::cmp::Reverse(f.severity), f.to_string()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be emitted pre-sorted");
+    // Two independent runs over the same graph render identically.
+    let again = lint(&op.graph, &reg);
+    assert_eq!(report.to_string(), again.to_string());
+}
+
+#[test]
 fn report_serializes_to_json() {
     let mut reg = DataRegistry::new();
     let op = build_potrf(4, 64, Precision::Double, &mut reg);

@@ -1,6 +1,6 @@
-//! Property tests for the graph linter.
+//! Property tests for the graph linter and the source-audit rules.
 //!
-//! Two properties over randomly generated submission sequences:
+//! Properties over randomly generated submission sequences:
 //!
 //! 1. **Equivalence** — any graph produced purely by `TaskGraph::submit`
 //!    lints clean: the linter's independently re-derived hazard set
@@ -10,10 +10,21 @@
 //!    is always flagged, and the severity matches ground truth computed
 //!    by an independent BFS in this file: `Error` (race) when no other
 //!    path orders the pair, `Warning` otherwise.
+//!
+//! Plus, over randomly generated source programs:
+//!
+//! 3. **Determinism-rule soundness on ordered containers** — the
+//!    `hash-iteration` audit rule never flags `BTreeMap`/`BTreeSet` or
+//!    sorted-`Vec` iteration (switching to an ordered container IS the
+//!    canonical fix, so it must always lint clean), while the same
+//!    program shapes over `HashMap`/`HashSet` are always flagged.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+use ugpc_analysis::lints::determinism::HashIterationRule;
+use ugpc_analysis::lints::walker::preprocess;
+use ugpc_analysis::lints::Rule;
 use ugpc_analysis::{lint, FindingKind, Severity};
 use ugpc_hwsim::{Bytes, Precision};
 use ugpc_runtime::{AccessMode, DataRegistry, KernelKind, TaskDesc, TaskGraph};
@@ -75,6 +86,113 @@ fn all_edges(g: &TaskGraph) -> Vec<(usize, usize)> {
     (0..g.len())
         .flat_map(|u| g.successors(u).iter().map(move |&v| (u, v)))
         .collect()
+}
+
+/// Binding names the generated programs draw from — including short and
+/// suffix-shaped ones to stress the rule's word-boundary handling.
+const NAMES: &[&str] = &["counts", "rows", "m", "by_key", "cache_map", "x2"];
+
+/// Iteration spellings the rule recognizes.
+const METHODS: &[&str] = &[".iter()", ".keys()", ".values()", ".into_iter()"];
+
+/// A tiny program iterating `name` declared as `container`, either as a
+/// struct field (`s.name.iter()`) or a local binding, with an optional
+/// `for` loop instead of a method call.
+fn gen_program(
+    name: &str,
+    container: &str,
+    method: &str,
+    via_field: bool,
+    for_loop: bool,
+) -> String {
+    let generics = if container.ends_with("Map") {
+        "<u32, u32>"
+    } else {
+        "<u32>"
+    };
+    let consume = if for_loop {
+        format!(
+            "let mut acc = 0u32;\n    for v in {0}{method} {{ acc += 1; let _ = v; }}\n    acc",
+            "IT"
+        )
+    } else {
+        format!("{0}{method}.count() as u32", "IT")
+    };
+    if via_field {
+        let consume = consume.replace("IT", &format!("s.{name}"));
+        format!(
+            "use std::collections::*;\npub struct S {{\n    pub {name}: {container}{generics},\n}}\npub fn f(s: &S) -> u32 {{\n    {consume}\n}}\n"
+        )
+    } else {
+        let consume = consume.replace("IT", name);
+        format!(
+            "use std::collections::*;\npub fn f() -> u32 {{\n    let mut {name}: {container}{generics} = {container}::new();\n    {consume}\n}}\n"
+        )
+    }
+}
+
+fn hash_iteration_findings(text: &str) -> Vec<ugpc_analysis::SourceFinding> {
+    let file = preprocess(text, "crates/gen/src/gen.rs".to_string());
+    let mut out = Vec::new();
+    HashIterationRule.check_file(&file, &mut out);
+    out
+}
+
+proptest! {
+    #[test]
+    fn hash_iteration_never_flags_ordered_containers(
+        name_i in 0usize..NAMES.len(),
+        method_i in 0usize..METHODS.len(),
+        set_not_map in proptest::bool::ANY,
+        via_field in proptest::bool::ANY,
+        for_loop in proptest::bool::ANY,
+    ) {
+        let container = if set_not_map { "BTreeSet" } else { "BTreeMap" };
+        let text = gen_program(NAMES[name_i], container, METHODS[method_i], via_field, for_loop);
+        let findings = hash_iteration_findings(&text);
+        prop_assert!(
+            findings.is_empty(),
+            "ordered container flagged in:\n{}\nfindings: {:?}",
+            text,
+            findings
+        );
+    }
+
+    #[test]
+    fn hash_iteration_never_flags_sorted_vecs(
+        name_i in 0usize..NAMES.len(),
+        method_i in 0usize..METHODS.len(),
+    ) {
+        let name = NAMES[name_i];
+        let text = format!(
+            "pub fn f(input: &[u32]) -> u32 {{\n    let mut {name}: Vec<u32> = input.to_vec();\n    {name}.sort();\n    {name}{} .count() as u32\n}}\n",
+            METHODS[method_i],
+        );
+        let findings = hash_iteration_findings(&text);
+        prop_assert!(findings.is_empty(), "sorted Vec flagged in:\n{text}");
+    }
+
+    /// The complement keeps the generator honest: the same shapes over
+    /// hash containers must always produce exactly one finding naming
+    /// the binding.
+    #[test]
+    fn hash_iteration_always_flags_hash_containers(
+        name_i in 0usize..NAMES.len(),
+        method_i in 0usize..METHODS.len(),
+        set_not_map in proptest::bool::ANY,
+        via_field in proptest::bool::ANY,
+        for_loop in proptest::bool::ANY,
+    ) {
+        let container = if set_not_map { "HashSet" } else { "HashMap" };
+        let text = gen_program(NAMES[name_i], container, METHODS[method_i], via_field, for_loop);
+        let findings = hash_iteration_findings(&text);
+        prop_assert_eq!(
+            findings.len(), 1,
+            "expected exactly one finding in:\n{}\ngot: {:?}", text, &findings
+        );
+        prop_assert_eq!(findings[0].ident.as_str(), NAMES[name_i]);
+        prop_assert_eq!(findings[0].rule.as_str(), "hash-iteration");
+    }
 }
 
 proptest! {

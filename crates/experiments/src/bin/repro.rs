@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
+//! repro [--validate] [--audit] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
 //! repro --serve [ADDR]
 //! repro --trace-out DIR [--scale K]
 //! ```
@@ -23,6 +23,10 @@
 //! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
 //! plus a parallelism report) before anything else and fails the run on
 //! errors; alone, it runs only the validation.
+//! `--audit` runs the `ugpc-audit` source rules over the workspace
+//! (same gate as CI: fails on non-baselined error-tier findings);
+//! combines with `--validate` and, like it, runs alone if no
+//! experiments are named.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +37,7 @@ struct Args {
     scale: usize,
     json_dir: Option<PathBuf>,
     validate: bool,
+    audit: bool,
     serve: Option<String>,
     trace_out: Option<PathBuf>,
     experiments: Vec<String>,
@@ -63,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 1,
         json_dir: None,
         validate: false,
+        audit: false,
         serve: None,
         trace_out: None,
         experiments: Vec::new(),
@@ -90,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
                 args.json_dir = Some(PathBuf::from(v));
             }
             "--validate" => args.validate = true,
+            "--audit" => args.audit = true,
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a directory")?;
                 args.trace_out = Some(PathBuf::from(v));
@@ -113,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
+                    "usage: repro [--validate] [--audit] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -123,11 +130,12 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    // `repro --validate` alone runs only the validation; `--serve` and
-    // `--trace-out` never run experiments; everything else keeps the
-    // run-all default.
+    // `repro --validate` / `--audit` alone run only those checks;
+    // `--serve` and `--trace-out` never run experiments; everything
+    // else keeps the run-all default.
     if args.experiments.is_empty()
         && !args.validate
+        && !args.audit
         && args.serve.is_none()
         && args.trace_out.is_none()
     {
@@ -278,6 +286,31 @@ fn validate_graphs() -> bool {
     clean
 }
 
+/// Run the `ugpc-audit` source rules over the workspace with the
+/// committed baseline — the same gate CI's `audit` leg enforces.
+fn audit_sources() -> bool {
+    let root = match std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("error: cannot locate the workspace root");
+            return false;
+        }
+    };
+    match ugpc_analysis::audit_workspace(root) {
+        Ok(report) => {
+            print!("[audit] {}", report.render());
+            report.is_clean()
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -297,6 +330,11 @@ fn main() -> ExitCode {
 
     if args.validate && !validate_graphs() {
         eprintln!("error: task-graph validation failed");
+        return ExitCode::FAILURE;
+    }
+
+    if args.audit && !audit_sources() {
+        eprintln!("error: source audit failed");
         return ExitCode::FAILURE;
     }
 

@@ -120,7 +120,9 @@ where
             scope.spawn(move || {
                 IN_POOL.with(|c| c.set(true));
                 while let Some((i, item)) = find_job(&local, injector, stealers) {
-                    *lock_slot(&slots[i]) = Some(f(item));
+                    // `i` is the enumerate index of a job pushed above;
+                    // `slots` was built with one entry per job.
+                    *lock_slot(&slots[i]) = Some(f(item)); // lint:allow panic-path
                 }
             });
         }

@@ -126,11 +126,16 @@ impl GpuMemory {
     pub fn make_room(&mut self, incoming: Bytes, reg: &DataRegistry) -> Vec<(DataId, bool)> {
         let mut out = Vec::new();
         while self.used + incoming > self.capacity {
+            // `last_use` ticks are unique today (one per touch), but the
+            // id tie-break keeps victim selection independent of the
+            // map's iteration order even if that ever changes — eviction
+            // order feeds the simulated transfer schedule, which must be
+            // bit-stable across runs.
             let victim = self
                 .resident
                 .iter()
                 .filter(|(_, e)| e.pins == 0)
-                .min_by_key(|(_, e)| e.last_use)
+                .min_by_key(|&(&id, e)| (e.last_use, id))
                 .map(|(&id, _)| id);
             let Some(id) = victim else {
                 self.over_subscribed = true;
@@ -154,7 +159,9 @@ impl GpuMemory {
     /// Compiles to nothing without the `sanitize` feature.
     #[cfg(feature = "sanitize")]
     fn assert_accounting(&self) {
-        let sum: Bytes = self.resident.values().map(|e| e.bytes).sum();
+        // Order-dependent float sum, but it only feeds a tolerance
+        // check — never the simulation or any serialized output.
+        let sum: Bytes = self.resident.values().map(|e| e.bytes).sum(); // lint:allow hash-iteration
         let drift = (sum - self.used).abs();
         assert!(
             drift <= Bytes(1e-6) + sum * 1e-12,

@@ -142,18 +142,31 @@ impl WorkerPool {
 
     /// Finish queued jobs, then stop and join every worker.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        signal_stop(&self.shared);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+/// Store `stop` *while holding the queue mutex*, then notify. The lock
+/// makes the store atomic against the workers' check-then-wait: without
+/// it, the store + `notify_all` can land between a worker observing
+/// `stop == false` and it actually parking, and that worker sleeps
+/// through shutdown forever. The `backpressure` protocol model
+/// (`ugpc-analysis`, `buggy_signal` variant) finds exactly this
+/// interleaving; `crates/serve/tests/protocol_model.rs` pins the fix.
+fn signal_stop(shared: &Shared) {
+    {
+        let _queue = lock_queue(shared);
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+    shared.available.notify_all();
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        signal_stop(&self.shared);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }

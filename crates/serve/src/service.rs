@@ -216,18 +216,46 @@ impl Service {
                 out
             }
             Begin::Lead(guard) => {
+                // Re-registering the same key while we hold the lead
+                // guard coalesces onto our own flight. The other two
+                // arms are unreachable under the single-flight protocol
+                // (the model checker verifies the pending entry has
+                // exactly one owner), but a panic here would take down
+                // the connection handler — degrade to a structured
+                // reply instead.
                 let flight = match self.cache.begin(guard.key()) {
-                    // Re-registering the same key while we hold the lead
-                    // guard always coalesces onto our own flight.
-                    Begin::Wait(f) => f,
-                    _ => unreachable!("leader's key is pending until the guard resolves"),
+                    Begin::Wait(f) => {
+                        // Our own wait on our own flight is bookkeeping,
+                        // not a coalesced request; undo the counter bump.
+                        self.cache
+                            .counters
+                            .coalesced
+                            .fetch_sub(1, Ordering::Relaxed);
+                        f
+                    }
+                    Begin::Hit(line) => {
+                        self.logger.error(
+                            "single-flight invariant broken: leader's key already ready",
+                            Some(ctx),
+                            &[],
+                        );
+                        self.metrics.run_hit.record(t0.elapsed());
+                        return line.to_string();
+                    }
+                    Begin::Lead(extra) => {
+                        extra.fail("single-flight invariant broken".to_string());
+                        self.logger.error(
+                            "single-flight invariant broken: leader's key not pending",
+                            Some(ctx),
+                            &[],
+                        );
+                        return encode(&Response::Error(ErrorReply::new(
+                            error_code::INTERNAL,
+                            "single-flight bookkeeping lost this request's key; please retry"
+                                .to_string(),
+                        )));
+                    }
                 };
-                // Our own wait on our own flight is bookkeeping, not a
-                // coalesced request; undo the counter bump.
-                self.cache
-                    .counters
-                    .coalesced
-                    .fetch_sub(1, Ordering::Relaxed);
                 self.logger
                     .debug("cache miss, leading simulation", Some(ctx), &[]);
                 let job_run = run.clone();

@@ -1,0 +1,221 @@
+//! Transition-labeling tests: tie the *real* `ResultCache` single-flight
+//! and `WorkerPool` backpressure implementations to their abstract
+//! models in `ugpc_analysis::model`.
+//!
+//! Each test drives the real implementation through a concrete schedule,
+//! asserting at every step that the implementation does what the
+//! corresponding model transition says (leader election, coalescing,
+//! hit-after-publish, rejection at capacity, drain-before-stop). The
+//! observed schedule is recorded as a model label trace and replayed
+//! with `accepts_trace`: the run we just executed for real must be a
+//! path of the verified state machine. A schedule the model rejects that
+//! the implementation permits (or vice versa) fails here — which is what
+//! keeps the model honest as the implementation evolves.
+//!
+//! The last test pins the `signal_stop` fix: the model's `buggy_signal`
+//! variant (stop stored without the queue mutex) deadlocks in the
+//! checker, and the real pool must survive the park/shutdown race the
+//! checker's witness trace describes.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use ugpc_analysis::model::backpressure::Backpressure;
+use ugpc_analysis::model::singleflight::SingleFlight;
+use ugpc_analysis::model::{accepts_trace, Checker};
+use ugpc_core::CacheKey;
+use ugpc_serve::cache::{Begin, ResultCache};
+use ugpc_serve::pool::WorkerPool;
+
+/// Unpack `begin` into the role the model names, failing loudly on a
+/// protocol divergence.
+macro_rules! expect_begin {
+    ($cache:expr, $key:expr, $variant:path) => {
+        match $cache.begin($key) {
+            $variant(x) => x,
+            _ => panic!(
+                "real cache diverged from the model: expected {}",
+                stringify!($variant)
+            ),
+        }
+    };
+}
+
+#[test]
+fn single_flight_success_run_is_a_model_path() {
+    let cache = ResultCache::new(8);
+    let key = CacheKey(0xfeed);
+    let mut trace: Vec<&str> = Vec::new();
+
+    // t0 arrives first: the model says Absent ⇒ lead.
+    let guard = expect_begin!(cache, key, Begin::Lead);
+    trace.push("t0:begin:lead");
+
+    // t1 arrives while pending: Pending ⇒ wait handle, no second leader.
+    let flight = expect_begin!(cache, key, Begin::Wait);
+    trace.push("t1:begin:wait");
+
+    // t0 publishes. The real `finish` is the model's two steps — the
+    // map swap, then the slot resolve + notify — back to back.
+    let payload: Arc<str> = Arc::from("{\"reply\":\"ok\"}");
+    guard.fulfill(payload.clone());
+    trace.push("t0:fulfill:map");
+    trace.push("t0:publish");
+
+    // t2 arrives late: Ready ⇒ hit, byte-identical to the leader's
+    // payload (the no-reply-divergence invariant).
+    let hit = expect_begin!(cache, key, Begin::Hit);
+    trace.push("t2:begin:hit");
+    assert_eq!(&*hit, &*payload, "hit diverged from the leader's reply");
+
+    // t1's wait finds the slot resolved — no park needed.
+    let waited = ResultCache::wait(&flight).expect("fulfilled flight");
+    trace.push("t1:wait:resolved");
+    assert_eq!(&*waited, &*payload, "waiter diverged from the leader");
+
+    accepts_trace(&SingleFlight::correct(3), &trace)
+        .unwrap_or_else(|i| panic!("model rejects the executed run at step {i}: {trace:?}"));
+}
+
+#[test]
+fn single_flight_failure_run_is_a_model_path() {
+    let cache = ResultCache::new(8);
+    let key = CacheKey(0xdead);
+    let mut trace: Vec<&str> = Vec::new();
+
+    let guard = expect_begin!(cache, key, Begin::Lead);
+    trace.push("t0:begin:lead");
+    let flight = expect_begin!(cache, key, Begin::Wait);
+    trace.push("t1:begin:wait");
+
+    // The leader unwinds: dropping the guard fails the flight
+    // (drop-propagated failure), returning the key to Absent.
+    drop(guard);
+    trace.push("t0:fail:map");
+    trace.push("t0:publish");
+
+    let err = ResultCache::wait(&flight).expect_err("failed flight must report an error");
+    trace.push("t1:wait:resolved");
+    assert!(err.contains("failed"), "unexpected error text: {err}");
+
+    // Nothing was cached: the next requester must lead a *fresh* flight
+    // (the model's generation bump), not hit or wait.
+    let retry = expect_begin!(cache, key, Begin::Lead);
+    trace.push("t2:begin:lead");
+    drop(retry);
+
+    accepts_trace(&SingleFlight::correct(3), &trace)
+        .unwrap_or_else(|i| panic!("model rejects the executed run at step {i}: {trace:?}"));
+}
+
+#[test]
+fn pool_backpressure_run_is_a_model_path() {
+    let pool = WorkerPool::new(1, 1);
+    // Let the worker reach its park (empty queue, no stop).
+    std::thread::sleep(Duration::from_millis(30));
+    let mut trace: Vec<&str> = Vec::new();
+    trace.push("w0:park");
+
+    // c0 submits the gate job; the notify wakes the parked worker,
+    // which dequeues and blocks inside the job (Executing).
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let (running_tx, running_rx) = mpsc::channel::<()>();
+    pool.try_submit(Box::new(move || {
+        running_tx.send(()).unwrap();
+        let _ = gate_rx.recv_timeout(Duration::from_secs(10));
+    }))
+    .expect("c0 fits an empty queue");
+    trace.push("c0:push");
+    trace.push("c0:notify>w0");
+    running_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("worker dequeued the gate job");
+    trace.push("w0:dequeue");
+    assert_eq!(pool.queue_depth(), 0, "executing job must leave the queue");
+
+    // c1 fills the single queue slot while the worker is busy.
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    pool.try_submit(Box::new(move || done_tx.send(()).unwrap()))
+        .expect("c1 fits the empty slot");
+    trace.push("c1:push");
+    trace.push("c1:notify:none");
+    assert_eq!(pool.queue_depth(), 1);
+
+    // c2 bounces off the bound — the model's reject transition is the
+    // only one enabled for it.
+    assert!(
+        pool.try_submit(Box::new(|| ())).is_err(),
+        "queue full must reject"
+    );
+    trace.push("c2:reject");
+    assert_eq!(pool.rejected(), 1);
+
+    // Release the gate: the worker finishes c0's job, drains c1's.
+    gate_tx.send(()).unwrap();
+    trace.push("w0:finish");
+    done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("queued job drained");
+    trace.push("w0:dequeue");
+    trace.push("w0:finish");
+
+    pool.shutdown();
+    trace.push("shutdown");
+    trace.push("w0:exit");
+
+    accepts_trace(&Backpressure::correct(3, 1, 1), &trace)
+        .unwrap_or_else(|i| panic!("model rejects the executed run at step {i}: {trace:?}"));
+}
+
+/// The checker proves the lock-free stop store loses the shutdown
+/// wakeup (worker parks forever ⇒ deadlock), and that the shipped
+/// protocol — store under the queue mutex — verifies exhaustively.
+#[test]
+fn model_separates_fixed_from_buggy_shutdown() {
+    let fixed = Checker::default().run(&Backpressure::correct(2, 2, 1));
+    assert!(
+        fixed.verified(),
+        "fixed protocol violated: {:?}",
+        fixed.violation
+    );
+
+    let buggy = Checker::default().run(&Backpressure {
+        clients: 1,
+        workers: 1,
+        capacity: 1,
+        buggy_signal: true,
+    });
+    let v = buggy.violation.expect("buggy signal must deadlock");
+    assert!(v.message.contains("deadlock"), "{}", v.message);
+    assert!(
+        v.trace.join(" ").contains("decide-park"),
+        "witness should show the race window"
+    );
+}
+
+/// Pin the `signal_stop` fix against the race its model found: shutdown
+/// raced against workers heading into their park must always terminate.
+/// With the store outside the queue mutex this loop eventually hangs a
+/// worker (the checker's witness interleaving); the watchdog turns that
+/// hang into a failure instead of a stuck CI job.
+#[test]
+fn shutdown_never_loses_the_stop_wakeup() {
+    for round in 0..50 {
+        let pool = WorkerPool::new(2, 4);
+        if round % 2 == 0 {
+            // Half the rounds give workers time to park; the other half
+            // race shutdown straight against their first queue check.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            pool.shutdown();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|_| panic!("shutdown hung on round {round}: lost stop wakeup"));
+    }
+}

@@ -140,11 +140,22 @@ impl Logger {
         }
         line.push('}');
         line.push('\n');
-        match &*self.sink.lock() {
-            Sink::Stderr => {
+        // Snapshot the sink under the lock, then write outside it: a
+        // `match` scrutinee guard would live to the end of the match,
+        // holding the sink lock across the (blocking) stderr write and
+        // convoying every logging thread behind one slow consumer.
+        let buffer = {
+            let sink = self.sink.lock();
+            match &*sink {
+                Sink::Stderr => None,
+                Sink::Buffer(buf) => Some(buf.clone()),
+            }
+        };
+        match buffer {
+            None => {
                 let _ = std::io::stderr().write_all(line.as_bytes());
             }
-            Sink::Buffer(buf) => buf.lock().extend_from_slice(line.as_bytes()),
+            Some(buf) => buf.lock().extend_from_slice(line.as_bytes()),
         }
     }
 

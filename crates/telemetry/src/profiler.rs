@@ -47,7 +47,9 @@ pub struct GroupRow {
     pub tasks: usize,
     pub busy_s: f64,
     pub energy_j: f64,
-    pub flops: f64,
+    /// Work executed, in raw operations — serialized report row; the
+    /// name *is* the unit, so a `_flops` suffix would stutter.
+    pub flops: f64, // lint:allow raw-unit
 }
 
 /// Busy/idle attribution for one worker over the makespan.
@@ -139,11 +141,11 @@ impl ProfileReport {
                 group_busy, self.total_busy_s
             ));
         }
-        let group_energy: f64 = self.groups.iter().map(|g| g.energy_j).sum();
-        if !close(group_energy, self.total_busy_energy_j) {
+        let group_energy_j: f64 = self.groups.iter().map(|g| g.energy_j).sum();
+        if !close(group_energy_j, self.total_busy_energy_j) {
             return Err(format!(
                 "group energy {} != total busy energy {}",
-                group_energy, self.total_busy_energy_j
+                group_energy_j, self.total_busy_energy_j
             ));
         }
         let worker_busy: f64 = self.workers.iter().map(|w| w.busy_s).sum();
@@ -274,7 +276,7 @@ struct GroupAccum {
     tasks: usize,
     busy_s: f64,
     energy_j: f64,
-    flops: f64,
+    flops: ugpc_hwsim::Flops,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -296,7 +298,7 @@ pub struct CriticalPathProfiler {
     total_busy_energy_j: f64,
     path_busy_s: f64,
     path_energy_j: f64,
-    groups: HashMap<GroupKey, GroupAccum>,
+    group_accum: HashMap<GroupKey, GroupAccum>,
     worker_accum: Vec<WorkerAccum>,
     tasks: Vec<HotTask>,
     summary: Option<RunSummary>,
@@ -339,8 +341,11 @@ impl CriticalPathProfiler {
             .expect("CriticalPathProfiler::into_report before the run finished");
         let makespan_s = summary.makespan.value();
 
-        let mut groups: Vec<(GroupKey, GroupAccum)> = self.groups.into_iter().collect();
-        // Deterministic order: device, kind, precision, on-path first.
+        // Drained in arbitrary order, then fully sorted by the total
+        // (device, kind, precision, on-path) key right below, before
+        // anything is serialized.
+        let mut groups: Vec<(GroupKey, GroupAccum)> = self.group_accum.into_iter().collect(); // lint:allow hash-iteration
+                                                                                              // Deterministic order: device, kind, precision, on-path first.
         groups.sort_by(|(a, _), (b, _)| {
             (&a.device, a.kind, a.precision, !a.on_path).cmp(&(
                 &b.device,
@@ -359,7 +364,7 @@ impl CriticalPathProfiler {
                 tasks: a.tasks,
                 busy_s: a.busy_s,
                 energy_j: a.energy_j,
-                flops: a.flops,
+                flops: a.flops.value(),
             })
             .collect();
 
@@ -448,11 +453,11 @@ impl Observer for CriticalPathProfiler {
             precision: precision.short(),
             on_path,
         };
-        let g = self.groups.entry(key).or_default();
+        let g = self.group_accum.entry(key).or_default();
         g.tasks += 1;
         g.busy_s += duration_s;
         g.energy_j += energy_j;
-        g.flops += flops.value();
+        g.flops += flops;
 
         let w = &mut self.worker_accum[worker];
         w.tasks += 1;
