@@ -28,6 +28,7 @@ use std::process::ExitCode;
 
 use ugpc_analysis::lints::{self, all_rules};
 use ugpc_analysis::model::backpressure::Backpressure;
+use ugpc_analysis::model::eventqueue::EventQueueModel;
 use ugpc_analysis::model::singleflight::SingleFlight;
 use ugpc_analysis::model::{Checker, Model};
 
@@ -70,8 +71,9 @@ fn check_model<M: Model>(name: &str, model: &M) -> bool {
     }
 }
 
-/// The `--model` leg: the two shipped protocols at the configurations
-/// the transition-labeling tests in `ugpc-serve` exercise.
+/// The `--model` leg: the shipped protocols at the configurations the
+/// transition-labeling tests in `ugpc-serve` exercise, plus the DES
+/// calendar queue's ordering contract.
 fn check_models() -> bool {
     let mut ok = true;
     ok &= check_model("single-flight(threads=3)", &SingleFlight::correct(3));
@@ -79,6 +81,7 @@ fn check_models() -> bool {
         "backpressure(clients=2, workers=2, capacity=1)",
         &Backpressure::correct(2, 2, 1),
     );
+    ok &= check_model("event-queue(pushes=4)", &EventQueueModel::correct(4));
     ok
 }
 

@@ -1,0 +1,330 @@
+//! Abstract model of the calendar event queue's ordering contract
+//! (`crates/runtime/src/des.rs`).
+//!
+//! The DES contract is total: every `pop` returns the minimum pending
+//! entry by `(time, seq)` — strictly increasing time, FIFO on equal
+//! timestamps. The calendar backend earns this the hard way, through a
+//! day-bucketed wheel with an overflow heap, a cursor that past pushes
+//! pull backwards, and rebuilds that redistribute the overflow when the
+//! wheel runs dry. This model checks that machinery exhaustively at
+//! miniature scale: a two-slot wheel with day width 1 runs in lockstep
+//! against the sorted-list specification over *every* interleaving of
+//! bounded pushes (times drawn from a small palette) and pops.
+//!
+//! The miniature keeps the load-bearing structure of the real queue:
+//!
+//! * per-entry `day` stamped at push time, so a slot can hold several
+//!   days and the pop scan filters on the cursor's day;
+//! * a `horizon` that only moves at rebuild time — pushes at
+//!   `day >= horizon` spill to the overflow, and because the horizon is
+//!   pinned between rebuilds, equal times always land on the same side
+//!   of the wheel/overflow split (the invariant that makes FIFO across
+//!   the split possible at all);
+//! * past pushes (below the cursor) pull `cur_day` back;
+//! * wheel-dry rebuild re-anchors the cursor at the overflow's minimum
+//!   day and redistributes in seq order.
+//!
+//! Checked invariants:
+//! * **lockstep agreement** — the wheel's pop must match the spec's
+//!   `(time, seq)` minimum exactly; a divergence is recorded in the
+//!   state and reported with the interleaving that produced it;
+//! * **no lost event** — the wheel+overflow population always equals
+//!   the spec's, and entry conservation (`popped + pending = pushed`)
+//!   holds at every state;
+//! * **drained terminal** — every maximal run ends with both
+//!   representations empty and no divergence.
+//!
+//! The deliberately broken variant ([`lifo_ties`](EventQueueModel::
+//! lifo_ties)) resolves equal-time ties by taking the *most recently
+//! pushed* entry in the slot — the classic `swap_remove`-without-sort
+//! bug the real `pop_all_eq` guards against by sorting its batch on
+//! `(total_cmp, seq)`. The checker must catch it in two pushes and one
+//! pop.
+
+use super::Model;
+
+/// One queue entry: `(day, time, seq)`. Day width is 1 in the
+/// miniature, so `day == time`; keeping the field separate mirrors the
+/// real `CalEntry`, where the day is a clamped function of the time.
+pub type Entry = (u8, u8, u8);
+
+const SLOTS: usize = 2;
+
+/// Global model state: the specification multiset and the miniature
+/// calendar, advanced in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EqState {
+    /// Specification: pending `(time, seq)` pairs, kept sorted — the
+    /// front is the contractual pop result.
+    pub spec: Vec<(u8, u8)>,
+    /// Wheel slots in insertion order (`slot = day % SLOTS`).
+    pub slots: [Vec<Entry>; SLOTS],
+    /// Overflow in insertion order: entries pushed at `day >= horizon`.
+    pub overflow: Vec<Entry>,
+    /// The day the pop scan starts from.
+    pub cur_day: u8,
+    /// First day that spills to the overflow. Pinned between rebuilds.
+    pub horizon: u8,
+    /// Pushes still allowed (bounds the exploration).
+    pub pushes_left: u8,
+    /// Next sequence number (total pushes so far).
+    pub next_seq: u8,
+    /// Entries popped so far (conservation check).
+    pub popped: u8,
+    /// First lockstep divergence, recorded by the transition that saw
+    /// it and reported by the invariant with its trace.
+    pub diverged: Option<String>,
+}
+
+impl EqState {
+    fn wheel_len(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+}
+
+/// Model configuration: `pushes` total pushes with times drawn from
+/// `times`, interleaved with pops every way possible.
+pub struct EventQueueModel {
+    pub pushes: u8,
+    pub times: Vec<u8>,
+    /// Broken tie-break: equal-time ties go to the most recently pushed
+    /// entry (LIFO), instead of the lowest sequence number.
+    pub lifo_ties: bool,
+}
+
+impl EventQueueModel {
+    /// The configuration the audit leg checks: enough pushes to reach
+    /// overflow spill, rebuild, and past-push cursor pullback, with a
+    /// palette wide enough to split wheel and overflow.
+    pub fn correct(pushes: u8) -> Self {
+        EventQueueModel {
+            pushes,
+            times: vec![0, 1, 2, 3],
+            lifo_ties: false,
+        }
+    }
+
+    /// Push into both representations (spec insert-sorted; calendar by
+    /// day against the pinned horizon).
+    fn push(&self, s: &mut EqState, time: u8) {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.pushes_left -= 1;
+        let at = s.spec.partition_point(|&e| e <= (time, seq));
+        s.spec.insert(at, (time, seq));
+        let day = time; // width 1
+        if day >= s.horizon {
+            s.overflow.push((day, time, seq));
+        } else {
+            s.slots[day as usize % SLOTS].push((day, time, seq));
+            // A past push pulls the cursor back; the scan must revisit
+            // the earlier day or the entry is lost until a rebuild.
+            s.cur_day = s.cur_day.min(day);
+        }
+    }
+
+    /// Pop from the miniature calendar: scan the wheel from `cur_day`,
+    /// rebuilding from the overflow when the wheel is dry. The caller
+    /// guarantees the queue is non-empty.
+    fn wheel_pop(&self, s: &mut EqState) -> Entry {
+        loop {
+            if s.wheel_len() == 0 {
+                // Wheel dry: re-anchor at the overflow's minimum day and
+                // redistribute in seq order under the new horizon.
+                let min_day = s
+                    .overflow
+                    .iter()
+                    .map(|&(d, _, _)| d)
+                    .min()
+                    .expect("pop on empty queue");
+                s.cur_day = min_day;
+                s.horizon = min_day + SLOTS as u8;
+                let pending = std::mem::take(&mut s.overflow);
+                for e in pending {
+                    if e.0 >= s.horizon {
+                        s.overflow.push(e);
+                    } else {
+                        s.slots[e.0 as usize % SLOTS].push(e);
+                    }
+                }
+                continue;
+            }
+            let slot = &s.slots[s.cur_day as usize % SLOTS];
+            let matches = slot
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.0 == s.cur_day)
+                .map(|(i, &e)| (i, e));
+            // Day width is 1, so every match carries the same time:
+            // selection is purely the equal-time tie-break.
+            let pick = if self.lifo_ties {
+                matches.max_by_key(|&(_, (_, _, seq))| seq)
+            } else {
+                matches.min_by_key(|&(_, (_, _, seq))| seq)
+            };
+            match pick {
+                Some((i, e)) => {
+                    s.slots[s.cur_day as usize % SLOTS].remove(i);
+                    return e;
+                }
+                None => s.cur_day += 1, // bounded: wheel days sit below the horizon
+            }
+        }
+    }
+}
+
+impl Model for EventQueueModel {
+    type State = EqState;
+
+    fn initial(&self) -> EqState {
+        EqState {
+            spec: Vec::new(),
+            slots: [Vec::new(), Vec::new()],
+            overflow: Vec::new(),
+            cur_day: 0,
+            horizon: SLOTS as u8,
+            pushes_left: self.pushes,
+            next_seq: 0,
+            popped: 0,
+            diverged: None,
+        }
+    }
+
+    fn transitions(&self, s: &EqState) -> Vec<(String, EqState)> {
+        let mut out = Vec::new();
+        if s.diverged.is_some() {
+            // The invariant already failed here; don't explore past it.
+            return out;
+        }
+        if s.pushes_left > 0 {
+            for &t in &self.times {
+                let mut n = s.clone();
+                self.push(&mut n, t);
+                out.push((format!("push@{t}"), n));
+            }
+        }
+        if !s.spec.is_empty() {
+            let mut n = s.clone();
+            let want = n.spec.remove(0);
+            let (_, time, seq) = self.wheel_pop(&mut n);
+            n.popped += 1;
+            if (time, seq) != want {
+                n.diverged = Some(format!(
+                    "pop returned t{time}.s{seq}, spec minimum is t{}.s{}",
+                    want.0, want.1
+                ));
+            }
+            out.push((format!("pop:t{}.s{}", want.0, want.1), n));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &EqState) -> Result<(), String> {
+        if let Some(d) = &s.diverged {
+            return Err(format!("lockstep divergence: {d}"));
+        }
+        // No lost event: both representations hold the same population.
+        let cal = s.wheel_len() + s.overflow.len();
+        if cal != s.spec.len() {
+            return Err(format!(
+                "calendar holds {cal} entries, spec holds {} (lost or duplicated event)",
+                s.spec.len()
+            ));
+        }
+        // Conservation: everything pushed is pending or popped.
+        if s.popped as usize + s.spec.len() != s.next_seq as usize {
+            return Err(format!(
+                "{} pushed, but {} popped + {} pending",
+                s.next_seq,
+                s.popped,
+                s.spec.len()
+            ));
+        }
+        // The wheel never holds an entry at or past the horizon (those
+        // must spill), and the spec stays sorted by construction.
+        for slot in &s.slots {
+            for &(day, _, _) in slot {
+                if day >= s.horizon {
+                    return Err(format!(
+                        "wheel entry at day {day} at/past horizon {} (should be in overflow)",
+                        s.horizon
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn is_expected_terminal(&self, s: &EqState) -> bool {
+        s.pushes_left == 0 && s.spec.is_empty() && s.diverged.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accepts_trace, Checker};
+
+    #[test]
+    fn correct_queue_verifies_exhaustively() {
+        let model = EventQueueModel::correct(4);
+        let out = Checker::default().run(&model);
+        assert!(out.verified(), "calendar violated: {:?}", out.violation);
+        // Exhaustive and non-trivial: the palette reaches overflow
+        // spill (time 2 and 3 start past the horizon), rebuild, and
+        // past-push pullback.
+        assert!(out.states > 1_000, "only {} states", out.states);
+        assert!(out.terminals >= 1);
+    }
+
+    #[test]
+    fn lifo_tie_break_is_caught_in_two_pushes() {
+        let model = EventQueueModel {
+            pushes: 2,
+            times: vec![0],
+            lifo_ties: true,
+        };
+        let out = Checker::default().run(&model);
+        let v = out.violation.expect("checker must catch the LIFO tie");
+        assert!(
+            v.message.contains("lockstep divergence"),
+            "unexpected violation: {}",
+            v.message
+        );
+        // Witness: two same-time pushes, then the pop that returns the
+        // younger entry.
+        assert_eq!(v.trace, vec!["push@0", "push@0", "pop:t0.s0"]);
+    }
+
+    #[test]
+    fn real_scenarios_are_accepted() {
+        let model = EventQueueModel::correct(4);
+        // Overflow spill and rebuild: time 3 starts past the horizon,
+        // drains only after the wheel runs dry.
+        accepts_trace(&model, &["push@3", "push@0", "pop:t0.s1", "pop:t3.s0"])
+            .expect("overflow rebuild run rejected");
+        // Past push pulls the cursor back below a drained day.
+        accepts_trace(&model, &["push@1", "pop:t1.s0", "push@0", "pop:t0.s1"])
+            .expect("past-push pullback run rejected");
+        // FIFO across a same-time pair.
+        accepts_trace(&model, &["push@2", "push@2", "pop:t2.s0", "pop:t2.s1"])
+            .expect("FIFO tie run rejected");
+    }
+
+    #[test]
+    fn impossible_scenarios_are_rejected() {
+        let model = EventQueueModel::correct(2);
+        // Popping the younger of two equal-time entries first can never
+        // happen.
+        assert_eq!(
+            accepts_trace(&model, &["push@0", "push@0", "pop:t0.s1"]),
+            Err(2)
+        );
+        // Popping a later time while an earlier one is pending can
+        // never happen.
+        assert_eq!(
+            accepts_trace(&model, &["push@3", "push@1", "pop:t3.s0"]),
+            Err(2)
+        );
+    }
+}

@@ -19,6 +19,12 @@
 //! * [`backpressure`]: the `WorkerPool` bounded queue — invariants: the
 //!   queue never exceeds capacity, `accepted + rejected == submitted`,
 //!   and at drain time `executed == accepted` with every worker joined.
+//! * [`eventqueue`]: the DES calendar queue's ordering contract — a
+//!   miniature two-slot wheel (overflow spill, pinned horizon, past-push
+//!   cursor pullback, wheel-dry rebuild) run in lockstep against the
+//!   sorted-list specification over every bounded push/pop interleaving;
+//!   invariants: pops match the `(time, seq)` minimum exactly (FIFO on
+//!   equal timestamps), no event is lost or duplicated, every run drains.
 //!
 //! Each model also has a deliberately broken variant reproducing a
 //! classic bug (non-atomic check-then-park; signaling `stop` without
@@ -31,6 +37,7 @@
 //! model must [`accept`](accepts_trace).
 
 pub mod backpressure;
+pub mod eventqueue;
 pub mod singleflight;
 
 use std::collections::HashSet;

@@ -158,3 +158,26 @@ fn report_is_independent_of_file_order() {
     let backward = findings_json(&run_rules(&files, &all_rules(), &Baseline::default()));
     assert_eq!(forward, backward);
 }
+
+/// Pin the `--model` leg's interleaving counts. The audit binary prints
+/// these as its evidence of exhaustiveness; a silent change in any
+/// model's state space (a dropped transition, a collapsed state) would
+/// otherwise look identical to a healthy run. Deliberate model changes
+/// update these numbers alongside the model.
+#[test]
+fn model_interleaving_counts_are_pinned() {
+    use ugpc_analysis::model::backpressure::Backpressure;
+    use ugpc_analysis::model::eventqueue::EventQueueModel;
+    use ugpc_analysis::model::singleflight::SingleFlight;
+    use ugpc_analysis::model::{CheckOutcome, Checker, Model};
+
+    fn counts<M: Model>(model: &M) -> (usize, usize, usize) {
+        let out: CheckOutcome = Checker::default().run(model);
+        assert!(out.verified(), "{:?}", out.violation);
+        (out.states, out.transitions, out.terminals)
+    }
+
+    assert_eq!(counts(&SingleFlight::correct(3)), (859, 1848, 57));
+    assert_eq!(counts(&Backpressure::correct(2, 2, 1)), (291, 710, 3));
+    assert_eq!(counts(&EventQueueModel::correct(4)), (1280, 2361, 10));
+}

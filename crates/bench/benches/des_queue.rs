@@ -1,0 +1,129 @@
+//! Head-to-head of the DES event-queue backends: the binary heap
+//! (reference) against the calendar queue (default). Three loads:
+//!
+//! * `hold`: the classic hold model — steady-state pop-then-push at a
+//!   fixed population, the regime a running simulation lives in;
+//! * `drain`: bulk load then drain to empty (end-of-run tail);
+//! * `simulate`: the whole virtual-time executor on the paper's POTRF,
+//!   where the queue is one cost among many — the end-to-end win the
+//!   calendar default actually buys.
+//!
+//! The differential suites prove the backends byte-identical, so these
+//! numbers are pure speed; `BENCH_des_queue.json` is the committed
+//! evidence for making the calendar the default.
+
+// Bench setup code may unwrap, same as tests (the workspace denies
+// unwrap_used in library code only).
+#![allow(clippy::unwrap_used)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ugpc_hwsim::{Node, PlatformId, Precision, Secs};
+use ugpc_linalg::build_potrf;
+use ugpc_runtime::{simulate, DataRegistry, EventQueue, QueueBackend, SimOptions};
+
+const BACKENDS: [QueueBackend; 2] = [QueueBackend::Heap, QueueBackend::Calendar];
+
+/// Deterministic pseudo-random event times: LCG over a [0, 16) window
+/// advancing with virtual time, the skewed short-horizon distribution a
+/// DES produces (most events land near `now`).
+struct TimeGen {
+    state: u64,
+    now: f64,
+}
+
+impl TimeGen {
+    fn new(seed: u64) -> Self {
+        TimeGen {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+            now: 0.0,
+        }
+    }
+
+    fn next_at(&mut self) -> f64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        self.now + u * u * 16.0
+    }
+}
+
+fn hold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hold");
+    group.sample_size(20);
+    for &n in &[1024usize, 65536] {
+        // One hold operation = pop the minimum, push a fresh event at a
+        // later time; throughput is queue ops (2 per hold).
+        group.throughput(Throughput::Elements(2 * n as u64));
+        for backend in BACKENDS {
+            group.bench_with_input(BenchmarkId::new(backend.to_string(), n), &n, |b, &n| {
+                let mut queue = EventQueue::<usize>::unmonitored(backend);
+                let mut times = TimeGen::new(7);
+                for i in 0..n {
+                    queue.push(Secs(times.next_at()), i);
+                }
+                b.iter(|| {
+                    for _ in 0..n {
+                        let (now, id) = queue.pop().unwrap();
+                        times.now = now.value();
+                        queue.push(Secs(times.next_at()), id);
+                    }
+                    black_box(queue.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drain");
+    group.sample_size(20);
+    let n = 65536usize;
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for backend in BACKENDS {
+        group.bench_with_input(BenchmarkId::new(backend.to_string(), n), &n, |b, &n| {
+            let mut queue = EventQueue::<usize>::unmonitored(backend);
+            b.iter(|| {
+                let mut times = TimeGen::new(42);
+                for i in 0..n {
+                    queue.push(Secs(times.next_at()), i);
+                }
+                let mut last = f64::NEG_INFINITY;
+                while let Some((t, _)) = queue.pop() {
+                    last = t.value();
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simulate_potrf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    // The paper's POTRF at nt=20 is 1540 tasks; throughput in tasks.
+    group.throughput(Throughput::Elements(1540));
+    for backend in BACKENDS {
+        group.bench_function(BenchmarkId::new(backend.to_string(), "potrf_nt20"), |b| {
+            let options = SimOptions {
+                queue: backend,
+                ..SimOptions::default()
+            };
+            b.iter(|| {
+                let mut node = Node::new(PlatformId::Amd4A100);
+                let mut reg = DataRegistry::new();
+                let op = build_potrf(20, 2880, Precision::Double, &mut reg);
+                let trace = simulate(&mut node, &op.graph, &mut reg, options);
+                black_box(trace.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hold, drain, simulate_potrf);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--audit] [--scale K] [--jobs N] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
+//! repro [--validate] [--audit] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
 //! repro --serve [ADDR]
 //! repro --trace-out DIR [--scale K]
 //! ```
@@ -19,6 +19,10 @@
 //! (default: available cores, also settable via `UGPC_JOBS`); `--jobs 1`
 //! preserves the plain serial path. Output is byte-identical either way
 //! — see `ugpc_experiments::driver`.
+//! `--queue heap|calendar` picks the DES event-queue backend (also
+//! settable via `UGPC_QUEUE`; default calendar). Both backends pop in
+//! the same order, so output is byte-identical either way — this is a
+//! performance knob, pinned by the queue-equivalence suite.
 //! `--json DIR` additionally writes each experiment's raw data as JSON.
 //! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
 //! plus a parallelism report) before anything else and fails the run on
@@ -91,6 +95,11 @@ fn parse_args() -> Result<Args, String> {
                 }
                 ex::driver::set_jobs(n);
             }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs `heap` or `calendar`")?;
+                let backend = v.parse()?;
+                ugpc_runtime::set_backend_override(Some(backend));
+            }
             "--json" => {
                 let v = it.next().ok_or("--json needs a directory")?;
                 args.json_dir = Some(PathBuf::from(v));
@@ -120,7 +129,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--audit] [--scale K] [--jobs N] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
+                    "usage: repro [--validate] [--audit] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);

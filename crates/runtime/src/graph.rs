@@ -157,6 +157,13 @@ impl TaskGraph {
         self.preds.iter().map(Vec::len).collect()
     }
 
+    /// [`indegrees`](Self::indegrees) into a caller-owned buffer
+    /// (arena-reuse path: same values, no allocation).
+    pub fn indegrees_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.preds.iter().map(Vec::len));
+    }
+
     /// Tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
         (0..self.len())

@@ -23,6 +23,7 @@
 //! ([`export::PerfettoSink`]), per-device power timelines ([`timeline`]),
 //! and progress/stats meters are all observers over that stream.
 
+pub mod arena;
 pub mod data;
 pub mod des;
 pub mod export;
@@ -38,7 +39,9 @@ pub mod timeline;
 pub mod trace;
 pub mod worker;
 
+pub use arena::{with_run_arena, RunArena};
 pub use data::{DataId, DataRegistry, MemNode};
+pub use des::{set_backend_override, EventQueue, QueueBackend};
 pub use export::{chrome_trace, PerfettoSink, TraceError};
 pub use graph::TaskGraph;
 pub use memory::GpuMemory;
@@ -49,7 +52,7 @@ pub use observer::{
 pub use perfmodel::PerfModel;
 pub use sched::{SchedPolicy, SchedView, Scheduler};
 pub use sim::{simulate, simulate_observed, simulate_with_model, SimOptions};
-pub use task::{AccessMode, Footprint, KernelKind, TaskDesc, TaskId};
+pub use task::{distinct_footprints, AccessMode, Footprint, KernelKind, TaskDesc, TaskId};
 pub use timeline::{PowerProfile, PowerTimeline};
 pub use trace::{RunTrace, TaskRecord, TraceBuilder};
-pub use worker::{build_workers, Worker, WorkerId, WorkerKind};
+pub use worker::{build_workers, build_workers_into, Worker, WorkerId, WorkerKind};

@@ -13,53 +13,18 @@
 //! pipeline — [`simulate`] is a thin wrapper attaching a
 //! [`TraceBuilder`](crate::trace::TraceBuilder) to [`simulate_observed`].
 
+use crate::arena::with_run_arena;
 use crate::data::{DataRegistry, MemNode};
-use crate::des::EventQueue;
+use crate::des::QueueBackend;
 use crate::graph::TaskGraph;
 use crate::memory::GpuMemory;
 use crate::observer::{emit, ExecEvent, Observer, RunContext, RunSummary};
 use crate::perfmodel::PerfModel;
 use crate::sched::{SchedPolicy, SchedView};
-use crate::task::{Footprint, TaskId};
+use crate::task::distinct_footprints;
 use crate::trace::{RunTrace, TraceBuilder};
-use crate::worker::{build_workers, WorkerKind};
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use crate::worker::{build_workers_into, WorkerKind};
 use ugpc_hwsim::{EnergyProbe, Joules, Node, Secs, Watts};
-
-/// A candidate for the idle-worker `expected_end` resync: worker `worker`
-/// may need its model-predicted queue end pulled back to `now` once
-/// virtual time passes `at` (its actual drain time when the candidate was
-/// recorded). Candidates go stale when the worker picks up more work;
-/// popping re-checks against live state, so stale entries are harmless.
-struct Resync {
-    at: f64,
-    worker: usize,
-}
-
-impl PartialEq for Resync {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.worker == other.worker
-    }
-}
-
-impl Eq for Resync {}
-
-impl PartialOrd for Resync {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Resync {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.worker.cmp(&self.worker))
-    }
-}
 
 /// Executor options.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +40,11 @@ pub struct SimOptions {
     /// the run (StarPU's online refinement). Disable to study frozen /
     /// stale models.
     pub refine_models: bool,
+    /// Event-queue backend for the completion and resync queues. The
+    /// default is the ambient resolution (process override, then
+    /// `UGPC_QUEUE`, then calendar) — both backends are proven to pop
+    /// identically, so this is a performance knob, never a semantic one.
+    pub queue: QueueBackend,
 }
 
 impl Default for SimOptions {
@@ -84,6 +54,7 @@ impl Default for SimOptions {
             keep_records: false,
             enforce_gpu_memory: true,
             refine_models: true,
+            queue: QueueBackend::resolve(),
         }
     }
 }
@@ -132,33 +103,66 @@ pub fn simulate_observed(
     perf: &mut PerfModel,
     observers: &mut [&mut dyn Observer],
 ) -> RunSummary {
-    let (workers, capable_cores) = build_workers(node.spec());
+    with_run_arena(|arena| simulate_in_arena(arena, node, graph, data, options, perf, observers))
+}
+
+/// [`simulate_observed`] against an explicit scratch arena. Every arena
+/// field is reset to its run-initial state before first read, so a
+/// recycled arena is observationally identical to a cold one (pinned by
+/// the hotpath goldens and the queue-backend differentials).
+fn simulate_in_arena(
+    arena: &mut crate::arena::RunArena,
+    node: &mut Node,
+    graph: &TaskGraph,
+    data: &mut DataRegistry,
+    options: SimOptions,
+    perf: &mut PerfModel,
+    observers: &mut [&mut dyn Observer],
+) -> RunSummary {
+    // Destructure so each field borrows independently.
+    let crate::arena::RunArena {
+        workers,
+        capable_cores,
+        worker_free,
+        worker_expected,
+        h2d_free,
+        d2h_free,
+        task_worker,
+        indeg,
+        ready,
+        batch,
+        completed,
+        footprints,
+        missing,
+        events,
+        resync,
+    } = arena;
+
+    build_workers_into(node.spec(), workers, capable_cores);
+    let workers: &[crate::worker::Worker] = workers;
     for (p, pkg) in node.cpus_mut().iter_mut().enumerate() {
         pkg.set_active_workers(capable_cores[p]);
     }
 
     // Calibration runs for every distinct footprint not yet known.
-    let footprints: BTreeSet<Footprint> = graph.tasks().iter().map(|t| t.footprint()).collect();
-    let missing: Vec<Footprint> = footprints
-        .iter()
-        .copied()
-        .filter(|fp| {
-            workers.iter().any(|w| {
-                let capable = if w.is_gpu() {
-                    fp.kind.gpu_capable()
-                } else {
-                    fp.kind.cpu_capable()
-                };
-                capable && !perf.is_calibrated(*fp, w.id)
-            })
+    distinct_footprints(graph.tasks(), footprints);
+    missing.clear();
+    missing.extend(footprints.iter().copied().filter(|fp| {
+        workers.iter().any(|w| {
+            let capable = if w.is_gpu() {
+                fp.kind.gpu_capable()
+            } else {
+                fp.kind.cpu_capable()
+            };
+            capable && !perf.is_calibrated(*fp, w.id)
         })
-        .collect();
-    perf.calibrate(node, &workers, &missing);
+    }));
+    perf.calibrate(node, workers, missing);
 
     let gpu_idle: Vec<Watts> = node.gpus().iter().map(|g| g.spec().idle_power).collect();
     {
         let ctx = RunContext {
-            workers: &workers,
+            workers,
             graph,
             options,
             gpu_idle: &gpu_idle,
@@ -189,31 +193,39 @@ pub fn simulate_observed(
         .iter()
         .map(|g| GpuMemory::new(g.index(), g.spec().mem_capacity))
         .collect();
-    let mut task_worker: Vec<usize> = vec![usize::MAX; graph.len()];
+    task_worker.clear();
+    task_worker.resize(graph.len(), usize::MAX);
     let links = *node.links();
     let mut scheduler = options.policy.build();
     // Actual queue-drain time per worker (drives execution) and the
     // model-predicted one (drives scheduling decisions — StarPU's
     // `expected_end`; they coincide when models are exact, and diverge
     // under stale or noisy calibration).
-    let mut worker_free = vec![Secs::ZERO; workers.len()];
-    let mut worker_expected = vec![Secs::ZERO; workers.len()];
+    worker_free.clear();
+    worker_free.resize(workers.len(), Secs::ZERO);
+    worker_expected.clear();
+    worker_expected.resize(workers.len(), Secs::ZERO);
     // Incremental replacement for the old scan-all-workers resync: only
     // workers whose prediction ran ahead of their actual drain time are
-    // candidates, keyed by the time they actually go idle.
-    let mut resync: BinaryHeap<Resync> = BinaryHeap::new();
-    let mut h2d_free = vec![Secs::ZERO; n_gpus];
-    let mut d2h_free = vec![Secs::ZERO; n_gpus];
-    let mut indeg = graph.indegrees();
-    let mut ready: Vec<TaskId> = graph.roots();
-    let mut events: EventQueue<TaskId> = EventQueue::new();
+    // candidates, keyed by the time they actually go idle. Resync pops
+    // are legitimately non-monotone (candidates can sit in the past), so
+    // the queue is constructed unmonitored — see `RunArena::new`.
+    resync.reset(options.queue);
+    h2d_free.clear();
+    h2d_free.resize(n_gpus, Secs::ZERO);
+    d2h_free.clear();
+    d2h_free.resize(n_gpus, Secs::ZERO);
+    graph.indegrees_into(indeg);
+    ready.clear();
+    ready.extend((0..graph.len()).filter(|&t| indeg[t] == 0));
+    events.reset(options.queue);
     let mut now = Secs::ZERO;
     let mut remaining = graph.len();
 
     // Reused across loop iterations (the ordered ready batch and the
     // tasks completing at one timestamp) instead of per-batch Vecs.
-    let mut batch: Vec<TaskId> = Vec::new();
-    let mut completed: Vec<TaskId> = Vec::new();
+    batch.clear();
+    completed.clear();
 
     while remaining > 0 {
         if !ready.is_empty() {
@@ -221,22 +233,22 @@ pub fn simulate_observed(
             {
                 let view = SchedView {
                     graph,
-                    workers: &workers,
-                    worker_free: &worker_expected,
+                    workers,
+                    worker_free: worker_expected.as_slice(),
                     perf,
                     data,
                     links: &links,
                     now,
                 };
-                scheduler.order(&mut ready, &view);
+                scheduler.order(ready, &view);
             }
-            std::mem::swap(&mut batch, &mut ready);
-            for &task in &batch {
+            std::mem::swap(batch, ready);
+            for &task in batch.iter() {
                 let wid = {
                     let view = SchedView {
                         graph,
-                        workers: &workers,
-                        worker_free: &worker_expected,
+                        workers,
+                        worker_free: worker_expected.as_slice(),
                         perf,
                         data,
                         links: &links,
@@ -249,8 +261,8 @@ pub fn simulate_observed(
                 {
                     let view = SchedView {
                         graph,
-                        workers: &workers,
-                        worker_free: &worker_expected,
+                        workers,
+                        worker_free: worker_expected.as_slice(),
                         perf,
                         data,
                         links: &links,
@@ -261,10 +273,7 @@ pub fn simulate_observed(
                     worker_expected[wid] = now.max(worker_expected[wid]) + est;
                 }
                 if worker_expected[wid] > worker_free[wid] {
-                    resync.push(Resync {
-                        at: worker_free[wid].value(),
-                        worker: wid,
-                    });
+                    resync.push(worker_free[wid], wid);
                 }
                 let worker = workers[wid];
                 let desc = graph.task(task);
@@ -459,10 +468,7 @@ pub fn simulate_observed(
                 }
                 worker_free[wid] = t_end;
                 if worker_expected[wid] > t_end {
-                    resync.push(Resync {
-                        at: t_end.value(),
-                        worker: wid,
-                    });
+                    resync.push(t_end, wid);
                 }
                 emit(
                     observers,
@@ -524,37 +530,33 @@ pub fn simulate_observed(
             }
             batch.clear();
         } else {
-            // Advance time to the next completion; drain all completions
-            // at that timestamp before scheduling again.
-            let (t, done) = events
-                .pop()
+            // Advance time to the next completion and drain every
+            // completion at that timestamp in one queue pass — the batch
+            // comes back in exactly the order repeated pops would give.
+            completed.clear();
+            now = events
+                .pop_all_eq(completed)
                 .expect("deadlock: tasks remain but nothing is in flight");
-            now = t;
             // Resync: a worker that is actually idle has nothing pending,
             // whatever the model predicted (StarPU refreshes expected_end
             // when workers go idle). Maintained incrementally: only the
             // recorded candidates are examined, not every worker.
-            while resync.peek().is_some_and(|r| r.at <= now.value()) {
-                let w = resync.pop().expect("peeked entry exists").worker;
+            while resync.peek_time().is_some_and(|at| at <= now) {
+                let (_, w) = resync.pop().expect("peeked entry exists");
                 if worker_free[w] <= now && worker_expected[w] > now {
                     worker_expected[w] = now;
                 }
             }
-            // Sanitizer: the candidate heap must be exhaustive — after
+            // Sanitizer: the candidate queue must be exhaustive — after
             // draining it, no worker may still qualify for a resync.
             #[cfg(feature = "sanitize")]
             for w in 0..workers.len() {
                 assert!(
                     !(worker_free[w] <= now && worker_expected[w] > now),
-                    "sanitize: resync heap missed idle worker {w} at {now}"
+                    "sanitize: resync queue missed idle worker {w} at {now}"
                 );
             }
-            completed.clear();
-            completed.push(done);
-            while events.peek_time() == Some(now) {
-                completed.push(events.pop().expect("peeked event exists").1);
-            }
-            for &task in &completed {
+            for &task in completed.iter() {
                 remaining -= 1;
                 if options.enforce_gpu_memory {
                     if let WorkerKind::Gpu { device } = workers[task_worker[task]].kind {
@@ -628,6 +630,7 @@ pub fn simulate_observed(
 mod tests {
     use super::*;
     use crate::task::{AccessMode, KernelKind, TaskDesc};
+    use crate::worker::build_workers;
     use ugpc_hwsim::{Bytes, PlatformId, Precision, Watts};
 
     /// A tiny GEMM-like graph: `chains` independent chains of `len`

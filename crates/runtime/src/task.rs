@@ -179,6 +179,16 @@ pub struct Footprint {
     pub nb: usize,
 }
 
+/// The distinct footprints over `tasks`, ascending, into a caller-owned
+/// buffer — the same set, in the same order, a `BTreeSet` collect would
+/// produce, without the per-run node allocations.
+pub fn distinct_footprints(tasks: &[TaskDesc], out: &mut Vec<Footprint>) {
+    out.clear();
+    out.extend(tasks.iter().map(TaskDesc::footprint));
+    out.sort_unstable();
+    out.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,14 +53,27 @@ impl Worker {
 /// Returns the workers and, per package, the number of task-capable cores
 /// (used to provision package frequency under RAPL caps).
 pub fn build_workers(spec: &PlatformSpec) -> (Vec<Worker>, Vec<usize>) {
+    let mut workers = Vec::new();
+    let mut capable = Vec::new();
+    build_workers_into(spec, &mut workers, &mut capable);
+    (workers, capable)
+}
+
+/// [`build_workers`] into caller-owned buffers (arena-reuse path: same
+/// worker table, no allocation).
+pub fn build_workers_into(
+    spec: &PlatformSpec,
+    workers: &mut Vec<Worker>,
+    capable: &mut Vec<usize>,
+) {
+    workers.clear();
+    capable.clear();
     let cores_per_pkg = CpuSpec::of(spec.cpu_model).cores;
     let mut reserved = vec![0usize; spec.cpu_count];
     for g in 0..spec.gpu_count {
         // `% cpu_count` keeps the index in range by construction.
         reserved[g % spec.cpu_count] += 1; // lint:allow panic-path
     }
-    let mut workers = Vec::new();
-    let mut capable = Vec::with_capacity(spec.cpu_count);
     for (pkg, &resv) in reserved.iter().enumerate() {
         assert!(
             resv < cores_per_pkg,
@@ -81,7 +94,6 @@ pub fn build_workers(spec: &PlatformSpec) -> (Vec<Worker>, Vec<usize>) {
             kind: WorkerKind::Gpu { device },
         });
     }
-    (workers, capable)
 }
 
 #[cfg(test)]

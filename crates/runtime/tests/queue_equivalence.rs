@@ -1,0 +1,353 @@
+//! Queue-equivalence harness: the heap and calendar event-queue
+//! backends must be *indistinguishable* — identical pop sequences,
+//! identical peeks, identical batch drains — under arbitrary
+//! interleavings of pushes (duplicate timestamps, zero-dt events, signed
+//! zeros, past-time pushes, horizon-busting jumps), pops on empty
+//! queues, and same-timestamp batch extraction.
+//!
+//! This is the PR's safety case for making the calendar queue the
+//! default: `sim.rs` only ever observes the queue through this API, so
+//! lockstep equality here (plus the study-level differentials in
+//! `tests/observer_differential.rs` / `tests/parallel_differential.rs`)
+//! proves the backend swap cannot change a simulation outcome.
+//!
+//! Times are compared by *bit pattern*, not `==`: a backend that popped
+//! `0.0` where the reference popped `-0.0` would corrupt downstream
+//! virtual-time arithmetic signs even though `-0.0 == 0.0`.
+//!
+//! Shrunk failures live in `queue_equivalence.proptest-regressions` and
+//! are mirrored as explicit `regression_*` replay tests below, so they
+//! re-run on every backend change even where regression-file replay is
+//! unavailable.
+
+// Test helpers may unwrap (clippy's allow-unwrap-in-tests does not
+// reach helper fns in integration-test files).
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use ugpc_hwsim::Secs;
+use ugpc_runtime::{EventQueue, QueueBackend};
+
+/// One scripted queue operation. Times arrive as palette selectors so
+/// random scripts hit duplicates and signed zeros with high probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    Push(f64),
+    Pop,
+    Peek,
+    PopAllEq,
+}
+
+/// Map a palette selector to a time. `wm` is the high-water mark of
+/// times seen so far: selectors relative to it produce zero-dt events
+/// (equal to the mark) and past-time pushes (below it).
+fn time_of(sel: u8, wm: f64) -> f64 {
+    match sel % 16 {
+        0 => 0.0,
+        1 => -0.0,    // == 0.0 but a distinct bit pattern and total_cmp-less
+        2 | 3 => 1.0, // doubled selector: duplicate timestamps are common
+        4 => 2.5,
+        5 => wm, // zero-dt: lands exactly on the watermark
+        6 => wm + 1e-9,
+        7 => wm + 1.0,
+        8 => 1.0e6, // far beyond any fresh calendar horizon
+        9 => 3.0e6,
+        10 => 0.125,
+        11 => wm * 0.5, // often strictly in the past
+        12 => 7.75,
+        13 => wm + 0.03125,
+        14 => 42.0,
+        _ => 0.0625,
+    }
+}
+
+fn decode(ops: &[(u8, u8)]) -> Vec<Step> {
+    let mut wm = 0.0f64;
+    ops.iter()
+        .map(|&(kind, sel)| match kind % 8 {
+            // Pushes weighted heavier than drains so queues grow deep.
+            0..=3 => {
+                let t = time_of(sel, wm);
+                if t > wm {
+                    wm = t;
+                }
+                Step::Push(t)
+            }
+            4 | 5 => Step::Pop,
+            6 => Step::Peek,
+            _ => Step::PopAllEq,
+        })
+        .collect()
+}
+
+/// Drive both backends through the same script, asserting bit-identical
+/// observable behaviour at every step, then drain both to empty and
+/// assert the tails match too. Uses unmonitored queues: scripts may
+/// legally pop backwards in time (the resync-candidate usage pattern),
+/// which the sanitize feature would otherwise veto.
+fn assert_lockstep(steps: &[Step]) {
+    let mut heap: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Heap);
+    let mut cal: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Calendar);
+    let mut payload = 0u32;
+    let mut batch_h: Vec<u32> = Vec::new();
+    let mut batch_c: Vec<u32> = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        match *step {
+            Step::Push(t) => {
+                heap.push(Secs(t), payload);
+                cal.push(Secs(t), payload);
+                payload += 1;
+            }
+            Step::Pop => {
+                let h = heap.pop();
+                let c = cal.pop();
+                assert_eq!(
+                    h.map(|(t, p)| (t.value().to_bits(), p)),
+                    c.map(|(t, p)| (t.value().to_bits(), p)),
+                    "pop diverged at step {i}: heap {h:?} vs calendar {c:?}"
+                );
+            }
+            Step::Peek => {
+                let h = heap.peek_time().map(|t| t.value().to_bits());
+                let c = cal.peek_time().map(|t| t.value().to_bits());
+                assert_eq!(h, c, "peek diverged at step {i}");
+            }
+            Step::PopAllEq => {
+                batch_h.clear();
+                batch_c.clear();
+                let h = heap.pop_all_eq(&mut batch_h);
+                let c = cal.pop_all_eq(&mut batch_c);
+                assert_eq!(
+                    h.map(|t| t.value().to_bits()),
+                    c.map(|t| t.value().to_bits()),
+                    "batch time diverged at step {i}"
+                );
+                assert_eq!(batch_h, batch_c, "batch contents diverged at step {i}");
+            }
+        }
+        assert_eq!(heap.len(), cal.len(), "len diverged at step {i}");
+    }
+    loop {
+        let h = heap.pop();
+        let c = cal.pop();
+        assert_eq!(
+            h.map(|(t, p)| (t.value().to_bits(), p)),
+            c.map(|(t, p)| (t.value().to_bits(), p)),
+            "drain tail diverged"
+        );
+        if h.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary interleavings: every observable (pop order, peeks,
+    /// batch drains, lengths) is bit-identical between backends.
+    #[test]
+    fn backends_agree_on_random_interleavings(
+        ops in proptest::collection::vec((0u8..8, 0u8..16), 1..200),
+    ) {
+        assert_lockstep(&decode(&ops));
+    }
+
+    /// Bulk load then full drain — the sweep-driver shape: thousands of
+    /// pushes clustered in a narrow window (forcing calendar rebuilds)
+    /// followed by a monotone drain.
+    #[test]
+    fn backends_agree_on_bulk_load_then_drain(
+        sels in proptest::collection::vec(0u8..16, 1..600),
+    ) {
+        let mut steps: Vec<Step> = Vec::with_capacity(sels.len() * 2);
+        let mut wm = 0.0f64;
+        for &sel in &sels {
+            let t = time_of(sel, wm);
+            if t > wm {
+                wm = t;
+            }
+            steps.push(Step::Push(t));
+        }
+        for _ in 0..sels.len() {
+            steps.push(Step::Pop);
+        }
+        assert_lockstep(&steps);
+    }
+
+    /// The executor's exact usage pattern: batch drains interleaved with
+    /// pushes at or after the batch timestamp (completion events), plus
+    /// occasional past-time pushes (resync candidates).
+    #[test]
+    fn backends_agree_on_event_loop_pattern(
+        rounds in proptest::collection::vec((1u8..6, 0u8..16, 0u8..16), 1..80),
+    ) {
+        let mut steps: Vec<Step> = Vec::new();
+        let mut wm = 0.0f64;
+        for &(n, a, b) in &rounds {
+            for _ in 0..n {
+                let t = time_of(a, wm);
+                if t > wm {
+                    wm = t;
+                }
+                steps.push(Step::Push(t));
+            }
+            let t = time_of(b, wm);
+            if t > wm {
+                wm = t;
+            }
+            steps.push(Step::Push(t));
+            steps.push(Step::Peek);
+            steps.push(Step::PopAllEq);
+        }
+        steps.push(Step::PopAllEq);
+        steps.push(Step::PopAllEq);
+        assert_lockstep(&steps);
+    }
+
+    /// Reset-and-reuse (the arena lifecycle): a recycled queue behaves
+    /// exactly like a fresh one, wheel geometry notwithstanding.
+    #[test]
+    fn reset_queues_stay_equivalent(
+        first in proptest::collection::vec((0u8..8, 0u8..16), 1..80),
+        second in proptest::collection::vec((0u8..8, 0u8..16), 1..80),
+    ) {
+        // Round 1 on fresh queues, round 2 on reset ones — compare the
+        // reset pair against a brand-new pair on the same script.
+        let mut heap: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Heap);
+        let mut cal: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Calendar);
+        let mut payload = 0u32;
+        for step in decode(&first) {
+            if let Step::Push(t) = step {
+                heap.push(Secs(t), payload);
+                cal.push(Secs(t), payload);
+                payload += 1;
+            } else {
+                let _ = (heap.pop(), cal.pop());
+            }
+        }
+        heap.reset(QueueBackend::Heap);
+        cal.reset(QueueBackend::Calendar);
+        let mut fresh_h: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Heap);
+        let mut fresh_c: EventQueue<u32> = EventQueue::unmonitored(QueueBackend::Calendar);
+        let mut p = 0u32;
+        for step in decode(&second) {
+            match step {
+                Step::Push(t) => {
+                    for q in [&mut heap, &mut cal, &mut fresh_h, &mut fresh_c] {
+                        q.push(Secs(t), p);
+                    }
+                    p += 1;
+                }
+                _ => {
+                    let pops: Vec<_> = [&mut heap, &mut cal, &mut fresh_h, &mut fresh_c]
+                        .map(|q| q.pop().map(|(t, v)| (t.value().to_bits(), v)))
+                        .into_iter()
+                        .collect();
+                    prop_assert!(
+                        pops.iter().all(|x| *x == pops[0]),
+                        "reset queue diverged from fresh: {pops:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay tests for the shrunk regressions committed in
+// `queue_equivalence.proptest-regressions`. Each reproduces, in minimal
+// explicit form, a script that once distinguished a calendar-queue
+// candidate from the reference heap during development; keeping them as
+// named tests means they run under every backend change even where the
+// proptest regression file is not consulted.
+// ---------------------------------------------------------------------
+
+/// Equal-time FIFO across a batch boundary: a push at the timestamp
+/// that was just batch-drained must pop *after* nothing (the batch took
+/// everything), not resurrect into the old batch. Caught a candidate
+/// that left same-day entries behind after `swap_remove` reordering.
+#[test]
+fn regression_fifo_across_batch_boundary() {
+    assert_lockstep(&[
+        Step::Push(1.0),
+        Step::Push(1.0),
+        Step::PopAllEq,
+        Step::Push(1.0),
+        Step::Push(2.0),
+        Step::PopAllEq,
+        Step::PopAllEq,
+    ]);
+}
+
+/// Signed-zero batch: `-0.0` and `0.0` are one batch (they are `==`)
+/// led by `-0.0` (the `total_cmp` minimum), FIFO within each sign.
+/// Caught a candidate that keyed buckets by `to_bits`, splitting the
+/// zeros into two batches.
+#[test]
+fn regression_signed_zero_single_batch() {
+    assert_lockstep(&[
+        Step::Push(0.0),
+        Step::Push(-0.0),
+        Step::Push(0.0),
+        Step::Peek,
+        Step::PopAllEq,
+        Step::Pop,
+    ]);
+}
+
+/// Past-time push after a horizon-busting jump: the wheel must pull its
+/// cursor back below an already-visited day. Caught a candidate whose
+/// cursor only moved forward, losing (skipping) the past event until a
+/// rebuild happened to rescue it.
+#[test]
+fn regression_past_push_after_far_jump() {
+    assert_lockstep(&[
+        Step::Push(0.5),
+        Step::Push(1.0e6),
+        Step::Pop,        // 0.5
+        Step::Push(0.25), // in the past, below the popped watermark
+        Step::Peek,
+        Step::Pop, // must be 0.25, not 1e6
+        Step::Pop,
+        Step::Pop,
+    ]);
+}
+
+/// Zero-dt events on the watermark plus empty-queue pops: draining past
+/// empty and pushing again must keep sequence numbering (and thus FIFO
+/// order) aligned between backends.
+#[test]
+fn regression_zero_dt_and_empty_pops() {
+    assert_lockstep(&[
+        Step::Pop, // empty
+        Step::Push(0.0625),
+        Step::Push(0.0625),
+        Step::Pop,
+        Step::Pop,
+        Step::Pop,      // empty again
+        Step::PopAllEq, // empty batch
+        Step::Push(0.0625),
+        Step::Push(42.0),
+        Step::PopAllEq,
+        Step::Pop,
+    ]);
+}
+
+/// Overflow-spill ordering: events beyond the horizon spill to the
+/// overflow heap; when the wheel drains, the reanchor must interleave
+/// them back in exact `(time, seq)` order — including duplicates that
+/// straddle the spill boundary.
+#[test]
+fn regression_overflow_interleaves_duplicates() {
+    assert_lockstep(&[
+        Step::Push(2.5),
+        Step::Push(3.0e6),
+        Step::Push(1.0e6),
+        Step::Push(1.0e6),
+        Step::Push(2.5),
+        Step::Pop,
+        Step::Pop,
+        Step::PopAllEq, // the two 1e6 events, insertion order
+        Step::Pop,
+        Step::Pop,
+    ]);
+}
