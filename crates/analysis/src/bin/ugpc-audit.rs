@@ -28,6 +28,7 @@ use std::process::ExitCode;
 
 use ugpc_analysis::lints::{self, all_rules};
 use ugpc_analysis::model::backpressure::Backpressure;
+use ugpc_analysis::model::controlplane::ControlPlaneModel;
 use ugpc_analysis::model::eventqueue::EventQueueModel;
 use ugpc_analysis::model::singleflight::SingleFlight;
 use ugpc_analysis::model::{Checker, Model};
@@ -82,6 +83,7 @@ fn check_models() -> bool {
         &Backpressure::correct(2, 2, 1),
     );
     ok &= check_model("event-queue(pushes=4)", &EventQueueModel::correct(4));
+    ok &= check_model("control-plane(ticks=6)", &ControlPlaneModel::correct(6));
     ok
 }
 

@@ -25,6 +25,10 @@
 //!   sorted-list specification over every bounded push/pop interleaving;
 //!   invariants: pops match the `(time, seq)` minimum exactly (FIFO on
 //!   equal timestamps), no event is lost or duplicated, every run drains.
+//! * [`controlplane`]: the online controller's re-cap command path —
+//!   every decision sequence a bounded tick train could emit, checked
+//!   for lost or stale re-caps, domain escapes, and the neutrality
+//!   guarantee that the all-hold path leaves the run untouched.
 //!
 //! Each model also has a deliberately broken variant reproducing a
 //! classic bug (non-atomic check-then-park; signaling `stop` without
@@ -37,6 +41,7 @@
 //! model must [`accept`](accepts_trace).
 
 pub mod backpressure;
+pub mod controlplane;
 pub mod eventqueue;
 pub mod singleflight;
 

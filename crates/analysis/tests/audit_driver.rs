@@ -167,6 +167,7 @@ fn report_is_independent_of_file_order() {
 #[test]
 fn model_interleaving_counts_are_pinned() {
     use ugpc_analysis::model::backpressure::Backpressure;
+    use ugpc_analysis::model::controlplane::ControlPlaneModel;
     use ugpc_analysis::model::eventqueue::EventQueueModel;
     use ugpc_analysis::model::singleflight::SingleFlight;
     use ugpc_analysis::model::{CheckOutcome, Checker, Model};
@@ -180,4 +181,5 @@ fn model_interleaving_counts_are_pinned() {
     assert_eq!(counts(&SingleFlight::correct(3)), (859, 1848, 57));
     assert_eq!(counts(&Backpressure::correct(2, 2, 1)), (291, 710, 3));
     assert_eq!(counts(&EventQueueModel::correct(4)), (1280, 2361, 10));
+    assert_eq!(counts(&ControlPlaneModel::correct(6)), (575, 574, 169));
 }

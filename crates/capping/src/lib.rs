@@ -12,7 +12,7 @@ pub mod policy;
 pub mod sweep;
 
 pub use config::{BadConfig, CapConfig, CapLevel};
-pub use dynamic::{run_dynamic, DynamicCapper, DynamicRun};
+pub use dynamic::{run_dynamic, DynamicCapper, DynamicRun, ObjectiveValue};
 pub use policy::{apply_cpu_cap, apply_gpu_caps, reset_all_caps, resolve_caps};
 pub use sweep::{
     best_point, cap_fracs, cap_sweep, sweep_point, table_i_row, try_best_point, SweepPoint,

@@ -1,0 +1,349 @@
+//! Pluggable control objectives.
+//!
+//! "Power-Capping Metric Evaluation" (arxiv 2505.21758) shows that *which
+//! cap wins* depends on the metric being optimized: pure energy
+//! efficiency (Gflop/s/W) favors deep caps, the EDP/ED²P family trades
+//! energy against delay and favors shallower ones, and production sites
+//! often cap subject to a performance floor. Each metric is an
+//! [`Objective`]: a scoring rule over one sensor window, normalized so
+//! **higher is always better** — the controller maximizes the score
+//! without knowing which metric it embodies.
+
+use serde::{Deserialize, Serialize};
+use ugpc_hwsim::{Flops, Joules, Secs};
+
+/// A typed, dimensionless, higher-is-better objective score.
+///
+/// This is the unit-bearing replacement for the raw `f64` "efficiency"
+/// the old `DynamicCapper::observe` consumed (the `raw-unit` lint class
+/// `ugpc-audit` exists for): a score only means something relative to
+/// other scores of the *same* objective, so it gets its own type rather
+/// than masquerading as a physical quantity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ObjectiveValue(pub f64);
+
+impl ObjectiveValue {
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+/// What one sensor window measured on one device: completed useful work,
+/// the energy it took (busy plus the window's idle share), and the
+/// window's extent in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowMetrics {
+    /// Useful flops completed in the window.
+    pub flops: Flops,
+    /// Energy consumed over the window (kernel energy + idle share).
+    pub energy: Joules,
+    /// Window length in virtual seconds.
+    pub elapsed: Secs,
+    /// Time the device spent executing kernels (occupancy numerator).
+    pub busy_time: Secs,
+}
+
+impl WindowMetrics {
+    /// Achieved performance over the window, flop/s.
+    #[inline]
+    pub fn perf(&self) -> f64 {
+        if self.elapsed.value() <= 0.0 {
+            0.0
+        } else {
+            self.flops.value() / self.elapsed.value()
+        }
+    }
+
+    /// Throughput while executing, flop/s over busy time. Unlike
+    /// [`perf`](Self::perf) this is independent of the window's idle
+    /// composition: a drain-phase window with gaps shows the same busy
+    /// rate as a saturated one at the same cap, so it isolates what the
+    /// *cap* did to kernel speed.
+    #[inline]
+    pub fn busy_perf(&self) -> f64 {
+        if self.busy_time.value() <= 0.0 {
+            0.0
+        } else {
+            self.flops.value() / self.busy_time.value()
+        }
+    }
+
+    /// Fraction of the window the device was busy.
+    #[inline]
+    pub fn occupancy(&self) -> f64 {
+        if self.elapsed.value() <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time.value() / self.elapsed.value()).min(1.0)
+        }
+    }
+
+    /// A window with no completed work (or no extent) carries no signal;
+    /// controllers skip it rather than feed a degenerate score.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flops.value() <= 0.0 || self.elapsed.value() <= 0.0 || self.energy.value() <= 0.0
+    }
+}
+
+/// A scoring rule over sensor windows. Stateful (`&mut self`) so
+/// objectives may carry calibration captured from early windows — the
+/// perf-floor objective records its reference performance this way.
+pub trait Objective: Send {
+    fn name(&self) -> &'static str;
+    /// Score one window; higher is better. Only called on non-empty
+    /// windows.
+    fn score(&mut self, m: &WindowMetrics) -> ObjectiveValue;
+}
+
+/// Pure energy efficiency: Gflop/s/W == Gflop/J. The paper's Table II
+/// metric; deep caps win.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GflopsPerWatt;
+
+impl Objective for GflopsPerWatt {
+    fn name(&self) -> &'static str {
+        "gflops-w"
+    }
+    fn score(&mut self, m: &WindowMetrics) -> ObjectiveValue {
+        ObjectiveValue(m.flops.as_gflop() / m.energy.value())
+    }
+}
+
+/// Energy-delay product, work-normalized: minimizing `E·T` at fixed work
+/// is maximizing `W²/(E·T)` (in Gflop² so magnitudes stay printable).
+/// Balances energy against delay; caps land shallower than pure
+/// efficiency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edp;
+
+impl Objective for Edp {
+    fn name(&self) -> &'static str {
+        "edp"
+    }
+    fn score(&mut self, m: &WindowMetrics) -> ObjectiveValue {
+        let g = m.flops.as_gflop();
+        ObjectiveValue(g * g / (m.energy.value() * m.elapsed.value()))
+    }
+}
+
+/// Energy-delay² product: `W³/(E·T²)`. Weighs delay harder still; the
+/// sweet spot sits closest to TDP of the family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ed2p;
+
+impl Objective for Ed2p {
+    fn name(&self) -> &'static str {
+        "ed2p"
+    }
+    fn score(&mut self, m: &WindowMetrics) -> ObjectiveValue {
+        let g = m.flops.as_gflop();
+        ObjectiveValue(g * g * g / (m.energy.value() * m.elapsed.value() * m.elapsed.value()))
+    }
+}
+
+/// Energy efficiency subject to a performance floor: maximize Gflop/s/W
+/// while holding at least `floor` of the reference performance — the
+/// busy-time throughput the device showed in its first measured window
+/// (at the starting cap, normally TDP). Busy-time rather than wall-time
+/// throughput, because the floor constrains what the *cap* does to
+/// kernel speed; windows whose wall-rate dips from DAG gaps are not
+/// violations. Windows below the floor score negative, proportional to
+/// the shortfall, so the hill-climber backs the cap off monotonically
+/// toward compliance.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfFloor {
+    floor: f64,
+    reference: Option<f64>,
+}
+
+impl PerfFloor {
+    /// `floor` is the fraction of reference performance to preserve,
+    /// in `(0, 1]`.
+    pub fn new(floor: f64) -> Self {
+        assert!(
+            floor > 0.0 && floor <= 1.0 && floor.is_finite(),
+            "perf floor must be a fraction in (0, 1], got {floor}"
+        );
+        PerfFloor {
+            floor,
+            reference: None,
+        }
+    }
+
+    /// The captured reference performance (flop/s), once seen.
+    pub fn reference(&self) -> Option<f64> {
+        self.reference
+    }
+}
+
+impl Objective for PerfFloor {
+    fn name(&self) -> &'static str {
+        "perf-floor"
+    }
+    fn score(&mut self, m: &WindowMetrics) -> ObjectiveValue {
+        let perf = m.busy_perf();
+        let reference = *self.reference.get_or_insert(perf);
+        let floor = self.floor * reference;
+        if perf >= floor || floor <= 0.0 {
+            ObjectiveValue(m.flops.as_gflop() / m.energy.value())
+        } else {
+            // Strictly negative, deeper shortfall => worse: always loses
+            // to any compliant window, so the search retreats.
+            ObjectiveValue((perf - floor) / floor)
+        }
+    }
+}
+
+/// Serializable objective selector — the wire/CLI identity of a
+/// controller's metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    GflopsPerWatt,
+    Edp,
+    Ed2p,
+    PerfFloor,
+}
+
+impl ObjectiveKind {
+    pub const ALL: [ObjectiveKind; 4] = [
+        ObjectiveKind::GflopsPerWatt,
+        ObjectiveKind::Edp,
+        ObjectiveKind::Ed2p,
+        ObjectiveKind::PerfFloor,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveKind::GflopsPerWatt => "gflops-w",
+            ObjectiveKind::Edp => "edp",
+            ObjectiveKind::Ed2p => "ed2p",
+            ObjectiveKind::PerfFloor => "perf-floor",
+        }
+    }
+
+    /// Stable one-byte identity for cache-key canonical encodings.
+    pub fn tag(self) -> u8 {
+        match self {
+            ObjectiveKind::GflopsPerWatt => 1,
+            ObjectiveKind::Edp => 2,
+            ObjectiveKind::Ed2p => 3,
+            ObjectiveKind::PerfFloor => 4,
+        }
+    }
+
+    /// Build the objective; `perf_floor` applies to
+    /// [`ObjectiveKind::PerfFloor`] only.
+    pub fn build(self, perf_floor: f64) -> Box<dyn Objective> {
+        match self {
+            ObjectiveKind::GflopsPerWatt => Box::new(GflopsPerWatt),
+            ObjectiveKind::Edp => Box::new(Edp),
+            ObjectiveKind::Ed2p => Box::new(Ed2p),
+            ObjectiveKind::PerfFloor => Box::new(PerfFloor::new(perf_floor)),
+        }
+    }
+}
+
+impl std::str::FromStr for ObjectiveKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gflops-w" | "gflops_w" | "efficiency" => Ok(ObjectiveKind::GflopsPerWatt),
+            "edp" => Ok(ObjectiveKind::Edp),
+            "ed2p" => Ok(ObjectiveKind::Ed2p),
+            "perf-floor" | "perf_floor" => Ok(ObjectiveKind::PerfFloor),
+            other => Err(format!(
+                "unknown objective '{other}' (expected gflops-w, edp, ed2p, or perf-floor)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(gflop: f64, joules: f64, secs: f64) -> WindowMetrics {
+        WindowMetrics {
+            flops: Flops::from_gflop(gflop),
+            energy: Joules(joules),
+            elapsed: Secs(secs),
+            busy_time: Secs(secs),
+        }
+    }
+
+    #[test]
+    fn gflops_per_watt_is_work_per_joule() {
+        let s = GflopsPerWatt.score(&window(100.0, 50.0, 1.0));
+        assert!((s.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_family_penalizes_delay_progressively() {
+        // Same work & energy, twice the time: EDP halves, ED²P quarters,
+        // Gflop/s/W is indifferent.
+        let fast = window(100.0, 50.0, 1.0);
+        let slow = window(100.0, 50.0, 2.0);
+        assert_eq!(
+            GflopsPerWatt.score(&fast).value(),
+            GflopsPerWatt.score(&slow).value()
+        );
+        assert!((Edp.score(&slow).value() / Edp.score(&fast).value() - 0.5).abs() < 1e-12);
+        assert!((Ed2p.score(&slow).value() / Ed2p.score(&fast).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_floor_captures_reference_then_enforces() {
+        let mut o = PerfFloor::new(0.8);
+        // First window sets the reference (100 Gflop/s) and is compliant.
+        let s0 = o.score(&window(100.0, 50.0, 1.0));
+        assert!(s0.value() > 0.0);
+        assert_eq!(o.reference(), Some(100.0e9));
+        // 90 % of reference: compliant, scored on efficiency.
+        let s1 = o.score(&window(90.0, 30.0, 1.0));
+        assert!(
+            s1.value() > s0.value(),
+            "better efficiency wins while compliant"
+        );
+        // 50 % of reference: violation, strictly negative.
+        let s2 = o.score(&window(50.0, 10.0, 1.0));
+        assert!(s2.value() < 0.0);
+        // Deeper shortfall is worse.
+        let s3 = o.score(&window(25.0, 5.0, 1.0));
+        assert!(s3.value() < s2.value());
+    }
+
+    #[test]
+    fn kind_round_trips_names_and_tags() {
+        for k in ObjectiveKind::ALL {
+            assert_eq!(k.name().parse::<ObjectiveKind>().unwrap(), k);
+            assert!(k.tag() > 0);
+        }
+        assert!("nope".parse::<ObjectiveKind>().is_err());
+        // Tags are distinct (cache-key identity).
+        let mut tags: Vec<u8> = ObjectiveKind::ALL.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 4);
+    }
+
+    #[test]
+    fn empty_windows_are_flagged() {
+        assert!(window(0.0, 10.0, 1.0).is_empty());
+        assert!(window(10.0, 10.0, 0.0).is_empty());
+        assert!(!window(10.0, 10.0, 1.0).is_empty());
+        assert!((window(100.0, 1.0, 2.0).perf() - 50.0e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Re-cap split exactness.
+//!
+//! When a re-cap lands mid-interval, the ledger splits the retained
+//! history at the transition instant. These proptests pin the accounting
+//! contract: the two halves carry the interval's power unchanged and
+//! their energies sum to the uncapped interval's total, aggregates are
+//! bit-identical, and every `energy_until` reading — the NVML counter
+//! the whole energy pipeline is built on — is unaffected.
+
+use proptest::prelude::*;
+use ugpc_hwsim::{EnergyLedger, GpuDevice, GpuModel, KernelWork, Precision, Secs, Watts};
+
+/// A ledger with `n` busy intervals at arbitrary powers, separated by
+/// arbitrary idle gaps.
+fn arb_ledger() -> impl Strategy<Value = EnergyLedger> {
+    proptest::collection::vec((0.0..2.0f64, 0.01..3.0f64, 20.0..400.0f64), 1..12).prop_map(
+        |segments| {
+            let mut ledger = EnergyLedger::new(Watts(25.0));
+            let mut t = 0.0;
+            for (gap, busy, power) in segments {
+                let start = t + gap;
+                let end = start + busy;
+                ledger.record(Secs(start), Secs(end), Watts(power));
+                t = end;
+            }
+            ledger
+        },
+    )
+}
+
+proptest! {
+    /// Splitting anywhere — mid-interval, on a boundary, in an idle gap,
+    /// past the end — preserves the interval-sum energy exactly, keeps
+    /// the aggregates bit-identical, and leaves `energy_until` unchanged
+    /// at every probe point.
+    #[test]
+    fn split_preserves_every_energy_reading(
+        ledger in arb_ledger(),
+        frac in -0.1..1.2f64,
+        probes in proptest::collection::vec(0.0..1.5f64, 1..8),
+    ) {
+        let mut split = ledger.clone();
+        let span = ledger.last_end().value();
+        let t = Secs(span * frac);
+        split.split_at(t);
+
+        // Aggregates: bit-identical, not approximately equal.
+        prop_assert_eq!(split.busy_energy(), ledger.busy_energy());
+        prop_assert_eq!(split.busy_time(), ledger.busy_time());
+        prop_assert_eq!(split.last_end(), ledger.last_end());
+
+        // Interval sums match to fp tolerance, and the retained history
+        // still covers exactly the same busy span.
+        let sum = |l: &EnergyLedger| l.intervals().iter().map(|iv| iv.energy().value()).sum::<f64>();
+        prop_assert!((sum(&split) - sum(&ledger)).abs() <= 1e-9 * sum(&ledger).max(1.0));
+        let busy = |l: &EnergyLedger| l.intervals().iter().map(|iv| iv.duration().value()).sum::<f64>();
+        prop_assert!((busy(&split) - busy(&ledger)).abs() <= 1e-12 * span.max(1.0));
+
+        // The NVML-counter view is bit-identical at every legal probe
+        // point (`energy_until` requires `until >= last_end`).
+        for p in probes {
+            let at = Secs(span * (1.0 + p));
+            prop_assert_eq!(split.energy_until(at), ledger.energy_until(at));
+        }
+
+        // If the split landed strictly inside an interval, the two halves
+        // share its power and sum to its extent.
+        if let Some(i) = ledger
+            .intervals()
+            .iter()
+            .position(|iv| iv.start < t && t < iv.end)
+        {
+            let original = ledger.intervals()[i];
+            let (left, right) = (split.intervals()[i], split.intervals()[i + 1]);
+            prop_assert_eq!(split.intervals().len(), ledger.intervals().len() + 1);
+            prop_assert_eq!(left.power, original.power);
+            prop_assert_eq!(right.power, original.power);
+            prop_assert_eq!(left.end, t);
+            prop_assert_eq!(right.start, t);
+            let halves = left.energy().value() + right.energy().value();
+            prop_assert!(
+                (halves - original.energy().value()).abs()
+                    <= 1e-9 * original.energy().value().max(1.0),
+                "left+right = {halves}, uncapped interval = {}",
+                original.energy().value()
+            );
+        } else {
+            prop_assert_eq!(split.intervals().len(), ledger.intervals().len());
+        }
+    }
+
+    /// The same contract through the device API: re-capping a live GPU at
+    /// any instant and any legal cap never changes the energy already on
+    /// the ledger, only the cost of future launches.
+    #[test]
+    fn recap_at_never_rewrites_device_history(
+        model_ix in 0..GpuModel::ALL.len(),
+        kernels in 1..6usize,
+        frac in 0.0..1.0f64,
+        cap_frac in 0.0..1.0f64,
+    ) {
+        let mut gpu = GpuDevice::new(0, GpuModel::ALL[model_ix]);
+        let work = KernelWork::gemm_tile(1440, Precision::Double);
+        let mut now = Secs::ZERO;
+        for _ in 0..kernels {
+            let run = gpu.execute(&work, now);
+            now += run.time;
+        }
+        let before = gpu.energy(now);
+        let (min, max) = (gpu.spec().min_cap, gpu.spec().tdp);
+        let cap = Watts(min.value() + cap_frac * (max - min).value());
+        gpu.recap_at(now * frac, cap).expect("cap within range");
+        prop_assert_eq!(gpu.energy(now), before);
+        prop_assert_eq!(gpu.power_limit(), cap);
+    }
+}

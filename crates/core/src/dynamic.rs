@@ -12,7 +12,7 @@
 
 use crate::{RunConfig, RunReport};
 use serde::{Deserialize, Serialize};
-use ugpc_capping::DynamicCapper;
+use ugpc_capping::{DynamicCapper, ObjectiveValue};
 use ugpc_hwsim::Node;
 use ugpc_runtime::{build_workers, simulate, DataRegistry, SimOptions, WorkerKind};
 
@@ -94,7 +94,7 @@ pub fn run_dynamic_study(cfg: &RunConfig, iterations: usize) -> DynamicStudyRepo
         out.push(iteration);
         // Feed controllers and apply the next caps.
         for (g, ctl) in controllers.iter_mut().enumerate() {
-            let next = ctl.observe(gpu_efficiency[g]);
+            let next = ctl.observe(ObjectiveValue(gpu_efficiency[g]));
             node.gpu_mut(g)
                 .set_power_limit(next)
                 .expect("controller stays within constraints");

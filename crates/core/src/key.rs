@@ -25,6 +25,14 @@
 //! | `0x08` | `scheduler` | 1 byte: Eager=0, Random=1 (+ u64 LE seed), Dm=2, Dmda=3, Dmdas=4, EnergyAware=5 (+ f64 bits LE λ) |
 //! | `0x09` | `keep_records` | 1 byte: 0 or 1 |
 //!
+//! Controlled runs ([`crate::run_study_controlled`]) extend the encoding
+//! with one appended segment, so they can never alias a static run of
+//! the same configuration:
+//!
+//! | tag | field | encoding |
+//! |-----|-------|----------|
+//! | `0x0A` | `controller` | [`ControllerSpec::canonical_bytes`] (objective tag, period bits, floor bits, enabled, seed) |
+//!
 //! The layout is frozen: changing it invalidates every persisted or
 //! remote cache, so additions must append new tags, never renumber.
 //! `key_stability_is_pinned` below locks the layout with a golden value.
@@ -160,6 +168,21 @@ impl RunConfig {
         self.canonical_bytes(&mut bytes);
         CacheKey(fnv1a(FNV_OFFSET, &bytes))
     }
+
+    /// The identity of this configuration run under an online controller:
+    /// the static encoding with the controller's canonical bytes appended
+    /// under tag `0x0A`. Guarantees a controlled run never shares a key
+    /// with the static run of the same configuration, and that two
+    /// controllers differing in any spec field (objective, period, floor,
+    /// enabled, seed) key differently. [`cache_key`](Self::cache_key)
+    /// itself is unchanged — static keys stay frozen.
+    pub fn controlled_cache_key(&self, spec: &ugpc_control::ControllerSpec) -> CacheKey {
+        let mut bytes = Vec::with_capacity(96);
+        self.canonical_bytes(&mut bytes);
+        bytes.push(0x0a);
+        bytes.extend_from_slice(&spec.canonical_bytes());
+        CacheKey(fnv1a(FNV_OFFSET, &bytes))
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +277,38 @@ mod tests {
         // The pinned golden key for the Amd4A100/GEMM/dp paper config
         // scaled down 4× (n = 17 280, nb = 5 760, HHHH, dmdas).
         assert_eq!(key, CacheKey(0xe51f_9177_25f4_89da));
+    }
+
+    #[test]
+    fn controlled_keys_never_alias_static_or_each_other() {
+        use ugpc_control::{ControllerSpec, ObjectiveKind};
+        let cfg = base();
+        let spec = ControllerSpec::new(ObjectiveKind::GflopsPerWatt);
+        // Static golden stays frozen.
+        assert_eq!(cfg.cache_key(), CacheKey(0xe51f_9177_25f4_89da));
+        let mut keys = vec![cfg.cache_key()];
+        for s in [
+            spec.clone(),
+            ControllerSpec::new(ObjectiveKind::Edp),
+            ControllerSpec::new(ObjectiveKind::Ed2p),
+            ControllerSpec::new(ObjectiveKind::PerfFloor),
+            spec.clone().with_period(0.5),
+            spec.clone().with_perf_floor(0.9),
+            spec.clone().disabled(),
+            spec.clone().with_seed(3),
+        ] {
+            keys.push(cfg.controlled_cache_key(&s));
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+        // Deterministic.
+        assert_eq!(
+            cfg.controlled_cache_key(&spec),
+            cfg.clone().controlled_cache_key(&spec.clone())
+        );
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //! assert!(capped.efficiency_gflops_w > base.efficiency_gflops_w);
 //! ```
 
+pub mod controlled;
 pub mod dynamic;
 pub mod key;
 pub mod report;
 
+pub use controlled::{
+    run_study_at_caps, run_study_controlled, run_study_controlled_queued_observed,
+    try_run_study_controlled, ControlledRun,
+};
 pub use dynamic::{
     dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,
 };

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--audit] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|all]...
+//! repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|control|all]...
 //! repro --serve [ADDR]
 //! repro --trace-out DIR [--scale K]
 //! ```
@@ -24,6 +24,9 @@
 //! the same order, so output is byte-identical either way — this is a
 //! performance knob, pinned by the queue-equivalence suite.
 //! `--json DIR` additionally writes each experiment's raw data as JSON.
+//! `--smoke` runs the cheap CI variant of experiments that have one
+//! (currently `control`); the full-scale committed baselines are left
+//! untouched.
 //! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
 //! plus a parallelism report) before anything else and fails the run on
 //! errors; alone, it runs only the validation.
@@ -42,6 +45,7 @@ struct Args {
     json_dir: Option<PathBuf>,
     validate: bool,
     audit: bool,
+    smoke: bool,
     serve: Option<String>,
     trace_out: Option<PathBuf>,
     experiments: Vec<String>,
@@ -49,7 +53,7 @@ struct Args {
 
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig1",
     "table1",
     "table2",
@@ -65,6 +69,7 @@ const ALL: [&str; 15] = [
     "mixed",
     "power",
     "profile",
+    "control",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         json_dir: None,
         validate: false,
         audit: false,
+        smoke: false,
         serve: None,
         trace_out: None,
         experiments: Vec::new(),
@@ -106,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--validate" => args.validate = true,
             "--audit" => args.audit = true,
+            "--smoke" => args.smoke = true,
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a directory")?;
                 args.trace_out = Some(PathBuf::from(v));
@@ -129,7 +136,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--audit] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
+                    "usage: repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -263,6 +270,41 @@ fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T)
         std::fs::write(&path, data).expect("write json");
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Persist the control study as `BENCH_control.json`: into
+/// `$UGPC_BENCH_JSON` when set (CI's artifact dir, same convention as
+/// the Criterion shim), else — for full-scale runs only — refresh the
+/// committed baseline in `results/bench/`. Smoke or scaled runs never
+/// overwrite the committed file, whose acceptance bar
+/// (`tests/control_bench.rs`) only the full-scale study meets.
+fn write_bench_control(study: &ugpc_experiments::control::ControlStudy, smoke: bool, scale: usize) {
+    let data = serde_json::to_string_pretty(study).expect("serialize control study");
+    let path = if let Ok(dir) = std::env::var("UGPC_BENCH_JSON") {
+        PathBuf::from(dir).join("BENCH_control.json")
+    } else if !smoke && scale == 1 {
+        match std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+        {
+            Some(root) => root.join("results/bench/BENCH_control.json"),
+            None => {
+                eprintln!("error: cannot locate the workspace root");
+                return;
+            }
+        }
+    } else {
+        eprintln!(
+            "[control] not refreshing results/bench/BENCH_control.json \
+             (smoke/scaled run; set UGPC_BENCH_JSON to capture the data)"
+        );
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create bench dir");
+    }
+    std::fs::write(&path, data).expect("write BENCH_control.json");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Lint the operations' task graphs at validation size (nt=16) and print
@@ -442,6 +484,16 @@ fn main() -> ExitCode {
                 let s = ex::profile::run(args.scale);
                 println!("{}", ex::profile::render(&s));
                 write_json(&args.json_dir, "profile", &s);
+            }
+            "control" => {
+                let s = if args.smoke {
+                    ex::control::run_smoke()
+                } else {
+                    ex::control::run(args.scale)
+                };
+                println!("{}", ex::control::render(&s));
+                write_json(&args.json_dir, "control", &s);
+                write_bench_control(&s, args.smoke, args.scale);
             }
             "ablation" => {
                 for op in ugpc_hwsim::OpKind::ALL {

@@ -5,6 +5,7 @@
 //! binary drives them (`repro all`, `repro fig3 --scale 2`, ...).
 
 pub mod ablation;
+pub mod control;
 pub mod driver;
 pub mod ext_lu;
 pub mod ext_mixed;

@@ -60,8 +60,9 @@ pub fn run_with(platform: PlatformId, op: OpKind, scale: usize, bins: usize) -> 
     }
 }
 
-/// One lane's bins as an ASCII sparkline, scaled to `max_w`.
-fn sparkline(bins: &[f64], max_w: f64) -> String {
+/// One lane's bins as an ASCII sparkline, scaled to `max_w`. Shared with
+/// the `control` study's re-cap profiles.
+pub(crate) fn sparkline(bins: &[f64], max_w: f64) -> String {
     const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
     bins.iter()
         .map(|w| {

@@ -120,6 +120,37 @@ impl EnergyLedger {
         &self.intervals
     }
 
+    /// Split the retained interval containing `t` (strictly inside it)
+    /// into two back-to-back intervals at the same power. Used when a
+    /// power cap changes mid-run: a kernel already in flight keeps the
+    /// power it was launched at, but the history on either side of the
+    /// transition becomes separately attributable. Aggregates
+    /// (`busy_energy`, `busy_time`, `last_end`) are untouched — the sum
+    /// of the two halves equals the original interval — so every
+    /// existing energy reading is unaffected. No-op if `t` falls on a
+    /// boundary, outside all intervals, or retention is disabled.
+    pub fn split_at(&mut self, t: Secs) {
+        if !self.keep_intervals {
+            return;
+        }
+        if let Some(i) = self
+            .intervals
+            .iter()
+            .position(|iv| iv.start < t && t < iv.end)
+        {
+            let iv = self.intervals[i];
+            self.intervals[i].end = t;
+            self.intervals.insert(
+                i + 1,
+                BusyInterval {
+                    start: t,
+                    end: iv.end,
+                    power: iv.power,
+                },
+            );
+        }
+    }
+
     /// Clear all recorded activity (NVML energy counters survive this; the
     /// simulation uses it between measured runs).
     pub fn reset(&mut self) {
@@ -173,6 +204,36 @@ mod tests {
     fn backwards_interval_panics() {
         let mut l = EnergyLedger::new(Watts::ZERO);
         l.record(Secs(2.0), Secs(1.0), Watts(1.0));
+    }
+
+    #[test]
+    fn split_at_refines_without_changing_totals() {
+        let mut l = EnergyLedger::new(Watts(10.0));
+        l.record(Secs(1.0), Secs(3.0), Watts(250.0));
+        let before = l.energy_until(Secs(5.0));
+        l.split_at(Secs(2.2));
+        assert_eq!(l.intervals().len(), 2);
+        let (a, b) = (l.intervals()[0], l.intervals()[1]);
+        assert_eq!(a.start, Secs(1.0));
+        assert_eq!(a.end, Secs(2.2));
+        assert_eq!(b.start, Secs(2.2));
+        assert_eq!(b.end, Secs(3.0));
+        assert_eq!(a.power, b.power);
+        assert!((a.energy() + b.energy() - Joules(500.0)).value().abs() < 1e-9);
+        // Aggregates bit-identical: the split is pure refinement.
+        assert_eq!(l.energy_until(Secs(5.0)), before);
+        assert_eq!(l.busy_time(), Secs(2.0));
+    }
+
+    #[test]
+    fn split_at_boundary_or_idle_is_a_noop() {
+        let mut l = EnergyLedger::new(Watts(10.0));
+        l.record(Secs(1.0), Secs(3.0), Watts(250.0));
+        l.split_at(Secs(1.0));
+        l.split_at(Secs(3.0));
+        l.split_at(Secs(0.5));
+        l.split_at(Secs(7.0));
+        assert_eq!(l.intervals().len(), 1);
     }
 
     #[test]

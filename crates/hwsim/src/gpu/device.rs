@@ -67,6 +67,21 @@ impl GpuDevice {
         self.cap = self.spec.tdp;
     }
 
+    /// Change the power limit at virtual time `t` on a live device — the
+    /// mid-run re-cap primitive. Validates exactly like
+    /// [`set_power_limit`](Self::set_power_limit); on success, the energy
+    /// ledger's retained history is split at the transition instant so
+    /// the energy on either side of the re-cap is separately
+    /// attributable. A kernel already in flight keeps the power it was
+    /// launched at (hardware enforces caps at launch/DVFS granularity;
+    /// the executor only re-caps between launches); the new limit
+    /// governs every subsequent launch.
+    pub fn recap_at(&mut self, t: Secs, cap: Watts) -> HwResult<()> {
+        self.set_power_limit(cap)?;
+        self.ledger.split_at(t);
+        Ok(())
+    }
+
     /// Predict a kernel's run under the current cap without executing it.
     /// Used by the runtime's performance-model calibration — StarPU's
     /// calibration runs map to exactly this call.
@@ -138,6 +153,25 @@ mod tests {
         assert_eq!(d.power_limit(), Watts(216.0));
         d.reset_power_limit();
         assert_eq!(d.power_limit(), Watts(400.0));
+    }
+
+    #[test]
+    fn recap_at_validates_and_splits_history() {
+        let mut d = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let w = KernelWork::gemm_tile(2880, Precision::Double);
+        let r = d.execute(&w, Secs(0.0));
+        let mid = r.time * 0.5;
+        // Out-of-range re-cap fails and leaves state alone.
+        assert!(d.recap_at(mid, Watts(10.0)).is_err());
+        assert_eq!(d.power_limit(), Watts(400.0));
+        d.recap_at(mid, Watts(216.0)).unwrap();
+        assert_eq!(d.power_limit(), Watts(216.0));
+        // History split at the instant, energy unchanged.
+        let e = d.energy(r.time);
+        assert!((e.value() - r.energy().value()).abs() < 1e-9);
+        // Subsequent launches run at the new cap.
+        let capped = d.estimate(&w);
+        assert!(capped.time > r.time);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! work-stealing sweep driver gets one per worker thread with no
 //! synchronization on the hot path.
 
+use crate::control::SimEvent;
 use crate::des::EventQueue;
 use crate::task::{Footprint, TaskId};
 use crate::worker::{Worker, WorkerId};
@@ -46,14 +47,16 @@ pub struct RunArena {
     pub ready: Vec<TaskId>,
     /// Scheduler-ordered batch being committed this round.
     pub batch: Vec<TaskId>,
-    /// Tasks completing at the current timestamp.
-    pub completed: Vec<TaskId>,
+    /// Events landing at the current timestamp (task completions
+    /// interleaved with control traffic).
+    pub completed: Vec<SimEvent>,
     /// Distinct performance-model footprints in the graph (sorted).
     pub footprints: Vec<Footprint>,
     /// Footprints still needing calibration runs.
     pub missing: Vec<Footprint>,
-    /// Task-completion event queue.
-    pub events: EventQueue<TaskId>,
+    /// The run's event queue: task completions plus control-plane
+    /// re-caps and ticks, all in one time-ordered stream.
+    pub events: EventQueue<SimEvent>,
     /// Idle-worker `expected_end` resync candidates.
     pub resync: EventQueue<WorkerId>,
 }

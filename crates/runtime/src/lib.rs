@@ -24,6 +24,7 @@
 //! and progress/stats meters are all observers over that stream.
 
 pub mod arena;
+pub mod control;
 pub mod data;
 pub mod des;
 pub mod export;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod worker;
 
 pub use arena::{with_run_arena, RunArena};
+pub use control::{ControlDecision, ControlHook, RecapEvent, SimEvent};
 pub use data::{DataId, DataRegistry, MemNode};
 pub use des::{set_backend_override, EventQueue, QueueBackend};
 pub use export::{chrome_trace, PerfettoSink, TraceError};
@@ -51,7 +53,7 @@ pub use observer::{
 };
 pub use perfmodel::PerfModel;
 pub use sched::{SchedPolicy, SchedView, Scheduler};
-pub use sim::{simulate, simulate_observed, simulate_with_model, SimOptions};
+pub use sim::{simulate, simulate_controlled, simulate_observed, simulate_with_model, SimOptions};
 pub use task::{distinct_footprints, AccessMode, Footprint, KernelKind, TaskDesc, TaskId};
 pub use timeline::{PowerProfile, PowerTimeline};
 pub use trace::{RunTrace, TaskRecord, TraceBuilder};

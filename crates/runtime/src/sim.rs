@@ -14,6 +14,7 @@
 //! [`TraceBuilder`](crate::trace::TraceBuilder) to [`simulate_observed`].
 
 use crate::arena::with_run_arena;
+use crate::control::{ControlHook, SimEvent};
 use crate::data::{DataRegistry, MemNode};
 use crate::des::QueueBackend;
 use crate::graph::TaskGraph;
@@ -103,13 +104,61 @@ pub fn simulate_observed(
     perf: &mut PerfModel,
     observers: &mut [&mut dyn Observer],
 ) -> RunSummary {
-    with_run_arena(|arena| simulate_in_arena(arena, node, graph, data, options, perf, observers))
+    with_run_arena(|arena| {
+        simulate_in_arena(arena, node, graph, data, options, perf, observers, None)
+    })
+}
+
+/// [`simulate_observed`] with a control-plane hook attached. The hook
+/// sees the same live event stream the observers do, but — unlike
+/// observers, which are read-only witnesses — may schedule
+/// [`RecapEvent`](crate::control::RecapEvent)s through the DES event
+/// queue that change device power limits while the DAG executes (see
+/// [`crate::control`] for the ordering and determinism contract). A
+/// quiescent hook is outcome-neutral; an active one deliberately
+/// changes the run.
+pub fn simulate_controlled(
+    node: &mut Node,
+    graph: &TaskGraph,
+    data: &mut DataRegistry,
+    options: SimOptions,
+    perf: &mut PerfModel,
+    observers: &mut [&mut dyn Observer],
+    hook: &mut dyn ControlHook,
+) -> RunSummary {
+    with_run_arena(|arena| {
+        simulate_in_arena(
+            arena,
+            node,
+            graph,
+            data,
+            options,
+            perf,
+            observers,
+            Some(hook),
+        )
+    })
+}
+
+/// Emit one event to the observers and, when a control plane is
+/// attached, to its sensor feed.
+#[inline]
+fn feed(
+    observers: &mut [&mut dyn Observer],
+    hook: &mut Option<&mut dyn ControlHook>,
+    ev: &ExecEvent,
+) {
+    emit(observers, ev);
+    if let Some(h) = hook.as_deref_mut() {
+        h.on_event(ev);
+    }
 }
 
 /// [`simulate_observed`] against an explicit scratch arena. Every arena
 /// field is reset to its run-initial state before first read, so a
 /// recycled arena is observationally identical to a cold one (pinned by
 /// the hotpath goldens and the queue-backend differentials).
+#[allow(clippy::too_many_arguments)]
 fn simulate_in_arena(
     arena: &mut crate::arena::RunArena,
     node: &mut Node,
@@ -118,6 +167,7 @@ fn simulate_in_arena(
     options: SimOptions,
     perf: &mut PerfModel,
     observers: &mut [&mut dyn Observer],
+    mut hook: Option<&mut dyn ControlHook>,
 ) -> RunSummary {
     // Destructure so each field borrows independently.
     let crate::arena::RunArena {
@@ -171,6 +221,17 @@ fn simulate_in_arena(
             o.on_start(&ctx);
         }
     }
+    // The control plane sees the same run context; its answer is the
+    // first tick time (pushed once the event queue is reset below).
+    let first_tick: Option<Secs> = hook.as_deref_mut().and_then(|h| {
+        let ctx = RunContext {
+            workers,
+            graph,
+            options,
+            gpu_idle: &gpu_idle,
+        };
+        h.on_start(&ctx)
+    });
 
     // Fresh run state.
     data.reset_to_host();
@@ -219,6 +280,11 @@ fn simulate_in_arena(
     ready.clear();
     ready.extend((0..graph.len()).filter(|&t| indeg[t] == 0));
     events.reset(options.queue);
+    if let Some(t0) = first_tick {
+        events.push(t0.max(Secs::ZERO), SimEvent::ControlTick);
+    }
+    // Scratch for the per-tick cap snapshot handed to the hook.
+    let mut cap_now: Vec<Watts> = Vec::new();
     let mut now = Secs::ZERO;
     let mut remaining = graph.len();
 
@@ -279,8 +345,9 @@ fn simulate_in_arena(
                 let desc = graph.task(task);
                 let dst = worker.mem_node();
                 let mut data_ready = now;
-                emit(
+                feed(
                     observers,
+                    &mut hook,
                     &ExecEvent::TaskAssigned {
                         task,
                         worker: wid,
@@ -306,8 +373,9 @@ fn simulate_in_arena(
                             }
                         }
                         for (victim, writeback) in gpu_mem[g].make_room(incoming, data) {
-                            emit(
+                            feed(
                                 observers,
+                                &mut hook,
                                 &ExecEvent::Eviction {
                                     data: victim,
                                     device: g,
@@ -320,8 +388,9 @@ fn simulate_in_arena(
                                 let en = st + links.d2h_time(bytes);
                                 d2h_free[g] = en;
                                 data.add_replica(victim, MemNode::Host);
-                                emit(
+                                feed(
                                     observers,
+                                    &mut hook,
                                     &ExecEvent::Writeback {
                                         data: victim,
                                         device: g,
@@ -358,8 +427,9 @@ fn simulate_in_arena(
                     // Every reserved engine slot becomes one transfer
                     // start/end pair on the stream (a staged copy is two).
                     let mut hop = |s: Secs, e: Secs, src: MemNode, dst: MemNode| {
-                        emit(
+                        feed(
                             observers,
+                            &mut hook,
                             &ExecEvent::TransferStart {
                                 data: d,
                                 src,
@@ -368,8 +438,9 @@ fn simulate_in_arena(
                                 at: s,
                             },
                         );
-                        emit(
+                        feed(
                             observers,
+                            &mut hook,
                             &ExecEvent::TransferEnd {
                                 data: d,
                                 src,
@@ -437,8 +508,9 @@ fn simulate_in_arena(
                          ends at {end}"
                     );
                 }
-                emit(
+                feed(
                     observers,
+                    &mut hook,
                     &ExecEvent::TaskStart {
                         task,
                         worker: wid,
@@ -470,8 +542,9 @@ fn simulate_in_arena(
                 if worker_expected[wid] > t_end {
                     resync.push(t_end, wid);
                 }
-                emit(
+                feed(
                     observers,
+                    &mut hook,
                     &ExecEvent::PowerSample {
                         worker: wid,
                         start: t_start,
@@ -479,8 +552,9 @@ fn simulate_in_arena(
                         power,
                     },
                 );
-                emit(
+                feed(
                     observers,
+                    &mut hook,
                     &ExecEvent::TaskEnd {
                         task,
                         worker: wid,
@@ -515,8 +589,9 @@ fn simulate_in_arena(
                 // Feed the history model (online refinement, like StarPU).
                 if options.refine_models {
                     perf.observe(desc.footprint(), wid, duration, energy);
-                    emit(
+                    feed(
                         observers,
+                        &mut hook,
                         &ExecEvent::ModelRefine {
                             task,
                             worker: wid,
@@ -526,49 +601,105 @@ fn simulate_in_arena(
                         },
                     );
                 }
-                events.push(t_end, task);
+                events.push(t_end, SimEvent::Task(task));
             }
             batch.clear();
         } else {
-            // Advance time to the next completion and drain every
-            // completion at that timestamp in one queue pass — the batch
-            // comes back in exactly the order repeated pops would give.
+            // Advance time to the next event and drain everything at
+            // that timestamp in one queue pass — the batch comes back in
+            // exactly the order repeated pops would give.
             completed.clear();
             now = events
                 .pop_all_eq(completed)
                 .expect("deadlock: tasks remain but nothing is in flight");
-            // Resync: a worker that is actually idle has nothing pending,
-            // whatever the model predicted (StarPU refreshes expected_end
-            // when workers go idle). Maintained incrementally: only the
-            // recorded candidates are examined, not every worker.
-            while resync.peek_time().is_some_and(|at| at <= now) {
-                let (_, w) = resync.pop().expect("peeked entry exists");
-                if worker_free[w] <= now && worker_expected[w] > now {
-                    worker_expected[w] = now;
+            // Scheduled re-caps land first: every kernel launched from
+            // here on satisfies `t_start >= now`, so a re-cap at `now`
+            // governs exactly the launches at or after it, while kernels
+            // already committed keep the power they drew (the device
+            // splits its ledger at the transition instant).
+            for ev in completed.iter() {
+                if let SimEvent::Recap { device, cap } = *ev {
+                    node.gpu_mut(device)
+                        .recap_at(now, cap)
+                        .expect("control hook emitted a cap outside the device range");
                 }
             }
-            // Sanitizer: the candidate queue must be exhaustive — after
-            // draining it, no worker may still qualify for a resync.
-            #[cfg(feature = "sanitize")]
-            for w in 0..workers.len() {
-                assert!(
-                    !(worker_free[w] <= now && worker_expected[w] > now),
-                    "sanitize: resync queue missed idle worker {w} at {now}"
-                );
-            }
-            for &task in completed.iter() {
-                remaining -= 1;
-                if options.enforce_gpu_memory {
-                    if let WorkerKind::Gpu { device } = workers[task_worker[task]].kind {
-                        for &d in graph.unique_data(task) {
-                            gpu_mem[device].unpin(d);
+            // Batches without a task completion (ticks / re-caps alone)
+            // must leave scheduler state untouched — no resync drain, no
+            // frontier updates — so a quiescent control plane stays
+            // outcome-neutral (tests/control_differential.rs).
+            let has_tasks = completed.iter().any(|e| matches!(e, SimEvent::Task(_)));
+            if has_tasks {
+                // Resync: a worker that is actually idle has nothing
+                // pending, whatever the model predicted (StarPU refreshes
+                // expected_end when workers go idle). Maintained
+                // incrementally: only the recorded candidates are
+                // examined, not every worker.
+                while resync.peek_time().is_some_and(|at| at <= now) {
+                    let (_, w) = resync.pop().expect("peeked entry exists");
+                    if worker_free[w] <= now && worker_expected[w] > now {
+                        worker_expected[w] = now;
+                    }
+                }
+                // Sanitizer: the candidate queue must be exhaustive —
+                // after draining it, no worker may still qualify.
+                #[cfg(feature = "sanitize")]
+                for w in 0..workers.len() {
+                    assert!(
+                        !(worker_free[w] <= now && worker_expected[w] > now),
+                        "sanitize: resync queue missed idle worker {w} at {now}"
+                    );
+                }
+                for ev in completed.iter() {
+                    let SimEvent::Task(task) = *ev else { continue };
+                    remaining -= 1;
+                    if options.enforce_gpu_memory {
+                        if let WorkerKind::Gpu { device } = workers[task_worker[task]].kind {
+                            for &d in graph.unique_data(task) {
+                                gpu_mem[device].unpin(d);
+                            }
+                        }
+                    }
+                    for &s in graph.successors(task) {
+                        indeg[s] -= 1;
+                        if indeg[s] == 0 {
+                            ready.push(s);
                         }
                     }
                 }
-                for &s in graph.successors(task) {
-                    indeg[s] -= 1;
-                    if indeg[s] == 0 {
-                        ready.push(s);
+            }
+            // Ticks run last, after the completions at this instant, so
+            // the controller's sensors include them.
+            let ticked = completed.iter().any(|e| matches!(e, SimEvent::ControlTick));
+            if ticked {
+                let h = hook
+                    .as_deref_mut()
+                    .expect("ticks are only scheduled by a control hook");
+                cap_now.clear();
+                cap_now.extend(node.gpus().iter().map(|g| g.power_limit()));
+                let decision = h.on_tick(now, &cap_now);
+                for r in decision.recaps {
+                    if r.t <= now {
+                        // Applies before the next scheduling round, so it
+                        // binds every launch at or after `now`.
+                        node.gpu_mut(r.device)
+                            .recap_at(now, r.cap)
+                            .expect("control hook emitted a cap outside the device range");
+                    } else {
+                        events.push(
+                            r.t,
+                            SimEvent::Recap {
+                                device: r.device,
+                                cap: r.cap,
+                            },
+                        );
+                    }
+                }
+                // A tick at or before `now` would livelock the event
+                // loop; the contract requires strictly-future ticks.
+                if let Some(t) = decision.next_tick {
+                    if t > now {
+                        events.push(t, SimEvent::ControlTick);
                     }
                 }
             }

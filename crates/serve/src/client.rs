@@ -6,7 +6,8 @@ use crate::protocol::{decode, encode, ErrorReply, PerfettoRun, Request, Response
 use crate::stats::StatsReport;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use ugpc_core::{DynamicStudyReport, RunConfig, RunReport, TracedRun};
+use ugpc_control::ControllerSpec;
+use ugpc_core::{ControlledRun, DynamicStudyReport, RunConfig, RunReport, TracedRun};
 use ugpc_telemetry::TraceCtx;
 
 /// Anything that can go wrong on the client side.
@@ -111,6 +112,22 @@ impl Client {
         request.dynamic_iterations = Some(iterations);
         match self.roundtrip(&Request::Run(request))? {
             Response::Dynamic(report) => Ok(report),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Run one study under the online sweet-spot controller, re-capping
+    /// GPUs mid-run.
+    pub fn run_controlled(
+        &mut self,
+        config: RunConfig,
+        spec: ControllerSpec,
+    ) -> Result<ControlledRun, ClientError> {
+        let mut request = RunRequest::new(config);
+        request.controller = Some(spec);
+        match self.roundtrip(&Request::Run(request))? {
+            Response::Controlled(run) => Ok(run),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
         }

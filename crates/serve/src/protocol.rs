@@ -16,7 +16,8 @@
 //! full); clients should wait that long and resend.
 
 use serde::{Deserialize, Serialize};
-use ugpc_core::{CacheKey, DynamicStudyReport, RunConfig, RunReport, TracedRun};
+use ugpc_control::ControllerSpec;
+use ugpc_core::{CacheKey, ControlledRun, DynamicStudyReport, RunConfig, RunReport, TracedRun};
 use ugpc_telemetry::TraceCtx;
 
 /// One simulation request: a full [`RunConfig`] plus service-level options.
@@ -46,6 +47,14 @@ pub struct RunRequest {
     /// context *is* part of the cache identity here, because it is
     /// embedded in the response bytes.
     pub perfetto: Option<bool>,
+    /// `Some(spec)` runs the study under the online sweet-spot
+    /// controller, re-capping GPUs mid-run, and answers with
+    /// `Response::Controlled`. Mutually exclusive with
+    /// `dynamic_iterations`, `power_bins`, and `perfetto`. Part of the
+    /// cache identity: a controlled run never aliases the static run of
+    /// the same config, and distinct specs never alias each other.
+    /// (`Option` so older clients' lines still decode.)
+    pub controller: Option<ControllerSpec>,
 }
 
 impl RunRequest {
@@ -57,6 +66,7 @@ impl RunRequest {
             power_bins: None,
             trace: None,
             perfetto: None,
+            controller: None,
         }
     }
 
@@ -108,6 +118,16 @@ impl RunRequest {
             tail.extend_from_slice(&s.to_le_bytes());
         } else {
             tail.push(0x00);
+        }
+        // Appended segment (older layout ended above): the online
+        // controller's canonical identity, so controlled runs never alias
+        // static ones and distinct specs never alias each other.
+        match &self.controller {
+            None => tail.push(0x00),
+            Some(spec) => {
+                tail.push(0x01);
+                tail.extend_from_slice(&spec.canonical_bytes());
+            }
         }
         CacheKey(ugpc_core::key::fnv1a(key.0, &tail))
     }
@@ -190,6 +210,7 @@ pub enum Response {
     Run(RunReport),
     Dynamic(DynamicStudyReport),
     Traced(TracedRun),
+    Controlled(ControlledRun),
     Perfetto(PerfettoRun),
     Stats(crate::stats::StatsReport),
     Metrics(String),
@@ -294,6 +315,48 @@ mod tests {
         let mut explicit = req();
         explicit.config.keep_records = true;
         assert_eq!(recorded.cache_key(), explicit.cache_key());
+    }
+
+    #[test]
+    fn controlled_keys_never_alias_static_over_the_wire() {
+        use ugpc_control::ObjectiveKind;
+        let plain = req();
+        let mut keys = vec![plain.cache_key()];
+        for spec in [
+            ControllerSpec::new(ObjectiveKind::GflopsPerWatt),
+            ControllerSpec::new(ObjectiveKind::Edp),
+            ControllerSpec::new(ObjectiveKind::GflopsPerWatt).with_period(0.25),
+            ControllerSpec::new(ObjectiveKind::GflopsPerWatt).disabled(),
+        ] {
+            let mut controlled = req();
+            controlled.controller = Some(spec);
+            keys.push(controlled.cache_key());
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+        // And the request round-trips the spec over the wire.
+        let mut controlled = req();
+        controlled.controller =
+            Some(ControllerSpec::new(ObjectiveKind::PerfFloor).with_perf_floor(0.9));
+        let line = encode(&Request::Run(controlled.clone()));
+        let back: Request = decode(&line).expect("decode");
+        let Request::Run(got) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got.controller, controlled.controller);
+        assert_eq!(got.cache_key(), controlled.cache_key());
+        // Old wire lines, which omit the field entirely, still decode —
+        // as a plain run with the unchanged plain key.
+        let legacy = encode(&Request::Run(plain.clone())).replace(",\"controller\":null", "");
+        assert!(!legacy.contains("controller"), "field not stripped");
+        let Request::Run(old) = decode::<Request>(&legacy).expect("legacy line decodes") else {
+            panic!("wrong variant");
+        };
+        assert!(old.controller.is_none());
+        assert_eq!(old.cache_key(), plain.cache_key());
     }
 
     #[test]

@@ -357,6 +357,17 @@ impl Service {
                 "perfetto is mutually exclusive with dynamic_iterations and power_bins",
             ));
         }
+        if let Some(spec) = &run.controller {
+            if run.dynamic_iterations.is_some() || run.power_bins.is_some() || run.wants_perfetto()
+            {
+                return Err(ErrorReply::new(
+                    error_code::INVALID_CONFIG,
+                    "controller is mutually exclusive with dynamic_iterations, power_bins, and perfetto",
+                ));
+            }
+            spec.validate()
+                .map_err(|e| ErrorReply::new(error_code::INVALID_CONFIG, e))?;
+        }
         Ok(())
     }
 
@@ -414,6 +425,13 @@ fn simulate_response(run: &RunRequest) -> Response {
             span_id: ctx.span_hex(),
             trace_json: sink.into_json(),
         });
+    }
+    if let Some(spec) = &run.controller {
+        // Validated: excludes dynamic/traced/perfetto modes.
+        return match ugpc_core::try_run_study_controlled(&cfg, spec) {
+            Ok(controlled) => Response::Controlled(controlled),
+            Err(e) => Response::Error(ErrorReply::new(error_code::INVALID_CONFIG, e.to_string())),
+        };
     }
     match (run.dynamic_iterations, run.power_bins) {
         (None, Some(bins)) => match try_run_study_traced(&cfg, bins) {

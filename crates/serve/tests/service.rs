@@ -130,6 +130,48 @@ fn dynamic_study_over_the_wire() {
 }
 
 #[test]
+fn controlled_run_over_the_wire() {
+    use ugpc_control::{ControllerSpec, ObjectiveKind};
+    let handle = spawn_server(small_options());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let spec = ControllerSpec::new(ObjectiveKind::GflopsPerWatt).with_period(0.05);
+    let run = client.run_controlled(tiny(), spec.clone()).unwrap();
+    assert_eq!(run.objective, "gflops-w");
+    assert!(run.report.makespan_s > 0.0);
+    // Served controlled run matches the direct call byte-for-byte.
+    let direct = ugpc_core::run_study_controlled(&tiny(), &spec);
+    assert_eq!(
+        serde_json::to_string(&run).unwrap(),
+        serde_json::to_string(&direct).unwrap()
+    );
+    // A controlled request and the static request of the same config use
+    // distinct cache slots: running one then the other must be two
+    // misses, and repeating each hits its own entry.
+    let static_report = client.run(tiny()).unwrap();
+    let again = client.run_controlled(tiny(), spec.clone()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&again).unwrap(),
+        serde_json::to_string(&run).unwrap()
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache.misses, 2,
+        "controlled and static are distinct entries"
+    );
+    assert!(stats.cache.hits >= 1);
+    assert!(static_report.gflops > 0.0);
+    // Malformed spec is a structured error, not a dropped connection.
+    match client.run_controlled(tiny(), spec.clone().with_period(0.0)) {
+        Err(ugpc_serve::ClientError::Server(e)) => {
+            assert_eq!(e.code, error_code::INVALID_CONFIG);
+            assert!(e.message.contains("period"), "{}", e.message);
+        }
+        other => panic!("expected invalid_config, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
 fn traced_run_over_the_wire() {
     let handle = spawn_server(small_options());
     let mut client = Client::connect(handle.addr()).unwrap();

@@ -15,6 +15,8 @@
 //! * [`runtime`] — task graphs, schedulers, virtual-time & native executors
 //! * [`linalg`] — tiled GEMM / Cholesky with real reference kernels
 //! * [`capping`] — L/B/H cap configurations, sweeps, dynamic controller
+//! * [`control`] — online sweet-spot capping: sensor windows, pluggable
+//!   objectives (Gflop/s/W, EDP, ED²P, perf-floor), mid-run re-cap events
 //! * [`experiments`] — per-figure/table reproduction runners
 //! * [`serve`] — concurrent TCP simulation service with a content-addressed
 //!   result cache, bounded worker pool, client, and load generator
@@ -38,6 +40,7 @@
 //! ```
 
 pub use ugpc_capping as capping;
+pub use ugpc_control as control;
 pub use ugpc_experiments as experiments;
 pub use ugpc_hwsim as hwsim;
 pub use ugpc_linalg as linalg;
@@ -46,11 +49,12 @@ pub use ugpc_serve as serve;
 pub use ugpc_telemetry as telemetry;
 
 pub use ugpc_core::{
-    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, run_study_observed,
+    compare, dynamic_vs_static_oracle, run_dynamic_study, run_study, run_study_at_caps,
+    run_study_controlled, run_study_controlled_queued_observed, run_study_observed,
     run_study_profiled, run_study_queued, run_study_queued_observed, run_study_traced,
-    try_run_study, try_run_study_profiled, try_run_study_traced, CacheKey, Comparison,
-    DynamicIteration, DynamicStudyReport, InvalidConfig, ProfiledRun, QueueBackend, RunConfig,
-    RunReport, TracedRun,
+    try_run_study, try_run_study_controlled, try_run_study_profiled, try_run_study_traced,
+    CacheKey, Comparison, ControlledRun, DynamicIteration, DynamicStudyReport, InvalidConfig,
+    ProfiledRun, QueueBackend, RunConfig, RunReport, TracedRun,
 };
 
 /// Everything most programs need.
