@@ -30,7 +30,7 @@ use ugpc_analysis::lints::{self, all_rules};
 use ugpc_analysis::model::backpressure::Backpressure;
 use ugpc_analysis::model::controlplane::ControlPlaneModel;
 use ugpc_analysis::model::eventqueue::EventQueueModel;
-use ugpc_analysis::model::singleflight::SingleFlight;
+use ugpc_analysis::model::singleflight::{ShardedSingleFlight, SingleFlight};
 use ugpc_analysis::model::{Checker, Model};
 
 fn workspace_root() -> PathBuf {
@@ -78,6 +78,10 @@ fn check_model<M: Model>(name: &str, model: &M) -> bool {
 fn check_models() -> bool {
     let mut ok = true;
     ok &= check_model("single-flight(threads=3)", &SingleFlight::correct(3));
+    ok &= check_model(
+        "sharded-single-flight(shards=2, threads=4)",
+        &ShardedSingleFlight::correct(2, 4),
+    );
     ok &= check_model(
         "backpressure(clients=2, workers=2, capacity=1)",
         &Backpressure::correct(2, 2, 1),

@@ -1,5 +1,7 @@
 //! Abstract model of the `ResultCache` single-flight protocol
-//! (`crates/serve/src/cache.rs`).
+//! (`crates/serve/src/cache.rs`) — plus the sharded composition
+//! ([`ShardedSingleFlight`]) proving that per-shard single-flight
+//! composes to global one-leader-per-key with no lost wakeups.
 //!
 //! One key, `threads` clients. The real protocol in terms of atomic
 //! steps (each step holds either the map mutex or the flight mutex,
@@ -123,6 +125,274 @@ impl SingleFlight {
             spurious_wakeups: true,
             buggy_wait: false,
         }
+    }
+}
+
+/// Sharded composition: `threads` clients over `shards` independent
+/// single-flight instances, client `i` pinned to the key living on
+/// shard `i % shards`. This is the model of the sharded `ResultCache`
+/// (`crates/serve/src/cache.rs`), where a key's low bits select a shard
+/// and each shard runs the one-key protocol above behind its own lock.
+///
+/// What the sharded cache must preserve — the checked theorem "per-shard
+/// single-flight ⇒ global single-flight":
+///
+/// * **global one-leader-per-key** — a key maps to exactly one shard, so
+///   per-shard leader uniqueness must compose to process-wide
+///   uniqueness, even while *different* keys legally lead concurrently
+///   (the parallelism sharding exists to buy);
+/// * **global no-lost-wakeup** — a publish must wake exactly its own
+///   shard's waiters. The [`buggy_cross_wake`] variant notifies the
+///   *other* shard's parked threads (the wrong-condvar bug a sharded
+///   refactor can introduce); the checker catches both the waiter left
+///   parked on its resolved flight and the phantom wakeup on the
+///   innocent shard;
+/// * **per-shard coalescing** — at most one successful simulation per
+///   key, exactly as in the unsharded model.
+///
+/// Because shards share no state, the reachable state space must factor
+/// *exactly* into the product of the per-shard spaces — pinned
+/// arithmetically by `sharded_state_space_is_the_product_of_its_shards`.
+///
+/// [`buggy_cross_wake`]: ShardedSingleFlight::buggy_cross_wake
+pub struct ShardedSingleFlight {
+    pub shards: usize,
+    /// Clients; client `i` targets the key on shard `i % shards`.
+    pub threads: usize,
+    pub leader_may_fail: bool,
+    pub spurious_wakeups: bool,
+    /// Publish notifies the other shard's parked threads instead of its
+    /// own — the wrong-condvar bug. The checker must find both the lost
+    /// wakeup (own waiter parked forever) and the phantom wakeup.
+    pub buggy_cross_wake: bool,
+}
+
+impl ShardedSingleFlight {
+    pub fn correct(shards: usize, threads: usize) -> Self {
+        ShardedSingleFlight {
+            shards,
+            threads,
+            leader_may_fail: true,
+            spurious_wakeups: true,
+            buggy_cross_wake: false,
+        }
+    }
+
+    fn shard_of(&self, thread: usize) -> usize {
+        thread % self.shards
+    }
+}
+
+/// One shard's slice of the global state: its own entry, flight
+/// generations, and simulation count — nothing shared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardSf {
+    pub entry: Entry,
+    pub slots: Vec<Slot>,
+    pub sims: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardedSfState {
+    pub shards: Vec<ShardSf>,
+    pub threads: Vec<Thread>,
+}
+
+impl Model for ShardedSingleFlight {
+    type State = ShardedSfState;
+
+    fn initial(&self) -> ShardedSfState {
+        ShardedSfState {
+            shards: vec![
+                ShardSf {
+                    entry: Entry::Absent,
+                    slots: Vec::new(),
+                    sims: 0,
+                };
+                self.shards
+            ],
+            threads: vec![Thread::Start; self.threads],
+        }
+    }
+
+    fn transitions(&self, s: &ShardedSfState) -> Vec<(String, ShardedSfState)> {
+        let mut out = Vec::new();
+        for (i, t) in s.threads.iter().enumerate() {
+            let k = self.shard_of(i);
+            let mut step = |label: &str, f: &dyn Fn(&mut ShardedSfState)| {
+                let mut n = s.clone();
+                f(&mut n);
+                out.push((format!("t{i}.s{k}:{label}"), n));
+            };
+            let slot = |g: u8| s.shards[k].slots[g as usize];
+            match *t {
+                Thread::Start => match s.shards[k].entry {
+                    Entry::Ready(g) => step("begin:hit", &|n| {
+                        n.threads[i] = Thread::DoneHit(g);
+                    }),
+                    Entry::Pending(g) => step("begin:wait", &|n| {
+                        n.threads[i] = Thread::WaitEnter(g);
+                    }),
+                    Entry::Absent => step("begin:lead", &|n| {
+                        let g = n.shards[k].slots.len() as u8;
+                        n.shards[k].slots.push(Slot::Unresolved);
+                        n.shards[k].entry = Entry::Pending(g);
+                        n.threads[i] = Thread::Lead(g);
+                    }),
+                },
+                Thread::Lead(g) => {
+                    step("fulfill:map", &|n| {
+                        n.shards[k].entry = Entry::Ready(g);
+                        n.shards[k].sims += 1;
+                        n.threads[i] = Thread::MapDone(g, true);
+                    });
+                    if self.leader_may_fail {
+                        step("fail:map", &|n| {
+                            n.shards[k].entry = Entry::Absent;
+                            n.shards[k].sims += 1;
+                            n.threads[i] = Thread::MapDone(g, false);
+                        });
+                    }
+                }
+                Thread::MapDone(g, ok) => step("publish", &|n| {
+                    n.shards[k].slots[g as usize] = Slot::Resolved { ok };
+                    for j in 0..n.threads.len() {
+                        let targeted = if self.buggy_cross_wake {
+                            self.shard_of(j) != k
+                        } else {
+                            self.shard_of(j) == k
+                        };
+                        if targeted && n.threads[j] == Thread::Parked(g) {
+                            n.threads[j] = Thread::Woken(g);
+                        }
+                    }
+                    n.threads[i] = Thread::DoneLed(g, ok);
+                }),
+                Thread::WaitEnter(g) => match slot(g) {
+                    Slot::Resolved { ok } => step("wait:resolved", &|n| {
+                        n.threads[i] = Thread::DoneWaited(g, ok);
+                    }),
+                    Slot::Unresolved => step("wait:park", &|n| {
+                        n.threads[i] = Thread::Parked(g);
+                    }),
+                },
+                Thread::Checked(g) => step("wait:park", &|n| {
+                    n.threads[i] = Thread::Parked(g);
+                }),
+                Thread::Parked(g) => {
+                    if self.spurious_wakeups {
+                        step("spurious", &|n| {
+                            n.threads[i] = Thread::Woken(g);
+                        });
+                    }
+                }
+                Thread::Woken(g) => match slot(g) {
+                    Slot::Resolved { ok } => step("wake:resolved", &|n| {
+                        n.threads[i] = Thread::DoneWaited(g, ok);
+                    }),
+                    Slot::Unresolved => step("wake:repark", &|n| {
+                        n.threads[i] = Thread::Parked(g);
+                    }),
+                },
+                Thread::DoneHit(_) | Thread::DoneLed(..) | Thread::DoneWaited(..) => {}
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &ShardedSfState) -> Result<(), String> {
+        // Per-shard (= per-key) checks. Because a key lives on exactly
+        // one shard, per-shard leader uniqueness IS global one-leader-
+        // per-key — the point of this variant is that the checker walks
+        // every cross-shard interleaving and never finds it violated.
+        for (k, shard) in s.shards.iter().enumerate() {
+            let on_k = |j: &usize| self.shard_of(*j) == k;
+            let leaders = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(j, t)| on_k(j) && matches!(t, Thread::Lead(_)))
+                .count();
+            if leaders > 1 {
+                return Err(format!(
+                    "shard {k}: {leaders} simultaneous leaders for one key"
+                ));
+            }
+            if let Entry::Pending(g) = shard.entry {
+                let owner = s
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, t)| on_k(j) && matches!(t, Thread::Lead(h) if *h == g))
+                    .count();
+                if owner != 1 {
+                    return Err(format!(
+                        "shard {k}: pending flight {g} has {owner} owners (want exactly 1)"
+                    ));
+                }
+            }
+            let successes = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(j, t)| {
+                    on_k(j) && matches!(t, Thread::MapDone(_, true) | Thread::DoneLed(_, true))
+                })
+                .count();
+            if successes > 1 {
+                return Err(format!(
+                    "shard {k}: {successes} successful simulations for one key"
+                ));
+            }
+            if !self.leader_may_fail && shard.sims > 1 {
+                return Err(format!(
+                    "shard {k}: {} simulations with no leader failures (want exactly 1)",
+                    shard.sims
+                ));
+            }
+            if let Entry::Ready(g) = shard.entry {
+                let owner_ok = s.threads.iter().enumerate().any(|(j, t)| {
+                    on_k(&j)
+                        && matches!(t, Thread::MapDone(h, true) | Thread::DoneLed(h, true) if *h == g)
+                });
+                if !owner_ok {
+                    return Err(format!(
+                        "shard {k}: ready entry from flight {g} that no leader fulfilled"
+                    ));
+                }
+            }
+        }
+        // Global wakeup discipline, across every shard at once.
+        for (j, t) in s.threads.iter().enumerate() {
+            let k = self.shard_of(j);
+            match *t {
+                // No lost wakeup: parked on a flight the shard resolved.
+                Thread::Parked(g)
+                    if matches!(s.shards[k].slots[g as usize], Slot::Resolved { .. }) =>
+                {
+                    return Err(format!(
+                        "lost wakeup: t{j} parked on shard {k} flight {g} after it resolved"
+                    ));
+                }
+                // Wake isolation: without spurious wakeups, a woken
+                // thread whose own flight is unresolved can only mean a
+                // publish on some *other* shard notified it.
+                Thread::Woken(g)
+                    if !self.spurious_wakeups
+                        && s.shards[k].slots[g as usize] == Slot::Unresolved =>
+                {
+                    return Err(format!(
+                        "phantom wakeup: t{j} woken on shard {k} flight {g} before it resolved"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn is_expected_terminal(&self, s: &ShardedSfState) -> bool {
+        s.threads.iter().all(Thread::done)
     }
 }
 
@@ -385,5 +655,94 @@ mod tests {
         );
         // A hit before anything was computed can never happen.
         assert_eq!(accepts_trace(&model, &["t0:begin:hit"]), Err(0));
+    }
+
+    #[test]
+    fn sharded_protocol_verifies_exhaustively() {
+        let model = ShardedSingleFlight::correct(2, 4);
+        let out = Checker::default().run(&model);
+        assert!(
+            out.verified(),
+            "sharded single-flight violated: {:?}",
+            out.violation
+        );
+        assert!(out.states > 1_000, "only {} states", out.states);
+        assert!(out.terminals >= 1);
+    }
+
+    /// The composition theorem, pinned arithmetically. Shards share no
+    /// state, so the sharded model's reachable space must factor
+    /// *exactly* into the product of two copies of the one-key model
+    /// (2 threads each): `S = s²`, `T = t²` terminals, and — since a
+    /// product state's out-degree is the sum of its components' — the
+    /// edge count must be `E = 2·s·e`. Any accidental coupling between
+    /// shards (a shared counter, a cross-shard wake) breaks at least
+    /// one of these equalities before it breaks an invariant.
+    #[test]
+    fn sharded_state_space_is_the_product_of_its_shards() {
+        let one = Checker::default().run(&SingleFlight::correct(2));
+        let two = Checker::default().run(&ShardedSingleFlight::correct(2, 4));
+        assert!(one.verified() && two.verified());
+        assert_eq!(two.states, one.states * one.states);
+        assert_eq!(two.terminals, one.terminals * one.terminals);
+        assert_eq!(two.transitions, 2 * one.states * one.transitions);
+    }
+
+    #[test]
+    fn shards_lead_independently_but_each_key_stays_single_flight() {
+        let model = ShardedSingleFlight::correct(2, 4);
+        // Two simultaneous leaders on *different* shards — impossible in
+        // the one-key model, and exactly the parallelism sharding buys.
+        accepts_trace(&model, &["t0.s0:begin:lead", "t1.s1:begin:lead"])
+            .expect("independent shards must lead concurrently");
+        // A second leader for the *same* key is still impossible.
+        assert_eq!(
+            accepts_trace(&model, &["t0.s0:begin:lead", "t2.s0:begin:lead"]),
+            Err(1)
+        );
+        // Full run: both shards complete with a waiter coalescing on
+        // shard 0 and a late hit on shard 1, fully interleaved.
+        accepts_trace(
+            &model,
+            &[
+                "t0.s0:begin:lead",
+                "t1.s1:begin:lead",
+                "t2.s0:begin:wait",
+                "t2.s0:wait:park",
+                "t1.s1:fulfill:map",
+                "t0.s0:fulfill:map",
+                "t0.s0:publish",
+                "t1.s1:publish",
+                "t2.s0:wake:resolved",
+                "t3.s1:begin:hit",
+            ],
+        )
+        .expect("interleaved two-shard run rejected");
+    }
+
+    /// The wrong-condvar bug: publish notifies the other shard's parked
+    /// threads. The checker must catch it — either as the waiter left
+    /// parked on its own resolved flight (lost wakeup) or as the
+    /// innocent shard's thread woken before its flight resolved
+    /// (phantom wakeup).
+    #[test]
+    fn cross_shard_notify_loses_a_wakeup() {
+        let model = ShardedSingleFlight {
+            shards: 2,
+            threads: 3,
+            leader_may_fail: false,
+            spurious_wakeups: false,
+            buggy_cross_wake: true,
+        };
+        let out = Checker::default().run(&model);
+        let v = out
+            .violation
+            .expect("checker must catch the cross-shard notify");
+        assert!(
+            v.message.contains("wakeup") || v.message.contains("deadlock"),
+            "unexpected violation: {}",
+            v.message
+        );
+        assert!(v.trace.join(" ").contains("publish"), "{:?}", v.trace);
     }
 }

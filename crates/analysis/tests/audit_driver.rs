@@ -169,7 +169,7 @@ fn model_interleaving_counts_are_pinned() {
     use ugpc_analysis::model::backpressure::Backpressure;
     use ugpc_analysis::model::controlplane::ControlPlaneModel;
     use ugpc_analysis::model::eventqueue::EventQueueModel;
-    use ugpc_analysis::model::singleflight::SingleFlight;
+    use ugpc_analysis::model::singleflight::{ShardedSingleFlight, SingleFlight};
     use ugpc_analysis::model::{CheckOutcome, Checker, Model};
 
     fn counts<M: Model>(model: &M) -> (usize, usize, usize) {
@@ -179,6 +179,14 @@ fn model_interleaving_counts_are_pinned() {
     }
 
     assert_eq!(counts(&SingleFlight::correct(3)), (859, 1848, 57));
+    // Exactly the square of the 2-thread one-key model (65, 98, 10):
+    // 65² states, 2·65·98 transitions, 10² terminals — the sharded
+    // composition factors (see `sharded_state_space_is_the_product_of_
+    // its_shards` in the model's own tests).
+    assert_eq!(
+        counts(&ShardedSingleFlight::correct(2, 4)),
+        (4225, 12740, 100)
+    );
     assert_eq!(counts(&Backpressure::correct(2, 2, 1)), (291, 710, 3));
     assert_eq!(counts(&EventQueueModel::correct(4)), (1280, 2361, 10));
     assert_eq!(counts(&ControlPlaneModel::correct(6)), (575, 574, 169));

@@ -79,15 +79,29 @@ impl DynamicCapper {
     /// cap to apply for the next epoch.
     pub fn observe(&mut self, score: ObjectiveValue) -> Watts {
         if let Some(prev) = self.last_score {
-            // Strictly worse, beyond a relative epsilon: two epochs of
-            // identical workload composition score bit-near-identically,
-            // and a last-ulp difference must not read as a gradient (a
-            // spurious reversal halves the step and can freeze the
-            // search far from the sweet spot).
-            if score.value() < prev.value() - prev.value().abs() * 1e-9 {
-                // Overshot: reverse and refine.
+            // Relative epsilon: two epochs of identical workload
+            // composition score bit-near-identically, and a last-ulp
+            // difference must not read as a gradient.
+            let eps = prev.value().abs() * 1e-9;
+            if score.value() < prev.value() - eps {
+                // Strictly worse: overshot — reverse and refine.
                 self.direction = -self.direction;
                 self.step = (self.step * 0.5).max(self.min_step);
+            } else if score.value() <= prev.value() + eps {
+                // Flat landscape (equal within epsilon): equal objective
+                // at lower power is strictly preferable, so ties break
+                // *downward*. Climbing on a plateau is pointless — turn
+                // around and refine; descending pinned at the floor has
+                // nowhere left to go — refine toward convergence;
+                // descending mid-plateau keeps walking down at full step
+                // until the score actually drops off the plateau's low
+                // edge (which reads as "worse" and reverses normally).
+                if self.direction > 0.0 {
+                    self.direction = -1.0;
+                    self.step = (self.step * 0.5).max(self.min_step);
+                } else if self.cap <= self.min {
+                    self.step = (self.step * 0.5).max(self.min_step);
+                }
             }
         }
         self.last_score = Some(score);
@@ -136,6 +150,35 @@ mod tests {
             cap = ctl.observe(s(score));
             assert!(cap >= gpu.spec().min_cap && cap <= gpu.spec().tdp);
         }
+        assert_eq!(cap, gpu.spec().min_cap);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_caps() {
+        let gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let mut ctl = DynamicCapper::new(&gpu);
+        // Force the search upward first: descend, then get punished.
+        let c1 = ctl.observe(s(50.0));
+        let c2 = ctl.observe(s(10.0)); // worse: reverse upward
+        assert!(c2 > c1);
+        // Identical score while climbing: the tie must turn the search
+        // back down instead of buying more power for nothing.
+        let c3 = ctl.observe(s(10.0));
+        assert!(c3 < c2, "tie while climbing must reverse downward");
+    }
+
+    #[test]
+    fn fully_flat_landscape_settles_at_min_cap() {
+        let gpu = GpuDevice::new(0, GpuModel::A100Sxm4_40);
+        let mut ctl = DynamicCapper::new(&gpu);
+        let mut cap = ctl.cap();
+        for _ in 0..300 {
+            cap = ctl.observe(s(42.0));
+            if ctl.converged() {
+                break;
+            }
+        }
+        assert!(ctl.converged(), "flat landscape must exhaust the step");
         assert_eq!(cap, gpu.spec().min_cap);
     }
 
@@ -230,6 +273,57 @@ mod proptests {
                 err <= 0.20,
                 "converged {:.1} % of range away from the peak",
                 err * 100.0
+            );
+        }
+
+        /// On a landscape with a flat top — a plateau of equal-best score
+        /// spanning `[lo, hi]`, strictly decreasing outside it — the
+        /// settled cap is the *lowest* cap on the plateau (within the
+        /// residual travel of the exhausted step): equal objective at
+        /// lower power must win the tie.
+        #[test]
+        fn settles_at_the_low_edge_of_a_plateau(
+            ctl in arb_capper(),
+            lo_frac in 0.15..0.70f64,
+            width_frac in 0.10..0.25f64,
+        ) {
+            let mut ctl = ctl;
+            let (min, max) = (ctl.min(), ctl.max());
+            let range = (max - min).value();
+            let lo = min.value() + lo_frac * range;
+            let hi = lo + width_frac * range;
+            let score = |cap: Watts| {
+                let c = cap.value();
+                let dist = if c < lo {
+                    (lo - c) / range
+                } else if c > hi {
+                    (c - hi) / range
+                } else {
+                    0.0
+                };
+                ObjectiveValue(100.0 - 80.0 * dist)
+            };
+            let mut observations = 0usize;
+            while !ctl.converged() {
+                observations += 1;
+                prop_assert!(
+                    observations <= 300,
+                    "no convergence after 300 epochs (plateau [{lo:.0}, {hi:.0}] W, cap {})",
+                    ctl.cap()
+                );
+                let cap = ctl.cap();
+                ctl.observe(score(cap));
+            }
+            // The search must settle at the plateau's low edge, not
+            // anywhere on its (equally scoring) interior — allow the few
+            // final half-steps of residual travel around `lo`.
+            let err = (ctl.cap().value() - lo).abs() / range;
+            prop_assert!(
+                err <= 0.10,
+                "settled {:.1} % of range away from the plateau's low edge \
+                 (cap {}, plateau [{lo:.0}, {hi:.0}] W)",
+                err * 100.0,
+                ctl.cap()
             );
         }
 

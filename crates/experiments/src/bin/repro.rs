@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|control|all]...
-//! repro --serve [ADDR]
+//! repro --serve [ADDR] [--persist PATH]
 //! repro --trace-out DIR [--scale K]
 //! ```
 //!
 //! `--serve` skips the reproduction entirely and runs the `ugpc-serve`
 //! simulation service on ADDR (default `127.0.0.1:7878`), blocking until
-//! a client sends a `Shutdown` request.
+//! a client sends a `Shutdown` request. `--persist PATH` attaches the
+//! append-log cache tier: results survive restarts and replay
+//! byte-identically without re-simulating.
 //! `--trace-out DIR` runs one instrumented POTRF and writes
 //! `trace.json` (Perfetto/Chrome trace-event), `power.json` (per-device
 //! power timeline) and `summary.json` (the run report) into DIR, then
@@ -47,6 +49,7 @@ struct Args {
     audit: bool,
     smoke: bool,
     serve: Option<String>,
+    persist: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     experiments: Vec<String>,
 }
@@ -80,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         audit: false,
         smoke: false,
         serve: None,
+        persist: None,
         trace_out: None,
         experiments: Vec::new(),
     };
@@ -124,19 +128,30 @@ fn parse_args() -> Result<Args, String> {
                 // Peek is awkward with `args()`, so collect the rest.
                 let rest: Vec<String> = it.by_ref().collect();
                 let mut rest = rest.into_iter();
-                if let Some(next) = rest.next() {
-                    if next.starts_with("--") || ALL.contains(&next.as_str()) || next == "all" {
-                        return Err(format!("--serve takes only an address, got {next:?}"));
+                let mut addr_given = false;
+                while let Some(next) = rest.next() {
+                    if next == "--persist" {
+                        let v = rest.next().ok_or("--persist needs a path")?;
+                        args.persist = Some(PathBuf::from(v));
+                    } else if next.starts_with("--")
+                        || ALL.contains(&next.as_str())
+                        || next == "all"
+                        || addr_given
+                    {
+                        return Err(format!("unexpected argument after --serve: {next:?}"));
+                    } else {
+                        args.serve = Some(next);
+                        addr_given = true;
                     }
-                    args.serve = Some(next);
                 }
-                if let Some(extra) = rest.next() {
-                    return Err(format!("unexpected argument after --serve: {extra:?}"));
-                }
+            }
+            "--persist" => {
+                let v = it.next().ok_or("--persist needs a path")?;
+                args.persist = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
+                    "usage: repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR] [--persist PATH]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -145,6 +160,9 @@ fn parse_args() -> Result<Args, String> {
             e if ALL.contains(&e) => args.experiments.push(e.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if args.persist.is_some() && args.serve.is_none() {
+        return Err("--persist only applies to --serve".into());
     }
     // `repro --validate` / `--audit` alone run only those checks;
     // `--serve` and `--trace-out` never run experiments; everything
@@ -162,9 +180,13 @@ fn parse_args() -> Result<Args, String> {
 
 /// Run the simulation service in the foreground until a client asks it
 /// to shut down (`ugpc-serve`'s `Shutdown` request, or Ctrl-C).
-fn serve(addr: &str) -> ExitCode {
+fn serve(addr: &str, persist: Option<&std::path::Path>) -> ExitCode {
     use ugpc_serve::{ServeOptions, Server};
-    let server = match Server::bind(addr, ServeOptions::default()) {
+    let options = ServeOptions {
+        persist_path: persist.map(std::path::Path::to_path_buf),
+        ..ServeOptions::default()
+    };
+    let server = match Server::bind(addr, options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");
@@ -372,7 +394,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(addr) = &args.serve {
-        return serve(addr);
+        return serve(addr, args.persist.as_deref());
     }
 
     if let Some(dir) = &args.trace_out {

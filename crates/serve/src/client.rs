@@ -64,10 +64,24 @@ impl Client {
 
     /// Send one request line, read one response line.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Write one request line without waiting for the reply — the
+    /// pipelining half of [`Client::recv`]. Replies arrive in request
+    /// order (one per request; one per slot for `Batch`).
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         let line = encode(request);
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read the next in-order response line — the other half of
+    /// [`Client::send`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
         self.read_response()
     }
 
@@ -99,6 +113,33 @@ impl Client {
             Response::Run(report) => Ok(report),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Submit `configs` as one `batch` line and collect the N ordered
+    /// reports. The whole batch fails on the first error slot (replies
+    /// for later slots are still consumed, keeping the stream in sync).
+    pub fn run_batch(&mut self, configs: Vec<RunConfig>) -> Result<Vec<RunReport>, ClientError> {
+        let n = configs.len();
+        let runs: Vec<RunRequest> = configs.into_iter().map(RunRequest::new).collect();
+        self.send(&Request::Batch(runs))?;
+        let mut reports = Vec::with_capacity(n);
+        let mut first_err: Option<ClientError> = None;
+        for _ in 0..n {
+            match self.recv() {
+                Ok(Response::Run(report)) => reports.push(report),
+                Ok(Response::Error(e)) => {
+                    first_err.get_or_insert(ClientError::Server(e));
+                }
+                Ok(other) => {
+                    first_err.get_or_insert(ClientError::UnexpectedVariant(format!("{other:?}")));
+                }
+                Err(e) => return Err(first_err.unwrap_or(e)),
+            }
+        }
+        match first_err {
+            None => Ok(reports),
+            Some(e) => Err(e),
         }
     }
 

@@ -37,6 +37,9 @@
 
 pub mod cache;
 pub mod client;
+pub mod eventloop;
+pub mod net;
+pub mod persist;
 pub mod pool;
 pub mod protocol;
 pub mod server;
@@ -45,9 +48,10 @@ pub mod stats;
 
 pub use cache::ResultCache;
 pub use client::{Client, ClientError};
+pub use persist::AppendLog;
 pub use pool::WorkerPool;
 pub use protocol::{error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest};
 pub use server::{Server, ServerHandle};
-pub use service::{ServeOptions, Service};
-pub use stats::{CacheStats, OpLatency, StatsReport};
+pub use service::{ServeOptions, ServerMode, Service};
+pub use stats::{CacheStats, OpLatency, PersistStats, StatsReport};
 pub use ugpc_telemetry::{Level, Logger, Registry, TraceCtx};

@@ -1,0 +1,282 @@
+//! The persistent cache tier: an append-only log of fulfilled response
+//! lines, so a restarted server keeps its corpus and replays cached
+//! replies byte-identically.
+//!
+//! ## Record format
+//!
+//! Every record is length-prefixed and CRC-checked:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [key: u64 LE] [payload: len-8 bytes]
+//! ```
+//!
+//! `len` counts the key plus the payload (so `len >= 8`); the CRC-32
+//! (IEEE, reflected, polynomial 0xEDB88320) covers exactly those `len`
+//! bytes. The payload is the serialized response line — the same bytes
+//! the cache hands to clients — so replay after recovery is
+//! byte-identical by construction.
+//!
+//! ## Recovery
+//!
+//! [`AppendLog::open`] scans the whole file front to back. The first
+//! record that is short, over-sized, CRC-corrupt, or not valid UTF-8
+//! ends the scan: everything before it is recovered (later records for
+//! the same key win, matching append order), and the file is truncated
+//! back to the last valid boundary so a torn tail from a crash never
+//! poisons future appends. `ClearCache` truncates the log to zero — a
+//! cleared corpus must not resurrect on restart.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Guard against absurd length prefixes (a corrupt `len` must not make
+/// recovery try to allocate gigabytes): no single response line the
+/// service produces approaches this.
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected): the classic table-less bitwise form.
+/// Hand-rolled because the workspace is fully offline — no crc crates.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One recovered record: the cache key and the response line.
+pub type LogRecord = (u64, String);
+
+/// See the module docs.
+pub struct AppendLog {
+    file: File,
+    path: PathBuf,
+    /// Records recovered by `open`, drained once by the cache on boot.
+    recovered: Vec<LogRecord>,
+    /// How many records the scan found (recovery stat, survives drain).
+    recovered_count: u64,
+    /// Records appended since open (not counting recovered ones).
+    appended: u64,
+    /// Current file length in bytes.
+    bytes: u64,
+}
+
+impl AppendLog {
+    /// Open (creating if absent) the log at `path`, scan and recover
+    /// every valid record, and truncate any corrupt or torn tail.
+    pub fn open(path: &Path) -> std::io::Result<AppendLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (recovered, valid_end) = scan(&raw);
+        if valid_end as u64 != raw.len() as u64 {
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_end as u64))?;
+        let recovered_count = recovered.len() as u64;
+        Ok(AppendLog {
+            file,
+            path: path.to_path_buf(),
+            recovered,
+            recovered_count,
+            appended: 0,
+            bytes: valid_end as u64,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records recovered at open, in append order (drains the buffer;
+    /// subsequent calls return empty).
+    pub fn take_recovered(&mut self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.recovered)
+    }
+
+    /// How many records the recovery scan found.
+    pub fn recovered_count(&self) -> u64 {
+        self.recovered_count
+    }
+
+    /// Records appended since open.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one record. An I/O error is returned to the caller (the
+    /// cache logs and keeps serving from memory — persistence is a tier,
+    /// not a dependency).
+    pub fn append(&mut self, key: u64, payload: &str) -> std::io::Result<()> {
+        let body_len = 8 + payload.len();
+        let mut rec = Vec::with_capacity(8 + body_len);
+        rec.extend_from_slice(&(body_len as u32).to_le_bytes());
+        rec.extend_from_slice(&[0; 4]); // crc placeholder
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(payload.as_bytes());
+        let crc = crc32(&rec[8..]);
+        rec[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&rec)?;
+        self.file.flush()?;
+        self.appended += 1;
+        self.bytes += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Truncate the log to zero (the `ClearCache` path).
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// Scan raw log bytes: return the valid records and the byte offset of
+/// the last valid record boundary.
+fn scan(raw: &[u8]) -> (Vec<LogRecord>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while let Some(header) = raw.get(at..at + 8) {
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if !(8..=MAX_RECORD_BYTES).contains(&len) {
+            break;
+        }
+        let Some(body) = raw.get(at + 8..at + 8 + len as usize) else {
+            break; // torn tail: record extends past EOF
+        };
+        if crc32(body) != crc {
+            break;
+        }
+        let key = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        let Ok(payload) = std::str::from_utf8(&body[8..]) else {
+            break;
+        };
+        records.push((key, payload.to_string()));
+        at += 8 + len as usize;
+    }
+    (records, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ugpc-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join("cache.log")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_in_order() {
+        let path = tmp("roundtrip");
+        {
+            let mut log = AppendLog::open(&path).expect("open");
+            log.append(1, "first").expect("append");
+            log.append(2, "second").expect("append");
+            log.append(1, "first-updated").expect("append");
+            assert_eq!(log.appended(), 3);
+        }
+        let mut log = AppendLog::open(&path).expect("reopen");
+        assert_eq!(log.recovered_count(), 3);
+        assert_eq!(
+            log.take_recovered(),
+            vec![
+                (1, "first".to_string()),
+                (2, "second".to_string()),
+                (1, "first-updated".to_string()),
+            ],
+            "recovery preserves append order so later records win"
+        );
+        assert!(log.take_recovered().is_empty(), "drained once");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = tmp("torn");
+        let full_len = {
+            let mut log = AppendLog::open(&path).expect("open");
+            log.append(7, "kept").expect("append");
+            let boundary = log.bytes();
+            log.append(8, "torn-away").expect("append");
+            (boundary, log.bytes())
+        };
+        // Tear the last record in half.
+        let raw = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &raw[..(full_len.0 as usize + 5)]).expect("tear");
+        let mut log = AppendLog::open(&path).expect("reopen");
+        assert_eq!(log.take_recovered(), vec![(7, "kept".to_string())]);
+        assert_eq!(log.bytes(), full_len.0, "truncated to the last boundary");
+        // The log accepts appends at the repaired boundary.
+        log.append(9, "after-repair").expect("append");
+        drop(log);
+        let mut log = AppendLog::open(&path).expect("reopen again");
+        assert_eq!(
+            log.take_recovered(),
+            vec![(7, "kept".to_string()), (9, "after-repair".to_string())]
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_scan() {
+        let path = tmp("crc");
+        {
+            let mut log = AppendLog::open(&path).expect("open");
+            log.append(1, "good").expect("append");
+            log.append(2, "flipped").expect("append");
+            log.append(3, "unreachable").expect("append");
+        }
+        let mut raw = std::fs::read(&path).expect("read");
+        // Flip one payload byte inside the second record.
+        let second_payload_at = (8 + 8 + "good".len()) + 8 + 8;
+        raw[second_payload_at] ^= 0xFF;
+        std::fs::write(&path, &raw).expect("write corrupt");
+        let mut log = AppendLog::open(&path).expect("reopen");
+        assert_eq!(
+            log.take_recovered(),
+            vec![(1, "good".to_string())],
+            "scan stops at the first corrupt record"
+        );
+        assert!(log.bytes() < raw.len() as u64);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let path = tmp("truncate");
+        let mut log = AppendLog::open(&path).expect("open");
+        log.append(1, "x").expect("append");
+        log.truncate().expect("truncate");
+        assert_eq!(log.bytes(), 0);
+        log.append(2, "y").expect("append after truncate");
+        drop(log);
+        let mut log = AppendLog::open(&path).expect("reopen");
+        assert_eq!(log.take_recovered(), vec![(2, "y".to_string())]);
+    }
+}

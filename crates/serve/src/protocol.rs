@@ -88,7 +88,14 @@ impl RunRequest {
     /// iteration count so static and dynamic studies of the same config
     /// never alias.
     pub fn cache_key(&self) -> CacheKey {
-        let key = self.effective_config().cache_key();
+        self.cache_key_with(&self.effective_config())
+    }
+
+    /// [`cache_key`](RunRequest::cache_key) with the effective config
+    /// already at hand — the service's hot path computes it once for
+    /// validation and reuses it here instead of recloning the config.
+    pub fn cache_key_with(&self, effective: &RunConfig) -> CacheKey {
+        let key = effective.cache_key();
         let mut tail = vec![0x10];
         match self.dynamic_iterations {
             None => tail.push(0x00),
@@ -138,6 +145,13 @@ impl RunRequest {
 pub enum Request {
     /// Simulate (or fetch from cache) one run.
     Run(RunRequest),
+    /// Batch submission: one request line carrying N runs, answered as N
+    /// ordered response lines (reply `i` answers run `i`; each run is
+    /// validated, cached, and single-flighted independently). An empty
+    /// batch is answered with zero lines; a batch beyond the server's
+    /// `max_batch` limit answers every slot with a `bad_request` error
+    /// so the client's reply count always matches its request count.
+    Batch(Vec<RunRequest>),
     /// Ops snapshot: uptime, queue, cache counters, latency histograms.
     Stats,
     /// Prometheus text exposition of every registered instrument.
@@ -254,9 +268,13 @@ mod tests {
             span_id: 0x0123_4567_89ab,
         });
         traced.perfetto = Some(true);
+        let mut dynamic = req();
+        dynamic.dynamic_iterations = Some(3);
         for r in [
             Request::Run(req()),
             Request::Run(traced),
+            Request::Batch(vec![]),
+            Request::Batch(vec![req(), dynamic]),
             Request::Stats,
             Request::Metrics,
             Request::ClearCache,

@@ -1,14 +1,21 @@
-//! The TCP layer: accept connections, shuttle JSON lines through
-//! [`Service::handle_line`].
+//! The TCP layer, in one of two architectures selected by
+//! [`ServeOptions::mode`](crate::ServeOptions):
 //!
-//! One OS thread per connection (requests within a connection are
-//! served in order; concurrency comes from concurrent connections), all
-//! simulation work funneled through the service's bounded pool. The
-//! accept loop exits when a `Shutdown` request arrives — the handler
-//! sets the service flag and pokes the listener with a loopback connect
-//! so `accept` returns.
+//! - [`ServerMode::EventLoop`] (default) — the non-blocking sharded
+//!   readiness loop in [`crate::eventloop`], with request pipelining and
+//!   batch submission.
+//! - [`ServerMode::Blocking`] — the seed architecture kept as the
+//!   differential baseline: one OS thread per connection (requests
+//!   within a connection are served in order; concurrency comes from
+//!   concurrent connections), all simulation work funneled through the
+//!   service's bounded pool.
+//!
+//! Both exit when a `Shutdown` request arrives — the handler sets the
+//! service flag and pokes the listener with a loopback connect so
+//! `accept` returns. Both produce byte-identical reply lines (the
+//! differential suite pins this).
 
-use crate::service::{ServeOptions, Service};
+use crate::service::{ServeOptions, ServerMode, Service};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -57,6 +64,14 @@ impl Server {
 
     /// Serve until shutdown. Blocks the calling thread.
     pub fn run(self) {
+        match self.service.options().mode {
+            ServerMode::EventLoop => crate::eventloop::serve(self.listener, self.service),
+            ServerMode::Blocking => self.run_blocking(),
+        }
+    }
+
+    /// The seed thread-per-connection accept loop.
+    fn run_blocking(self) {
         let addr = self.local_addr();
         for stream in self.listener.incoming() {
             if self.service.shutdown_requested() {
@@ -147,11 +162,16 @@ fn handle_connection(service: &Arc<Service>, stream: TcpStream, addr: SocketAddr
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.handle_line(&line);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
+        // One wire line may yield several reply lines (batch submission).
+        let responses = service.handle_line_multi(&line);
+        let mut wrote = true;
+        for response in &responses {
+            if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                wrote = false;
+                break;
+            }
+        }
+        if !wrote || writer.flush().is_err() {
             break;
         }
         if service.shutdown_requested() {

@@ -7,17 +7,33 @@
 //! accept-and-shuttle loop.
 
 use crate::cache::{Begin, ResultCache};
+use crate::persist::AppendLog;
 use crate::pool::WorkerPool;
 use crate::protocol::{
     decode, encode, error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest,
 };
-use crate::stats::{CacheStats, Metrics, OpLatency, StatsReport};
+use crate::stats::{CacheStats, Metrics, PersistStats, StatsReport};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use ugpc_core::{run_dynamic_study, run_study_observed, try_run_study, try_run_study_traced};
+use ugpc_core::{
+    run_dynamic_study, run_study_observed, try_run_study, try_run_study_traced, RunConfig,
+};
 use ugpc_runtime::export::PerfettoSink;
-use ugpc_telemetry::{json_str, Logger, TraceCtx};
+use ugpc_telemetry::{json_str, Level, Logger, TraceCtx};
+
+/// How the TCP layer serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Non-blocking event loop: an acceptor thread dispatches
+    /// connections across shard threads, each running an epoll-style
+    /// readiness loop with request pipelining and batch submission.
+    /// The default.
+    EventLoop,
+    /// The seed thread-per-connection blocking loop, kept as the
+    /// differential baseline.
+    Blocking,
+}
 
 /// Tunables for one service instance.
 #[derive(Debug, Clone)]
@@ -35,17 +51,39 @@ pub struct ServeOptions {
     pub max_dynamic_iterations: usize,
     /// Cap on `power_bins` (bounds the size of a traced response).
     pub max_power_bins: usize,
+    /// Event-loop shard threads (connections are dispatched across
+    /// them; also sizes the per-shard latency histogram sets). Ignored
+    /// by the blocking mode, which records into shard 0.
+    pub shards: usize,
+    /// Requested result-cache shards (clamped by capacity — see
+    /// [`ResultCache::with_options`]).
+    pub cache_shards: usize,
+    /// Largest accepted `Request::Batch` (bigger batches answer every
+    /// slot with `bad_request`).
+    pub max_batch: usize,
+    /// Append-log path for the persistent cache tier. `None` (default)
+    /// disables persistence. An unopenable log is a warning, not a
+    /// startup failure — the service falls back to memory-only.
+    pub persist_path: Option<std::path::PathBuf>,
+    /// Which TCP serving architecture [`crate::Server`] runs.
+    pub mode: ServerMode,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         ServeOptions {
-            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            workers: cores,
             queue_capacity: 64,
             cache_capacity: 256,
             max_nt: 64,
             max_dynamic_iterations: 200,
             max_power_bins: 4096,
+            shards: cores.min(8),
+            cache_shards: 8,
+            max_batch: 64,
+            persist_path: None,
+            mode: ServerMode::EventLoop,
         }
     }
 }
@@ -73,14 +111,38 @@ impl Service {
     /// A service with an explicit logger — tests capture the exact log
     /// bytes with [`Logger::to_buffer`].
     pub fn with_logger(options: ServeOptions, logger: Arc<Logger>) -> Arc<Self> {
+        let persist =
+            options
+                .persist_path
+                .as_deref()
+                .and_then(|path| match AppendLog::open(path) {
+                    Ok(log) => {
+                        if log.recovered_count() > 0 {
+                            logger.info(
+                                "cache log recovered",
+                                None,
+                                &[("records", log.recovered_count().to_string())],
+                            );
+                        }
+                        Some(log)
+                    }
+                    Err(e) => {
+                        logger.warn(
+                            "cache log unavailable, serving memory-only",
+                            None,
+                            &[("error", json_str(&e.to_string()))],
+                        );
+                        None
+                    }
+                });
         Arc::new(Service {
-            cache: ResultCache::new(options.cache_capacity),
+            cache: ResultCache::with_options(options.cache_capacity, options.cache_shards, persist),
             pool: WorkerPool::new_with_logger(
                 options.workers,
                 options.queue_capacity,
                 logger.clone(),
             ),
-            metrics: Metrics::default(),
+            metrics: Metrics::new(options.shards.max(1)),
             logger,
             simulations: Arc::new(AtomicU64::new(0)),
             options,
@@ -101,21 +163,73 @@ impl Service {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Handle one wire line, returning the response line (without the
-    /// trailing newline). Never panics on malformed input.
-    pub fn handle_line(self: &Arc<Self>, line: &str) -> String {
+    /// Decode one wire line, counting it and producing the parse-error
+    /// reply line on failure. One increment of `requests_total` per wire
+    /// line, batch or not — both transports route through here.
+    pub(crate) fn decode_line(&self, line: &str) -> Result<Request, String> {
         self.metrics.requests_total.inc();
-        let request = match decode::<Request>(line.trim()) {
-            Ok(r) => r,
-            Err(e) => {
-                self.metrics.parse_errors.inc();
-                self.logger.warn("unparseable request line", None, &[]);
-                return encode(&Response::Error(ErrorReply::new(
-                    error_code::BAD_REQUEST,
-                    format!("unparseable request: {e}"),
-                )));
-            }
-        };
+        decode::<Request>(line.trim()).map_err(|e| {
+            self.metrics.parse_errors.inc();
+            self.logger.warn("unparseable request line", None, &[]);
+            encode(&Response::Error(ErrorReply::new(
+                error_code::BAD_REQUEST,
+                format!("unparseable request: {e}"),
+            )))
+        })
+    }
+
+    /// Handle one wire line, returning the response line (without the
+    /// trailing newline). Never panics on malformed input. Single-reply
+    /// entry point: a `Batch` line needs [`Service::handle_line_multi`]
+    /// and is answered here with a structured error.
+    pub fn handle_line(self: &Arc<Self>, line: &str) -> String {
+        match self.decode_line(line) {
+            Err(error_line) => error_line,
+            Ok(Request::Batch(_)) => encode(&Response::Error(ErrorReply::new(
+                error_code::BAD_REQUEST,
+                "batch requests need a batch-aware transport entry point",
+            ))),
+            Ok(request) => self.handle_request(request),
+        }
+    }
+
+    /// Handle one wire line that may be a `Batch`: returns one reply
+    /// line per reply slot, in order (a batch of N yields N lines; an
+    /// empty batch yields zero; everything else yields one). The
+    /// blocking transport's entry point.
+    pub fn handle_line_multi(self: &Arc<Self>, line: &str) -> Vec<String> {
+        match self.decode_line(line) {
+            Err(error_line) => vec![error_line],
+            Ok(Request::Batch(runs)) => match self.admit_batch(&runs) {
+                Err(error_line) => runs.iter().map(|_| error_line.clone()).collect(),
+                Ok(()) => runs
+                    .into_iter()
+                    .map(|run| self.handle_request(Request::Run(run)))
+                    .collect(),
+            },
+            Ok(request) => vec![self.handle_request(request)],
+        }
+    }
+
+    /// Batch admission: every slot of an over-sized batch gets the same
+    /// error line so the client's reply count matches its request count.
+    pub(crate) fn admit_batch(&self, runs: &[RunRequest]) -> Result<(), String> {
+        if runs.len() > self.options.max_batch {
+            return Err(encode(&Response::Error(ErrorReply::new(
+                error_code::BAD_REQUEST,
+                format!(
+                    "batch of {} exceeds this service's limit of {}",
+                    runs.len(),
+                    self.options.max_batch
+                ),
+            ))));
+        }
+        Ok(())
+    }
+
+    /// Dispatch one decoded request synchronously (blocking transport
+    /// and unit tests).
+    pub(crate) fn handle_request(self: &Arc<Self>, request: Request) -> String {
         match request {
             Request::Ping => encode(&Response::Pong),
             Request::Stats => {
@@ -141,24 +255,39 @@ impl Service {
                 encode(&Response::ShuttingDown)
             }
             Request::Run(mut run) => {
-                // Resolve the trace context once (adopt the client's or
-                // mint one) and pin it on the request, so the perfetto
-                // cache key and every log line see the same ids.
-                let ctx = TraceCtx::adopt(run.trace);
-                run.trace = Some(ctx);
-                self.logger.info(
-                    "run request",
-                    Some(ctx),
-                    &[
-                        ("op", json_str(run.config.op.name())),
-                        ("platform", json_str(run.config.platform.name())),
-                        ("n", run.config.n.to_string()),
-                        ("perfetto", run.wants_perfetto().to_string()),
-                    ],
-                );
+                let ctx = self.resolve_and_log(&mut run);
                 self.handle_run(&run, ctx)
             }
+            // Unreachable through the public entry points (both split
+            // batches before dispatch); degrade to a structured reply.
+            Request::Batch(_) => encode(&Response::Error(ErrorReply::new(
+                error_code::BAD_REQUEST,
+                "nested batch",
+            ))),
         }
+    }
+
+    /// Resolve the trace context once (adopt the client's or mint one)
+    /// and pin it on the request, so the perfetto cache key and every
+    /// log line see the same ids.
+    fn resolve_and_log(&self, run: &mut RunRequest) -> TraceCtx {
+        let ctx = TraceCtx::adopt(run.trace);
+        run.trace = Some(ctx);
+        // Building the field strings costs four allocations — skip it
+        // entirely when info logging is off (the bench servers' hot path).
+        if self.logger.enabled(Level::Info) {
+            self.logger.info(
+                "run request",
+                Some(ctx),
+                &[
+                    ("op", json_str(run.config.op.name())),
+                    ("platform", json_str(run.config.platform.name())),
+                    ("n", run.config.n.to_string()),
+                    ("perfetto", run.wants_perfetto().to_string()),
+                ],
+            );
+        }
+        ctx
     }
 
     /// Fill the scrape-time gauges and render the Prometheus text
@@ -172,14 +301,13 @@ impl Service {
         m.gauge_queue_capacity
             .set(self.pool.queue_capacity() as f64);
         m.gauge_workers.set(self.pool.workers() as f64);
-        let c = &self.cache.counters;
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        let c = self.cache.counters_snapshot();
         m.gauge_cache_entries.set(self.cache.len() as f64);
         m.gauge_cache_capacity.set(self.cache.capacity() as f64);
-        m.gauge_cache_hits.set(load(&c.hits));
-        m.gauge_cache_misses.set(load(&c.misses));
-        m.gauge_cache_coalesced.set(load(&c.coalesced));
-        m.gauge_cache_evictions.set(load(&c.evictions));
+        m.gauge_cache_hits.set(c.hits as f64);
+        m.gauge_cache_misses.set(c.misses as f64);
+        m.gauge_cache_coalesced.set(c.coalesced as f64);
+        m.gauge_cache_evictions.set(c.evictions as f64);
         m.gauge_cache_hit_rate.set(self.cache.hit_rate());
         m.registry().render()
     }
@@ -188,16 +316,19 @@ impl Service {
     /// a miss simulate on the worker pool — or bounce with backpressure.
     fn handle_run(self: &Arc<Self>, run: &RunRequest, ctx: TraceCtx) -> String {
         let t0 = Instant::now();
-        if let Err(reply) = self.validate_run(run) {
-            self.metrics.invalid_configs.inc();
-            self.logger.warn(
-                "run rejected",
-                Some(ctx),
-                &[("reason", json_str(&reply.message))],
-            );
-            return encode(&Response::Error(reply));
-        }
-        match self.cache.begin(run.cache_key()) {
+        let cfg = match self.validate_run(run) {
+            Ok(cfg) => cfg,
+            Err(reply) => {
+                self.metrics.invalid_configs.inc();
+                self.logger.warn(
+                    "run rejected",
+                    Some(ctx),
+                    &[("reason", json_str(&reply.message))],
+                );
+                return encode(&Response::Error(reply));
+            }
+        };
+        match self.cache.begin(run.cache_key_with(&cfg)) {
             Begin::Hit(line) => {
                 self.metrics.run_hit.record(t0.elapsed());
                 self.logger.debug("cache hit", Some(ctx), &[]);
@@ -206,96 +337,169 @@ impl Service {
             Begin::Wait(flight) => {
                 self.logger
                     .debug("coalesced behind in-flight run", Some(ctx), &[]);
-                let out = match ResultCache::wait(&flight) {
-                    Ok(line) => line.to_string(),
-                    Err(msg) => {
-                        encode(&Response::Error(ErrorReply::new(error_code::INTERNAL, msg)))
-                    }
-                };
+                let out = render_flight(ResultCache::wait(&flight));
                 self.metrics.run_wait.record(t0.elapsed());
                 out
             }
             Begin::Lead(guard) => {
-                // Re-registering the same key while we hold the lead
-                // guard coalesces onto our own flight. The other two
-                // arms are unreachable under the single-flight protocol
-                // (the model checker verifies the pending entry has
-                // exactly one owner), but a panic here would take down
-                // the connection handler — degrade to a structured
-                // reply instead.
-                let flight = match self.cache.begin(guard.key()) {
-                    Begin::Wait(f) => {
-                        // Our own wait on our own flight is bookkeeping,
-                        // not a coalesced request; undo the counter bump.
-                        self.cache
-                            .counters
-                            .coalesced
-                            .fetch_sub(1, Ordering::Relaxed);
-                        f
-                    }
-                    Begin::Hit(line) => {
-                        self.logger.error(
-                            "single-flight invariant broken: leader's key already ready",
-                            Some(ctx),
-                            &[],
-                        );
-                        self.metrics.run_hit.record(t0.elapsed());
-                        return line.to_string();
-                    }
-                    Begin::Lead(extra) => {
-                        extra.fail("single-flight invariant broken".to_string());
-                        self.logger.error(
-                            "single-flight invariant broken: leader's key not pending",
-                            Some(ctx),
-                            &[],
-                        );
-                        return encode(&Response::Error(ErrorReply::new(
-                            error_code::INTERNAL,
-                            "single-flight bookkeeping lost this request's key; please retry"
-                                .to_string(),
-                        )));
-                    }
-                };
+                // The leader observes its own flight directly — the
+                // guard exposes it — so no re-registration (and no
+                // coalesced-counter bookkeeping) is needed.
+                let flight = guard.flight();
                 self.logger
                     .debug("cache miss, leading simulation", Some(ctx), &[]);
-                let job_run = run.clone();
-                let sims = self.simulations.clone();
-                let sims_metric = self.metrics.simulations.clone();
-                let submitted = self.pool.try_submit_traced(
-                    Box::new(move || {
-                        let response = simulate_response(&job_run);
-                        sims.fetch_add(1, Ordering::SeqCst);
-                        sims_metric.inc();
-                        guard.fulfill(encode(&response).into());
-                    }),
-                    Some(ctx),
-                );
-                if let Err(rejected) = submitted {
-                    self.metrics.backpressure_rejections.inc();
-                    self.logger.warn("backpressure", Some(ctx), &[]);
-                    // Fail the flight so concurrent waiters see a clean
-                    // error (the job box still owns the guard; dropping
-                    // it resolves the flight).
-                    drop(rejected);
-                    return encode(&Response::Error(ErrorReply::backpressure(
-                        self.pool.retry_after_ms(),
-                        self.pool.queue_depth(),
-                    )));
+                if let Some(reply) = self.lead_simulation(run, ctx, guard) {
+                    return reply; // backpressure: flight already failed
                 }
-                let out = match ResultCache::wait(&flight) {
-                    Ok(line) => line.to_string(),
-                    Err(msg) => {
-                        encode(&Response::Error(ErrorReply::new(error_code::INTERNAL, msg)))
-                    }
-                };
+                let out = render_flight(ResultCache::wait(&flight));
                 self.metrics.run_miss.record(t0.elapsed());
                 out
             }
         }
     }
 
+    /// Submit the leader's simulation job to the pool. Returns
+    /// `Some(reply)` on rejection (the flight is failed by dropping the
+    /// job box, so concurrent waiters see a clean error); `None` once
+    /// the job is queued and the caller should await the flight.
+    fn lead_simulation(
+        self: &Arc<Self>,
+        run: &RunRequest,
+        ctx: TraceCtx,
+        guard: crate::cache::LeadGuard,
+    ) -> Option<String> {
+        let job_run = run.clone();
+        let sims = self.simulations.clone();
+        let sims_metric = self.metrics.simulations.clone();
+        let submitted = self.pool.try_submit_traced(
+            Box::new(move || {
+                let response = simulate_response(&job_run);
+                sims.fetch_add(1, Ordering::SeqCst);
+                sims_metric.inc();
+                guard.fulfill(encode(&response).into());
+            }),
+            Some(ctx),
+        );
+        if let Err(rejected) = submitted {
+            self.metrics.backpressure_rejections.inc();
+            self.logger.warn("backpressure", Some(ctx), &[]);
+            // Fail the flight so concurrent waiters see a clean error
+            // (the job box still owns the guard; dropping it resolves
+            // the flight).
+            drop(rejected);
+            return Some(encode(&Response::Error(ErrorReply::backpressure(
+                self.pool.retry_after_ms(),
+                self.pool.queue_depth(),
+            ))));
+        }
+        None
+    }
+
+    /// The event-loop run path: same validation/cache/pool protocol as
+    /// [`Service::handle_run`], but instead of blocking on an in-flight
+    /// simulation it subscribes a completion callback. Returns
+    /// `Some(reply)` when the answer is available immediately (validation
+    /// error, cache hit, backpressure); `None` when `complete` will be
+    /// invoked exactly once with the reply line, from whichever thread
+    /// resolves the flight. Latency is recorded into the shard-`shard`
+    /// histogram set *before* the reply is surfaced on every path, so a
+    /// client that observes its reply then asks for `Stats` sees the
+    /// sample.
+    pub fn handle_run_async<F>(
+        self: &Arc<Self>,
+        mut run: RunRequest,
+        shard: usize,
+        complete: F,
+    ) -> Option<Arc<str>>
+    where
+        F: FnOnce(Arc<str>) + Send + 'static,
+    {
+        let t0 = Instant::now();
+        let ctx = self.resolve_and_log(&mut run);
+        let lat = self.metrics.latency_shard(shard);
+        let cfg = match self.validate_run(&run) {
+            Ok(cfg) => cfg,
+            Err(reply) => {
+                self.metrics.invalid_configs.inc();
+                self.logger.warn(
+                    "run rejected",
+                    Some(ctx),
+                    &[("reason", json_str(&reply.message))],
+                );
+                return Some(encode(&Response::Error(reply)).into());
+            }
+        };
+        match self.cache.begin(run.cache_key_with(&cfg)) {
+            Begin::Hit(line) => {
+                lat.run_hit.record(t0.elapsed());
+                self.logger.debug("cache hit", Some(ctx), &[]);
+                Some(line)
+            }
+            Begin::Wait(flight) => {
+                self.logger
+                    .debug("coalesced behind in-flight run", Some(ctx), &[]);
+                let hist = lat.run_wait.clone();
+                ResultCache::subscribe(
+                    &flight,
+                    Box::new(move |res| {
+                        hist.record(t0.elapsed());
+                        complete(render_flight_arc(res));
+                    }),
+                );
+                None
+            }
+            Begin::Lead(guard) => {
+                let flight = guard.flight();
+                self.logger
+                    .debug("cache miss, leading simulation", Some(ctx), &[]);
+                if let Some(reply) = self.lead_simulation(&run, ctx, guard) {
+                    return Some(reply.into()); // backpressure
+                }
+                let hist = lat.run_miss.clone();
+                ResultCache::subscribe(
+                    &flight,
+                    Box::new(move |res| {
+                        hist.record(t0.elapsed());
+                        complete(render_flight_arc(res));
+                    }),
+                );
+                None
+            }
+        }
+    }
+
+    /// Whether the event loop may serve repeated byte-identical request
+    /// lines through the request-identity memo (skipping the parse /
+    /// validate / trace-mint sequence). Allowed only when info logging
+    /// is off: the memo path emits no per-request "run request" line, so
+    /// it must not engage while anyone is watching the logs. Correctness
+    /// does not depend on this gate — identical bytes parse to an
+    /// identical request, whose content-addressed key can only hit an
+    /// entry produced by a fully validated identical run.
+    pub(crate) fn memo_allowed(&self) -> bool {
+        !self.logger.enabled(Level::Info)
+    }
+
+    /// The request-identity fast path: count the wire line and probe the
+    /// cache for `key`. On a hit the reply, hit counter, and shard
+    /// latency sample are all recorded exactly as on the parsed hit
+    /// path. On a miss nothing is counted — the caller falls back to the
+    /// full path, which counts the line itself.
+    pub(crate) fn fast_run_hit(&self, key: ugpc_core::CacheKey, shard: usize) -> Option<Arc<str>> {
+        let t0 = Instant::now();
+        let line = self.cache.probe(key)?;
+        self.metrics.requests_total.inc();
+        self.metrics
+            .latency_shard(shard)
+            .run_hit
+            .record(t0.elapsed());
+        Some(line)
+    }
+
     /// Service-level admission checks on top of `RunConfig::validate`.
-    fn validate_run(&self, run: &RunRequest) -> Result<(), ErrorReply> {
+    /// Returns the effective config on success so the run paths can key
+    /// the cache without recomputing it.
+    fn validate_run(&self, run: &RunRequest) -> Result<RunConfig, ErrorReply> {
         let cfg = run.effective_config();
         cfg.validate()
             .map_err(|e| ErrorReply::new(error_code::INVALID_CONFIG, e.to_string()))?;
@@ -368,12 +572,11 @@ impl Service {
             spec.validate()
                 .map_err(|e| ErrorReply::new(error_code::INVALID_CONFIG, e))?;
         }
-        Ok(())
+        Ok(cfg)
     }
 
     pub fn stats_report(&self) -> StatsReport {
-        let c = &self.cache.counters;
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let c = self.cache.counters_snapshot();
         StatsReport {
             uptime_s: self.metrics.uptime().as_secs_f64(),
             workers: self.pool.workers(),
@@ -388,19 +591,38 @@ impl Service {
             cache: CacheStats {
                 entries: self.cache.len(),
                 capacity: self.cache.capacity(),
-                hits: load(&c.hits),
-                misses: load(&c.misses),
-                coalesced: load(&c.coalesced),
-                evictions: load(&c.evictions),
+                hits: c.hits,
+                misses: c.misses,
+                coalesced: c.coalesced,
+                evictions: c.evictions,
                 hit_rate: self.cache.hit_rate(),
             },
-            latency: vec![
-                OpLatency::from_snapshot("run_hit", &self.metrics.run_hit.snapshot()),
-                OpLatency::from_snapshot("run_miss", &self.metrics.run_miss.snapshot()),
-                OpLatency::from_snapshot("run_wait", &self.metrics.run_wait.snapshot()),
-                OpLatency::from_snapshot("stats", &self.metrics.stats_op.snapshot()),
-            ],
+            latency: self.metrics.latency_report(),
+            persist: self.cache.persist_stats().map(
+                |(path, recovered, appended, bytes, errors)| PersistStats {
+                    path,
+                    recovered,
+                    appended,
+                    bytes,
+                    errors,
+                },
+            ),
         }
+    }
+}
+
+/// Render a resolved flight into the reply line (errors become the same
+/// structured `internal` reply the blocking path produces).
+fn render_flight(res: Result<Arc<str>, String>) -> String {
+    render_flight_arc(res).to_string()
+}
+
+/// [`render_flight`] without the copy — the async paths hand the cached
+/// line onward by reference count.
+fn render_flight_arc(res: Result<Arc<str>, String>) -> Arc<str> {
+    match res {
+        Ok(line) => line,
+        Err(msg) => encode(&Response::Error(ErrorReply::new(error_code::INTERNAL, msg))).into(),
     }
 }
 

@@ -41,11 +41,40 @@ impl OpLatency {
     }
 }
 
+/// One event-loop shard's latency instruments. Each shard thread records
+/// into its own set lock-free; scrapes and `stats` replies merge the
+/// shards bucket-wise (exact integer sums), so the exposed distributions
+/// are bit-identical to a single shared set fed the same samples.
+pub struct ShardLatencies {
+    /// Latency of cache-hit run requests (no simulation).
+    pub run_hit: Arc<Histogram>,
+    /// Latency of cache-miss run requests (leader: queue + simulate).
+    pub run_miss: Arc<Histogram>,
+    /// Latency of requests coalesced behind an in-flight leader.
+    pub run_wait: Arc<Histogram>,
+    pub stats_op: Arc<Histogram>,
+}
+
+impl ShardLatencies {
+    fn new() -> ShardLatencies {
+        ShardLatencies {
+            run_hit: Arc::new(Histogram::new()),
+            run_miss: Arc::new(Histogram::new()),
+            run_wait: Arc::new(Histogram::new()),
+            stats_op: Arc::new(Histogram::new()),
+        }
+    }
+}
+
 /// Live service metrics: handles into the shared registry, plus the few
 /// values that are genuinely scrape-time (gauges, uptime).
 pub struct Metrics {
     started: Instant,
     registry: Arc<Registry>,
+    /// Per-shard latency histograms (the blocking server and shard 0 of
+    /// the event loop record into `shards[0]`, aliased by the
+    /// `run_hit`/`run_miss`/`run_wait`/`stats_op` fields below).
+    shards: Vec<ShardLatencies>,
     pub requests_total: Arc<Counter>,
     pub parse_errors: Arc<Counter>,
     pub invalid_configs: Arc<Counter>,
@@ -83,7 +112,45 @@ pub struct Metrics {
 
 impl Default for Metrics {
     fn default() -> Self {
+        Metrics::new(1)
+    }
+}
+
+impl Metrics {
+    /// Build the metrics surface with `latency_shards` independent sets of
+    /// latency histograms (clamped to at least 1). The exposition
+    /// registers each latency series as a merged *view* over the shards
+    /// under the exact seed metric names, so a scrape of a sharded server
+    /// is bit-identical to the single-registry output for the same
+    /// samples.
+    pub fn new(latency_shards: usize) -> Self {
+        let shards: Vec<ShardLatencies> = (0..latency_shards.max(1))
+            .map(|_| ShardLatencies::new())
+            .collect();
         let r = Registry::new();
+        let view = |name: &str, help: &str, pick: fn(&ShardLatencies) -> &Arc<Histogram>| {
+            r.histogram_view(name, help, shards.iter().map(|s| pick(s).clone()).collect());
+        };
+        view(
+            "ugpc_run_hit_latency_us",
+            "Latency of cache-hit run requests (microseconds).",
+            |s| &s.run_hit,
+        );
+        view(
+            "ugpc_run_miss_latency_us",
+            "Latency of cache-miss run requests (microseconds).",
+            |s| &s.run_miss,
+        );
+        view(
+            "ugpc_run_wait_latency_us",
+            "Latency of run requests coalesced behind a leader (microseconds).",
+            |s| &s.run_wait,
+        );
+        view(
+            "ugpc_stats_latency_us",
+            "Latency of stats requests (microseconds).",
+            |s| &s.stats_op,
+        );
         Metrics {
             started: Instant::now(),
             requests_total: r.counter("ugpc_requests_total", "Wire requests received."),
@@ -100,22 +167,10 @@ impl Default for Metrics {
                 "ugpc_simulations_total",
                 "Simulations executed on the worker pool.",
             ),
-            run_hit: r.histogram(
-                "ugpc_run_hit_latency_us",
-                "Latency of cache-hit run requests (microseconds).",
-            ),
-            run_miss: r.histogram(
-                "ugpc_run_miss_latency_us",
-                "Latency of cache-miss run requests (microseconds).",
-            ),
-            run_wait: r.histogram(
-                "ugpc_run_wait_latency_us",
-                "Latency of run requests coalesced behind a leader (microseconds).",
-            ),
-            stats_op: r.histogram(
-                "ugpc_stats_latency_us",
-                "Latency of stats requests (microseconds).",
-            ),
+            run_hit: shards[0].run_hit.clone(),
+            run_miss: shards[0].run_miss.clone(),
+            run_wait: shards[0].run_wait.clone(),
+            stats_op: shards[0].stats_op.clone(),
             open_connections: Mutex::new(0),
             gauge_uptime_s: r.gauge("ugpc_uptime_seconds", "Service uptime."),
             gauge_open_connections: r.gauge("ugpc_open_connections", "Connections currently open."),
@@ -134,6 +189,7 @@ impl Default for Metrics {
             gauge_cache_hit_rate: r
                 .gauge("ugpc_cache_hit_rate", "hits / (hits + misses + coalesced)."),
             registry: r,
+            shards,
         }
     }
 }
@@ -146,6 +202,32 @@ impl Metrics {
     /// The registry every instrument above is registered on.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Number of independent latency-histogram sets.
+    pub fn latency_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The latency instruments for shard `i` (wrapped modulo the shard
+    /// count so any dispatch index is safe).
+    pub fn latency_shard(&self, i: usize) -> &ShardLatencies {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Merged snapshots across every shard, in the fixed wire order
+    /// (`run_hit`, `run_miss`, `run_wait`, `stats`) the service has
+    /// always reported.
+    pub fn latency_report(&self) -> Vec<OpLatency> {
+        let merged = |pick: fn(&ShardLatencies) -> &Arc<Histogram>| {
+            Histogram::merged_snapshot(self.shards.iter().map(|s| pick(s).as_ref()))
+        };
+        vec![
+            OpLatency::from_snapshot("run_hit", &merged(|s| &s.run_hit)),
+            OpLatency::from_snapshot("run_miss", &merged(|s| &s.run_miss)),
+            OpLatency::from_snapshot("run_wait", &merged(|s| &s.run_wait)),
+            OpLatency::from_snapshot("stats", &merged(|s| &s.stats_op)),
+        ]
     }
 }
 
@@ -163,6 +245,22 @@ pub struct CacheStats {
     pub hit_rate: f64,
 }
 
+/// Persistent cache-tier state as reported over the wire. `None` in
+/// [`StatsReport::persist`] when the service runs memory-only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersistStats {
+    /// Append-log path.
+    pub path: String,
+    /// Records recovered by the boot-time scan.
+    pub recovered: u64,
+    /// Records appended since boot.
+    pub appended: u64,
+    /// Current log size in bytes.
+    pub bytes: u64,
+    /// Append failures (the cache keeps serving from memory).
+    pub errors: u64,
+}
+
 /// The `stats` response payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsReport {
@@ -178,6 +276,9 @@ pub struct StatsReport {
     pub simulations_executed: u64,
     pub cache: CacheStats,
     pub latency: Vec<OpLatency>,
+    /// Persistent-tier stats; `null` for memory-only servers. Decodes
+    /// as `None` from seed-era reports that lack the field entirely.
+    pub persist: Option<PersistStats>,
 }
 
 #[cfg(test)]
@@ -240,11 +341,64 @@ mod tests {
                 "run_hit",
                 &Histogram::new().snapshot(),
             )],
+            persist: Some(PersistStats {
+                path: "/tmp/cache.log".to_string(),
+                recovered: 2,
+                appended: 3,
+                bytes: 123,
+                errors: 0,
+            }),
         };
         let json = serde_json::to_string(&report).expect("serialize");
         let back: StatsReport = serde_json::from_str(&json).expect("parse");
         assert_eq!(back.cache.hits, 5);
         assert_eq!(back.latency.len(), 1);
         assert_eq!(back.latency[0].op, "run_hit");
+        let p = back.persist.expect("persist present");
+        assert_eq!(p.recovered, 2);
+        assert_eq!(p.bytes, 123);
+        // Seed-era reports lack the field entirely; it decodes as None.
+        let seedish = json.replace(",\"persist\":{", ",\"ignored\":{");
+        let old: StatsReport = serde_json::from_str(&seedish).expect("parse seed form");
+        assert!(old.persist.is_none());
+    }
+
+    /// Satellite regression: a fixed duration sequence recorded
+    /// round-robin across per-shard histogram sets must produce the
+    /// exact wire report (`OpLatency`) and the exact text exposition
+    /// that the seed's single shared set produced for the same samples.
+    #[test]
+    fn sharded_latency_report_is_bit_identical_to_single_registry() {
+        // A deliberately awkward sequence: bucket edges, repeats, a
+        // zero, and a max-setter, as both µs and ms values.
+        let samples_us: [u64; 12] = [0, 1, 2, 3, 4, 7, 8, 1023, 1024, 90_000, 3, 2_000_000];
+        let single = Metrics::new(1);
+        let sharded = Metrics::new(4);
+        for (i, &us) in samples_us.iter().enumerate() {
+            let d = Duration::from_micros(us);
+            single.run_hit.record(d);
+            single.run_miss.record(d);
+            sharded.latency_shard(i).run_hit.record(d);
+            sharded.latency_shard(i + 1).run_miss.record(d);
+        }
+        let a = single.latency_report();
+        let b = sharded.latency_report();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.op, y.op);
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.max_us, y.max_us);
+            assert_eq!(x.buckets, y.buckets, "{}", x.op);
+            assert!(
+                (x.mean_us - y.mean_us).abs() == 0.0,
+                "exact, not approximate"
+            );
+        }
+        // The wire JSON and the Prometheus exposition are byte-equal.
+        assert_eq!(
+            serde_json::to_string(&a).expect("a"),
+            serde_json::to_string(&b).expect("b")
+        );
+        assert_eq!(single.registry().render(), sharded.registry().render());
     }
 }

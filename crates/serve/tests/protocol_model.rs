@@ -23,7 +23,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 use ugpc_analysis::model::backpressure::Backpressure;
-use ugpc_analysis::model::singleflight::SingleFlight;
+use ugpc_analysis::model::singleflight::{ShardedSingleFlight, SingleFlight};
 use ugpc_analysis::model::{accepts_trace, Checker};
 use ugpc_core::CacheKey;
 use ugpc_serve::cache::{Begin, ResultCache};
@@ -108,6 +108,63 @@ fn single_flight_failure_run_is_a_model_path() {
 
     accepts_trace(&SingleFlight::correct(3), &trace)
         .unwrap_or_else(|i| panic!("model rejects the executed run at step {i}: {trace:?}"));
+}
+
+/// The sharded cache against [`ShardedSingleFlight`]: keys 0 and 1 land
+/// on shards 0 and 1 (low-bits selection), so two leaders legally run
+/// *concurrently* — the one-key model rejects that trace, the sharded
+/// model requires it — while each key individually keeps single-flight
+/// (the waiter coalesces, the late requester hits, bytes identical).
+#[test]
+fn sharded_single_flight_run_is_a_model_path() {
+    let cache = ResultCache::with_options(64, 2, None);
+    assert_eq!(cache.shard_count(), 2, "64/32 = 2 shards");
+    let k0 = CacheKey(0); // 0 & 1 == 0 → shard 0
+    let k1 = CacheKey(1); // 1 & 1 == 1 → shard 1
+    let mut trace: Vec<&str> = Vec::new();
+
+    // t0 leads shard 0, t1 leads shard 1 — simultaneously. Per-shard
+    // locks mean neither blocks the other.
+    let g0 = expect_begin!(cache, k0, Begin::Lead);
+    trace.push("t0.s0:begin:lead");
+    let g1 = expect_begin!(cache, k1, Begin::Lead);
+    trace.push("t1.s1:begin:lead");
+
+    // t2 wants k0 while it is in flight: coalesces behind shard 0's
+    // leader, untouched by shard 1's concurrent flight.
+    let flight = expect_begin!(cache, k0, Begin::Wait);
+    trace.push("t2.s0:begin:wait");
+
+    let p0: Arc<str> = Arc::from("{\"reply\":\"shard0\"}");
+    let p1: Arc<str> = Arc::from("{\"reply\":\"shard1\"}");
+    g0.fulfill(p0.clone());
+    trace.push("t0.s0:fulfill:map");
+    trace.push("t0.s0:publish");
+    g1.fulfill(p1.clone());
+    trace.push("t1.s1:fulfill:map");
+    trace.push("t1.s1:publish");
+
+    let waited = ResultCache::wait(&flight).expect("fulfilled flight");
+    trace.push("t2.s0:wait:resolved");
+    assert_eq!(&*waited, &*p0, "waiter diverged from shard 0's leader");
+
+    // t3 arrives late on shard 1: hit, byte-identical.
+    let hit = expect_begin!(cache, k1, Begin::Hit);
+    trace.push("t3.s1:begin:hit");
+    assert_eq!(&*hit, &*p1, "hit diverged from shard 1's leader");
+
+    let model = ShardedSingleFlight::correct(2, 4);
+    accepts_trace(&model, &trace)
+        .unwrap_or_else(|i| panic!("model rejects the executed run at step {i}: {trace:?}"));
+    // The same concurrent-leaders prefix is *impossible* in the one-key
+    // model — concurrency across shards is exactly what sharding adds.
+    assert_eq!(
+        accepts_trace(
+            &SingleFlight::correct(4),
+            &["t0:begin:lead", "t1:begin:lead"]
+        ),
+        Err(1)
+    );
 }
 
 #[test]

@@ -83,6 +83,22 @@ impl Histogram {
             .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Merge independently recorded histograms into one plain snapshot.
+    /// Every operation is exact integer arithmetic (bucket-wise add,
+    /// count/total add, max), so the result is bit-identical to a single
+    /// shared histogram fed the same samples — the property the sharded
+    /// serve layer's exposition depends on.
+    pub fn merged_snapshot<'a, I>(parts: I) -> HistogramSnapshot
+    where
+        I: IntoIterator<Item = &'a Histogram>,
+    {
+        let scratch = Histogram::new();
+        for part in parts {
+            scratch.merge(part);
+        }
+        scratch.snapshot()
+    }
+
     /// A consistent-enough point-in-time copy of the counters (individual
     /// loads are relaxed; a scrape racing a record may see the sample in
     /// some fields and not others, which is fine for monitoring).
@@ -202,5 +218,26 @@ mod tests {
         // Merging an empty histogram is the identity.
         a.merge(&Histogram::new());
         assert_eq!(a.snapshot(), merged);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_shared_instance() {
+        // The same sample stream split across shards must snapshot
+        // bit-identically to one shared histogram.
+        let shared = Histogram::new();
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for (i, us) in [0u64, 1, 3, 3, 500, 4096, 1 << 40, 17, 17, 1_000_000]
+            .into_iter()
+            .enumerate()
+        {
+            shared.record_us(us);
+            shards[i % shards.len()].record_us(us);
+        }
+        assert_eq!(Histogram::merged_snapshot(shards.iter()), shared.snapshot());
+        // A single-part merge is the identity projection.
+        assert_eq!(
+            Histogram::merged_snapshot(std::iter::once(&shared)),
+            shared.snapshot()
+        );
     }
 }

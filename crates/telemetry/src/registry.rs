@@ -65,6 +65,11 @@ enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// A render-time merge over independently recorded histograms
+    /// (per-shard instances), exposed as one series. Scrapes see the
+    /// bucket-wise sum — bit-identical to a single shared histogram
+    /// fed the same samples, without the shards contending on it.
+    HistogramView(Vec<Arc<Histogram>>),
 }
 
 struct Entry {
@@ -134,6 +139,15 @@ impl Registry {
         h
     }
 
+    /// Register a merged *view* over `parts` (per-shard histograms
+    /// recorded independently). The exposition renders the bucket-wise
+    /// sum under one series name — bit-identical to what a single
+    /// shared histogram fed the same samples would render.
+    pub fn histogram_view(&self, name: &str, help: &str, parts: Vec<Arc<Histogram>>) {
+        assert!(!parts.is_empty(), "histogram view {name:?} needs parts");
+        self.register(name, help, Instrument::HistogramView(parts));
+    }
+
     /// Render every registered instrument in the Prometheus text
     /// exposition format (version 0.0.4). Histograms render cumulative
     /// `_bucket{le="..."}` series with microsecond bounds, plus `_sum`
@@ -153,28 +167,44 @@ impl Registry {
                     let _ = writeln!(out, "{} {}", e.name, g.get());
                 }
                 Instrument::Histogram(h) => {
-                    let snap = h.snapshot();
-                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
-                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
-                    let mut cumulative = 0u64;
-                    for (i, &n) in snap.buckets.iter().enumerate().take(BUCKETS - 1) {
-                        cumulative += n;
-                        let _ = writeln!(
-                            out,
-                            "{}_bucket{{le=\"{}\"}} {}",
-                            e.name,
-                            1u64 << i,
-                            cumulative
-                        );
-                    }
-                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count);
-                    let _ = writeln!(out, "{}_sum {}", e.name, snap.total_us);
-                    let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+                    render_histogram(&mut out, &e.name, &e.help, &h.snapshot());
+                }
+                Instrument::HistogramView(parts) => {
+                    let snap = Histogram::merged_snapshot(parts.iter().map(Arc::as_ref));
+                    render_histogram(&mut out, &e.name, &e.help, &snap);
                 }
             }
         }
         out
     }
+}
+
+/// Render one histogram snapshot in the exposition format: cumulative
+/// `_bucket{le="..."}` series with microsecond bounds, `_sum`, `_count`.
+/// Shared between direct histograms and merged views so both render
+/// byte-identically from the same snapshot.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    snap: &crate::histogram::HistogramSnapshot,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in snap.buckets.iter().enumerate().take(BUCKETS - 1) {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"{}\"}} {}",
+            name,
+            1u64 << i,
+            cumulative
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", snap.total_us);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
 }
 
 #[cfg(test)]
@@ -225,6 +255,27 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 6);
+    }
+
+    #[test]
+    fn histogram_view_renders_identically_to_shared_histogram() {
+        let samples = [0u64, 1, 3, 3, 500, 4096, 1 << 40, 17];
+        // One registry with a single shared histogram...
+        let shared_reg = Registry::new();
+        let shared = shared_reg.histogram("ugpc_view_us", "View test.");
+        // ...and one with a 3-part view fed the same stream round-robin.
+        let view_reg = Registry::new();
+        let parts: Vec<Arc<Histogram>> = (0..3).map(|_| Arc::new(Histogram::new())).collect();
+        view_reg.histogram_view("ugpc_view_us", "View test.", parts.clone());
+        for (i, &us) in samples.iter().enumerate() {
+            shared.record_us(us);
+            parts[i % parts.len()].record_us(us);
+        }
+        assert_eq!(
+            view_reg.render(),
+            shared_reg.render(),
+            "a merged view must be bit-identical to a shared histogram"
+        );
     }
 
     #[test]
