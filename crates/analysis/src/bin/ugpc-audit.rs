@@ -30,6 +30,7 @@ use ugpc_analysis::lints::{self, all_rules};
 use ugpc_analysis::model::backpressure::Backpressure;
 use ugpc_analysis::model::controlplane::ControlPlaneModel;
 use ugpc_analysis::model::eventqueue::EventQueueModel;
+use ugpc_analysis::model::seqlock::SeqlockModel;
 use ugpc_analysis::model::singleflight::{ShardedSingleFlight, SingleFlight};
 use ugpc_analysis::model::{Checker, Model};
 
@@ -88,6 +89,10 @@ fn check_models() -> bool {
     );
     ok &= check_model("event-queue(pushes=4)", &EventQueueModel::correct(4));
     ok &= check_model("control-plane(ticks=6)", &ControlPlaneModel::correct(6));
+    ok &= check_model(
+        "seqlock-ring(pushes=3, drains=2)",
+        &SeqlockModel::correct(3, 2),
+    );
     ok
 }
 

@@ -1,0 +1,486 @@
+//! Abstract model of the flight recorder's seqlock-per-slot ring drain
+//! protocol (`crates/telemetry/src/recorder.rs`).
+//!
+//! The recorder's contract: a drain returns only *intact* records — a
+//! payload the single writer published atomically, never a mix of two
+//! generations — while the writer never blocks and never loses a beat.
+//! The real ring earns this with a sequence word per slot: the writer
+//! stores an odd sequence (Release), writes the payload words
+//! (Relaxed), stores the even generation sequence (Release); a drain
+//! loads the sequence (Acquire), copies the payload, and re-loads the
+//! sequence — any change means the copy may be torn and the slot is
+//! skipped.
+//!
+//! This model checks the protocol *logic* exhaustively at miniature
+//! scale: a two-slot ring of two-word records, with the writer's four
+//! micro-steps (odd mark, word 0, word 1, publish) and the reader's
+//! per-slot micro-steps (sequence check, word copies, re-check)
+//! interleaved every way possible. Record `k`'s words are both `k + 1`,
+//! so an accepted copy mixing generations is detectable data. The
+//! interleaving semantics are sequentially consistent per location —
+//! faithful to the real ring's Release/Acquire bracketing of the
+//! sequence word, which is what orders the relaxed payload accesses.
+//!
+//! Checked invariants:
+//! * **no torn accept** — every record a drain accepts carries exactly
+//!   the words the writer published for that ring index;
+//! * **sequence sanity** — a slot's sequence word is always `0`, the
+//!   odd mark of the generation being written, or the even publish of a
+//!   generation that lives in that slot;
+//! * **bounded loss** — a quiescent drain (writer idle) returns every
+//!   one of the last `capacity` published records (the ring loses only
+//!   lapped history, never a settled slot).
+//!
+//! Two deliberately broken variants prove the checker can catch what it
+//! claims to check:
+//! * [`buggy_no_recheck`](SeqlockModel::buggy_no_recheck) — the reader
+//!   skips the second sequence load, the classic seqlock bug: a writer
+//!   lapping the reader mid-copy goes unnoticed and the torn copy is
+//!   accepted.
+//! * [`buggy_no_odd_guard`](SeqlockModel::buggy_no_odd_guard) — the
+//!   writer overwrites the payload without first marking the slot odd,
+//!   so a reader's re-check still sees the *old* generation's sequence
+//!   and accepts a mix of old and new words.
+
+use super::Model;
+
+/// Ring capacity in slots. Two is the smallest ring that wraps.
+const CAP: u8 = 2;
+/// Payload words per record. Two is the smallest payload that tears.
+const WORDS: usize = 2;
+
+/// Where the reader is inside one drain pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReaderPhase {
+    /// Between drains.
+    Idle,
+    /// Snapshot of `head` taken; scanning `index` next, up to `h`.
+    Slot { h: u8, index: u8 },
+    /// Sequence matched; copying payload words one at a time.
+    Copy {
+        h: u8,
+        index: u8,
+        copied: [u8; WORDS],
+        next: u8,
+    },
+    /// All words copied; the re-check load is the next step.
+    Recheck {
+        h: u8,
+        index: u8,
+        copied: [u8; WORDS],
+    },
+}
+
+/// Global protocol state: the ring, the writer's micro-step, and the
+/// reader's drain pass.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqlockState {
+    /// Records published (the real ring's `head`).
+    pub head: u8,
+    /// Per-slot `(seq, words)`.
+    pub slots: [(u8, [u8; WORDS]); CAP as usize],
+    /// Writer micro-step within the current push: 0 = between records,
+    /// 1 = odd mark stored, 2 = word 0 written, 3 = word 1 written.
+    pub wstep: u8,
+    /// Pushes still allowed (bounds the exploration).
+    pub pushes_left: u8,
+    pub reader: ReaderPhase,
+    /// Drain passes still allowed.
+    pub drains_left: u8,
+    /// Intact records accepted by completed and in-progress drains, as
+    /// `(ring index, words)` — checked against the writer's publications.
+    pub accepted: Vec<(u8, [u8; WORDS])>,
+}
+
+/// Model configuration: `pushes` records through the ring, interleaved
+/// with `drains` drain passes every way possible.
+pub struct SeqlockModel {
+    pub pushes: u8,
+    pub drains: u8,
+    /// Reader bug: skip the second sequence load (accept without
+    /// detecting a concurrent overwrite).
+    pub skip_recheck: bool,
+    /// Writer bug: overwrite the payload without first storing the odd
+    /// mark (the slot looks settled while it is mid-write).
+    pub no_odd_guard: bool,
+}
+
+impl SeqlockModel {
+    /// The configuration the audit leg checks: enough pushes to lap the
+    /// two-slot ring with a drain in flight.
+    pub fn correct(pushes: u8, drains: u8) -> Self {
+        SeqlockModel {
+            pushes,
+            drains,
+            skip_recheck: false,
+            no_odd_guard: false,
+        }
+    }
+
+    /// The classic seqlock reader bug (see module docs).
+    pub fn buggy_no_recheck(pushes: u8, drains: u8) -> Self {
+        SeqlockModel {
+            skip_recheck: true,
+            ..Self::correct(pushes, drains)
+        }
+    }
+
+    /// The writer-side publication bug (see module docs).
+    pub fn buggy_no_odd_guard(pushes: u8, drains: u8) -> Self {
+        SeqlockModel {
+            no_odd_guard: true,
+            ..Self::correct(pushes, drains)
+        }
+    }
+
+    /// The payload word of record `index`: both words are `index + 1`,
+    /// so any accepted mix of generations is visible data.
+    fn word_of(index: u8) -> u8 {
+        index + 1
+    }
+
+    fn writer_transitions(&self, s: &SeqlockState, out: &mut Vec<(String, SeqlockState)>) {
+        if s.pushes_left == 0 {
+            return;
+        }
+        let slot = (s.head % CAP) as usize;
+        match s.wstep {
+            0 if !self.no_odd_guard => {
+                let mut n = s.clone();
+                n.slots[slot].0 = 2 * s.head + 1;
+                n.wstep = 1;
+                out.push(("w:odd".to_string(), n));
+            }
+            // Buggy writer: jump straight to the payload, leaving the
+            // previous generation's even sequence in place.
+            0 | 1 => {
+                let mut n = s.clone();
+                n.slots[slot].1[0] = Self::word_of(s.head);
+                n.wstep = 2;
+                out.push(("w:word0".to_string(), n));
+            }
+            2 => {
+                let mut n = s.clone();
+                n.slots[slot].1[1] = Self::word_of(s.head);
+                n.wstep = 3;
+                out.push(("w:word1".to_string(), n));
+            }
+            _ => {
+                let mut n = s.clone();
+                n.slots[slot].0 = 2 * (s.head + 1);
+                n.head += 1;
+                n.wstep = 0;
+                n.pushes_left -= 1;
+                out.push((format!("w:publish#{}", s.head), n));
+            }
+        }
+    }
+
+    fn reader_transitions(&self, s: &SeqlockState, out: &mut Vec<(String, SeqlockState)>) {
+        match s.reader {
+            ReaderPhase::Idle => {
+                if s.drains_left > 0 {
+                    let mut n = s.clone();
+                    n.drains_left -= 1;
+                    n.reader = ReaderPhase::Slot {
+                        h: s.head,
+                        index: s.head.saturating_sub(CAP),
+                    };
+                    out.push((format!("r:begin(h={})", s.head), n));
+                }
+            }
+            ReaderPhase::Slot { h, index } => {
+                if index >= h {
+                    let mut n = s.clone();
+                    n.reader = ReaderPhase::Idle;
+                    out.push(("r:end".to_string(), n));
+                    return;
+                }
+                let seq = s.slots[(index % CAP) as usize].0;
+                let mut n = s.clone();
+                if seq == 2 * (index + 1) {
+                    n.reader = ReaderPhase::Copy {
+                        h,
+                        index,
+                        copied: [0; WORDS],
+                        next: 0,
+                    };
+                    out.push((format!("r:seq1@{index}"), n));
+                } else {
+                    n.reader = ReaderPhase::Slot {
+                        h,
+                        index: index + 1,
+                    };
+                    out.push((format!("r:skip@{index}"), n));
+                }
+            }
+            ReaderPhase::Copy {
+                h,
+                index,
+                mut copied,
+                next,
+            } => {
+                copied[next as usize] = s.slots[(index % CAP) as usize].1[next as usize];
+                let mut n = s.clone();
+                if usize::from(next) + 1 < WORDS {
+                    n.reader = ReaderPhase::Copy {
+                        h,
+                        index,
+                        copied,
+                        next: next + 1,
+                    };
+                    out.push((format!("r:copy{next}@{index}"), n));
+                } else if self.skip_recheck {
+                    // Buggy reader: accept without the second look.
+                    n.accepted.push((index, copied));
+                    n.reader = ReaderPhase::Slot {
+                        h,
+                        index: index + 1,
+                    };
+                    out.push((format!("r:accept@{index}"), n));
+                } else {
+                    n.reader = ReaderPhase::Recheck { h, index, copied };
+                    out.push((format!("r:copy{next}@{index}"), n));
+                }
+            }
+            ReaderPhase::Recheck { h, index, copied } => {
+                let seq = s.slots[(index % CAP) as usize].0;
+                let mut n = s.clone();
+                n.reader = ReaderPhase::Slot {
+                    h,
+                    index: index + 1,
+                };
+                if seq == 2 * (index + 1) {
+                    n.accepted.push((index, copied));
+                    out.push((format!("r:accept@{index}"), n));
+                } else {
+                    out.push((format!("r:torn@{index}"), n));
+                }
+            }
+        }
+    }
+}
+
+impl Model for SeqlockModel {
+    type State = SeqlockState;
+
+    fn initial(&self) -> SeqlockState {
+        SeqlockState {
+            head: 0,
+            slots: [(0, [0; WORDS]); CAP as usize],
+            wstep: 0,
+            pushes_left: self.pushes,
+            reader: ReaderPhase::Idle,
+            drains_left: self.drains,
+            accepted: Vec::new(),
+        }
+    }
+
+    fn transitions(&self, s: &SeqlockState) -> Vec<(String, SeqlockState)> {
+        let mut out = Vec::new();
+        self.writer_transitions(s, &mut out);
+        self.reader_transitions(s, &mut out);
+        out
+    }
+
+    fn invariant(&self, s: &SeqlockState) -> Result<(), String> {
+        // No torn accept: an accepted record carries exactly the words
+        // the writer published for that ring index.
+        for &(index, words) in &s.accepted {
+            if words != [Self::word_of(index); WORDS] {
+                return Err(format!(
+                    "torn record accepted at index {index}: read {words:?}, writer published {:?}",
+                    [Self::word_of(index); WORDS]
+                ));
+            }
+        }
+        // Sequence sanity: each slot's seq is 0 (never written), the odd
+        // mark of the generation being written, or the even publish of a
+        // generation that maps to this slot.
+        for (i, &(seq, _)) in s.slots.iter().enumerate() {
+            let ok = if seq == 0 {
+                true
+            } else if seq % 2 == 1 {
+                seq == 2 * s.head + 1 && (s.head % CAP) as usize == i
+            } else {
+                let generation = seq / 2; // published head after that record
+                generation <= s.head && ((generation - 1) % CAP) as usize == i
+            };
+            if !ok {
+                return Err(format!(
+                    "slot {i} seq {seq} is not a legal mark at head {} (wstep {})",
+                    s.head, s.wstep
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_expected_terminal(&self, s: &SeqlockState) -> bool {
+        s.pushes_left == 0 && s.wstep == 0 && s.drains_left == 0 && s.reader == ReaderPhase::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accepts_trace, Checker};
+
+    #[test]
+    fn correct_protocol_verifies_exhaustively() {
+        // Three pushes lap the two-slot ring with a drain in flight —
+        // the exact overwrite-under-copy scenario the re-check guards.
+        let out = Checker::default().run(&SeqlockModel::correct(3, 2));
+        assert!(out.verified(), "seqlock violated: {:?}", out.violation);
+        assert!(out.terminals >= 1);
+        // Pinned state count: the audit leg prints these numbers, and a
+        // protocol change that silently shrinks or explodes the explored
+        // space should be a conscious decision.
+        assert_eq!(out.states, 665, "explored {} states", out.states);
+    }
+
+    #[test]
+    fn quiescent_drain_returns_the_last_capacity_records() {
+        // With the writer done, a full drain must accept every slot the
+        // ring still holds: indices head-CAP..head, intact.
+        let model = SeqlockModel::correct(3, 1);
+        let out = Checker::default().run(&model);
+        assert!(out.verified(), "{:?}", out.violation);
+        // Drive the deterministic quiescent schedule through the model:
+        // all writes, then one drain.
+        let mut s = model.initial();
+        let script = [
+            "w:odd",
+            "w:word0",
+            "w:word1",
+            "w:publish#0",
+            "w:odd",
+            "w:word0",
+            "w:word1",
+            "w:publish#1",
+            "w:odd",
+            "w:word0",
+            "w:word1",
+            "w:publish#2",
+            "r:begin(h=3)",
+            "r:seq1@1",
+            "r:copy0@1",
+            "r:copy1@1",
+            "r:accept@1",
+            "r:seq1@2",
+            "r:copy0@2",
+            "r:copy1@2",
+            "r:accept@2",
+            "r:end",
+        ];
+        for want in script {
+            let (_, next) = model
+                .transitions(&s)
+                .into_iter()
+                .find(|(label, _)| label == want)
+                .unwrap_or_else(|| panic!("step {want} not enabled"));
+            s = next;
+        }
+        assert_eq!(s.accepted, vec![(1, [2, 2]), (2, [3, 3])]);
+        assert!(model.is_expected_terminal(&s));
+    }
+
+    #[test]
+    fn missing_recheck_is_caught() {
+        let out = Checker::default().run(&SeqlockModel::buggy_no_recheck(3, 1));
+        let v = out.violation.expect("checker must catch the torn accept");
+        assert!(
+            v.message.contains("torn record accepted"),
+            "unexpected violation: {}",
+            v.message
+        );
+        // The witness interleaving overwrites the slot mid-copy.
+        assert!(v.trace.iter().any(|l| l.starts_with("r:copy")));
+        assert!(v.trace.iter().any(|l| l.starts_with("w:")));
+    }
+
+    #[test]
+    fn missing_odd_guard_is_caught() {
+        let out = Checker::default().run(&SeqlockModel::buggy_no_odd_guard(3, 1));
+        let v = out.violation.expect("checker must catch the stale accept");
+        assert!(
+            v.message.contains("torn record accepted"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn real_scenarios_are_accepted() {
+        let model = SeqlockModel::correct(3, 1);
+        // A drain that snapshots head mid-run skips the unpublished slot.
+        accepts_trace(
+            &model,
+            &[
+                "w:odd",
+                "w:word0",
+                "w:word1",
+                "w:publish#0",
+                "r:begin(h=1)",
+                "r:seq1@0",
+                "w:odd",
+                "r:copy0@0",
+                "r:copy1@0",
+                "r:accept@0",
+                "r:end",
+            ],
+        )
+        .expect("settled-slot drain rejected");
+        // The writer lapping the reader mid-copy forces a torn skip.
+        accepts_trace(
+            &model,
+            &[
+                "w:odd",
+                "w:word0",
+                "w:word1",
+                "w:publish#0",
+                "r:begin(h=1)",
+                "r:seq1@0",
+                "r:copy0@0",
+                "w:odd",
+                "w:word0",
+                "w:word1",
+                "w:publish#1",
+                "w:odd",
+                "w:word0",
+                "w:word1",
+                "w:publish#2",
+                "r:copy1@0",
+                "r:torn@0",
+                "r:end",
+            ],
+        )
+        .expect("lapped-reader torn skip rejected");
+    }
+
+    #[test]
+    fn impossible_scenarios_are_rejected() {
+        let model = SeqlockModel::correct(2, 1);
+        // Accepting a slot the writer is mid-way through can never
+        // happen: the odd mark fails the first sequence check.
+        assert_eq!(
+            accepts_trace(&model, &["w:odd", "w:word0", "r:begin(h=0)", "r:seq1@0"]),
+            Err(3)
+        );
+        // A correct reader never accepts without the copy steps.
+        assert_eq!(
+            accepts_trace(
+                &model,
+                &[
+                    "w:odd",
+                    "w:word0",
+                    "w:word1",
+                    "w:publish#0",
+                    "r:begin(h=1)",
+                    "r:accept@0"
+                ]
+            ),
+            Err(5)
+        );
+    }
+}

@@ -8,7 +8,54 @@
 //! perf-floor-constrained objective all drive the same state machine.
 
 use crate::objective::ObjectiveValue;
+use serde::{Deserialize, Serialize};
 use ugpc_hwsim::{GpuDevice, Watts};
+
+/// How one epoch's score compared against the previous one, after the
+/// relative-epsilon guard (a last-ulp difference reads as a tie, not a
+/// gradient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparison {
+    /// No previous score: the warm-up epoch takes the initial step.
+    First,
+    /// Strictly worse than the previous score: overshot the peak.
+    Worse,
+    /// Equal within epsilon: a plateau — ties break toward lower caps.
+    Tie,
+    /// Strictly better: keep moving in the current direction.
+    Better,
+}
+
+impl Comparison {
+    pub fn name(self) -> &'static str {
+        match self {
+            Comparison::First => "first",
+            Comparison::Worse => "worse",
+            Comparison::Tie => "tie",
+            Comparison::Better => "better",
+        }
+    }
+}
+
+/// One hill-climb decision, fully attributed — what
+/// [`DynamicCapper::observe_explained`] journals for the control
+/// plane's decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapperStep {
+    /// The epsilon-guarded score comparison that drove the move.
+    pub comparison: Comparison,
+    /// Cap in force when the score was observed.
+    pub cap_before_w: f64,
+    /// Cap commanded for the next epoch (clamped to the device range).
+    pub cap_after_w: f64,
+    /// Step size after the decision (halved on reversals and plateau
+    /// refinement).
+    pub step_w: f64,
+    /// Search direction after the decision: −1.0 (down) or +1.0 (up).
+    pub direction: f64,
+    /// Whether the step budget is now exhausted.
+    pub converged: bool,
+}
 
 /// Hill-climbing controller state for one GPU.
 ///
@@ -78,6 +125,15 @@ impl DynamicCapper {
     /// Feed the objective score measured over the last epoch; returns the
     /// cap to apply for the next epoch.
     pub fn observe(&mut self, score: ObjectiveValue) -> Watts {
+        Watts(self.observe_explained(score).cap_after_w)
+    }
+
+    /// [`DynamicCapper::observe`] with full decision attribution — the
+    /// same state machine (the plain form delegates here), returning
+    /// what moved and why for the control plane's decision journal.
+    pub fn observe_explained(&mut self, score: ObjectiveValue) -> CapperStep {
+        let cap_before = self.cap;
+        let mut comparison = Comparison::First;
         if let Some(prev) = self.last_score {
             // Relative epsilon: two epochs of identical workload
             // composition score bit-near-identically, and a last-ulp
@@ -85,6 +141,7 @@ impl DynamicCapper {
             let eps = prev.value().abs() * 1e-9;
             if score.value() < prev.value() - eps {
                 // Strictly worse: overshot — reverse and refine.
+                comparison = Comparison::Worse;
                 self.direction = -self.direction;
                 self.step = (self.step * 0.5).max(self.min_step);
             } else if score.value() <= prev.value() + eps {
@@ -96,17 +153,27 @@ impl DynamicCapper {
                 // descending mid-plateau keeps walking down at full step
                 // until the score actually drops off the plateau's low
                 // edge (which reads as "worse" and reverses normally).
+                comparison = Comparison::Tie;
                 if self.direction > 0.0 {
                     self.direction = -1.0;
                     self.step = (self.step * 0.5).max(self.min_step);
                 } else if self.cap <= self.min {
                     self.step = (self.step * 0.5).max(self.min_step);
                 }
+            } else {
+                comparison = Comparison::Better;
             }
         }
         self.last_score = Some(score);
         self.cap = (self.cap + self.step * self.direction).clamp(self.min, self.max);
-        self.cap
+        CapperStep {
+            comparison,
+            cap_before_w: cap_before.value(),
+            cap_after_w: self.cap.value(),
+            step_w: self.step.value(),
+            direction: self.direction,
+            converged: self.converged(),
+        }
     }
 }
 

@@ -35,9 +35,9 @@ pub mod objective;
 pub mod plane;
 pub mod sensor;
 
-pub use capper::DynamicCapper;
+pub use capper::{CapperStep, Comparison, DynamicCapper};
 pub use objective::{
     Ed2p, Edp, GflopsPerWatt, Objective, ObjectiveKind, ObjectiveValue, PerfFloor, WindowMetrics,
 };
-pub use plane::{ControlPlane, ControllerSpec, TickRecord};
+pub use plane::{ControlPlane, ControllerSpec, DecisionRecord, GateReason, TickRecord};
 pub use sensor::SensorHub;

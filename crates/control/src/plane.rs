@@ -9,7 +9,7 @@
 //! randomness — so a controlled run is byte-reproducible across `--jobs
 //! N` and both queue backends.
 
-use crate::capper::DynamicCapper;
+use crate::capper::{CapperStep, DynamicCapper};
 use crate::objective::{Objective, ObjectiveKind};
 use crate::sensor::SensorHub;
 use serde::{Deserialize, Serialize};
@@ -143,6 +143,64 @@ pub struct TickRecord {
     pub scores: Vec<Option<f64>>,
 }
 
+/// Why one device took no score at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateReason {
+    /// No work completed on the device during the window.
+    EmptyWindow,
+    /// The window's busy fraction was below
+    /// [`ControllerSpec::min_occupancy`] — it measures the workload's
+    /// gaps, not the cap.
+    LowOccupancy,
+    /// The device's search has exhausted its step budget.
+    Converged,
+    /// The objective produced a non-finite score (degenerate window).
+    NonFiniteScore,
+}
+
+impl GateReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            GateReason::EmptyWindow => "empty window",
+            GateReason::LowOccupancy => "occupancy below floor",
+            GateReason::Converged => "search converged",
+            GateReason::NonFiniteScore => "non-finite score",
+        }
+    }
+}
+
+/// One (tick, device) entry of the decision journal: every input the
+/// controller weighed and what it did — the full provenance of a re-cap
+/// (or of the decision not to move). Journaling is unconditional and
+/// write-only, so a controlled run's outputs are independent of whether
+/// anyone reads the journal (`repro control --explain` does).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Tick time, virtual seconds.
+    pub t: f64,
+    /// Device index.
+    pub device: usize,
+    /// Cap in force when the tick fired.
+    pub cap_w: f64,
+    /// The window's busy fraction (`None` for an empty window).
+    pub occupancy: Option<f64>,
+    /// Why the window was discarded, when it was.
+    pub gate: Option<GateReason>,
+    /// The window's objective score, when one was taken.
+    pub score: Option<f64>,
+    /// Scores buffered toward the vote quorum after this window
+    /// (0 once the quorum fires and the buffer drains).
+    pub votes_buffered: u32,
+    /// The quorum's decision statistic (best buffered window), when the
+    /// quorum fired this tick.
+    pub quorum: Option<f64>,
+    /// The hill-climb decision, when the quorum fired.
+    pub outcome: Option<CapperStep>,
+    /// Whether a re-cap command was emitted (the commanded cap differs
+    /// from the cap in force).
+    pub recap: bool,
+}
+
 /// The online sweet-spot controller: implements [`ControlHook`] for both
 /// executors.
 pub struct ControlPlane {
@@ -154,6 +212,7 @@ pub struct ControlPlane {
     /// hill-climb decision (see [`ControllerSpec::votes`]).
     pending: Vec<Vec<f64>>,
     ticks: Vec<TickRecord>,
+    journal: Vec<DecisionRecord>,
     recaps: usize,
 }
 
@@ -177,6 +236,7 @@ impl ControlPlane {
             objectives,
             pending,
             ticks: Vec::new(),
+            journal: Vec::new(),
             recaps: 0,
         }
     }
@@ -193,6 +253,18 @@ impl ControlPlane {
     /// Total re-cap commands emitted.
     pub fn recaps(&self) -> usize {
         self.recaps
+    }
+
+    /// The decision journal: one record per (tick, device), in tick
+    /// order, device-major within a tick.
+    pub fn journal(&self) -> &[DecisionRecord] {
+        &self.journal
+    }
+
+    /// Take the journal out (the study driver moves it into the
+    /// explained report without cloning).
+    pub fn take_journal(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.journal)
     }
 
     /// The cap each device's search currently rests at.
@@ -227,6 +299,7 @@ impl ControlHook for ControlPlane {
     fn on_start(&mut self, ctx: &RunContext<'_>) -> Option<Secs> {
         self.sensors.configure(ctx);
         self.ticks.clear();
+        self.journal.clear();
         self.recaps = 0;
         for buf in &mut self.pending {
             buf.clear();
@@ -243,38 +316,68 @@ impl ControlHook for ControlPlane {
         let mut scores: Vec<Option<f64>> = Vec::with_capacity(self.cappers.len());
         for g in 0..self.cappers.len() {
             let window = self.sensors.window(g, now);
+            let mut rec = DecisionRecord {
+                t: now.value(),
+                device: g,
+                cap_w: caps.get(g).map_or(f64::NAN, |c| c.value()),
+                occupancy: (!window.is_empty()).then(|| window.occupancy()),
+                gate: None,
+                score: None,
+                votes_buffered: 0,
+                quorum: None,
+                outcome: None,
+                recap: false,
+            };
             // No completed work, or a finished search: nothing to learn,
             // nothing to move. Skipping converged devices is what makes a
             // converged-at-current-cap controller completely quiescent.
-            if window.is_empty()
-                || window.occupancy() < self.spec.min_occupancy
-                || self.cappers[g].converged()
-            {
+            let gate = if window.is_empty() {
+                Some(GateReason::EmptyWindow)
+            } else if window.occupancy() < self.spec.min_occupancy {
+                Some(GateReason::LowOccupancy)
+            } else if self.cappers[g].converged() {
+                Some(GateReason::Converged)
+            } else {
+                None
+            };
+            if let Some(gate) = gate {
+                rec.gate = Some(gate);
+                self.journal.push(rec);
                 scores.push(None);
                 continue;
             }
             let score = self.objectives[g].score(&window);
             if !score.is_finite() {
+                rec.gate = Some(GateReason::NonFiniteScore);
+                self.journal.push(rec);
                 scores.push(None);
                 continue;
             }
             scores.push(Some(score.value()));
-            // Buffer until the vote quorum fills, then act on the median
-            // — robust to single anomalous windows.
+            rec.score = Some(score.value());
+            // Buffer until the vote quorum fills, then act on the
+            // quorum's best — robust to single anomalous windows.
             self.pending[g].push(score.value());
             if self.pending[g].len() < self.spec.votes as usize {
+                rec.votes_buffered = self.pending[g].len() as u32;
+                self.journal.push(rec);
                 continue;
             }
             let vote = crate::ObjectiveValue(quorum_score(&self.pending[g]));
+            rec.quorum = Some(vote.value());
             self.pending[g].clear();
-            let next = self.cappers[g].observe(vote);
+            let step = self.cappers[g].observe_explained(vote);
+            rec.outcome = Some(step);
+            let next = self.cappers[g].cap();
             if caps.get(g).is_some_and(|&current| next != current) {
+                rec.recap = true;
                 decision.recaps.push(RecapEvent {
                     t: now,
                     device: g,
                     cap: next,
                 });
             }
+            self.journal.push(rec);
         }
         self.recaps += decision.recaps.len();
         self.sensors.reset_window(now);

@@ -16,7 +16,7 @@
 use crate::{InvalidConfig, RunConfig, RunReport};
 use serde::{Deserialize, Serialize};
 use ugpc_capping::{apply_cpu_cap, apply_gpu_caps};
-use ugpc_control::{ControlPlane, ControllerSpec, TickRecord};
+use ugpc_control::{ControlPlane, ControllerSpec, DecisionRecord, TickRecord};
 use ugpc_hwsim::Node;
 use ugpc_runtime::{
     simulate_controlled, DataRegistry, Observer, PerfModel, QueueBackend, SimOptions,
@@ -114,6 +114,22 @@ pub fn run_study_controlled_queued_observed(
     queue: QueueBackend,
     extra: &mut [&mut dyn Observer],
 ) -> ControlledRun {
+    run_study_controlled_explained(cfg, spec, queue, extra).0
+}
+
+/// [`run_study_controlled_queued_observed`] plus the controller's
+/// per-(tick, device) decision journal — every gate taken, every quorum
+/// vote, every epsilon-guard outcome, in event-time order. The journal
+/// is write-only instrumentation inside [`ControlPlane`], so the
+/// [`ControlledRun`] half is identical to the unexplained entry point by
+/// construction (the plain variant delegates here and drops the
+/// journal).
+pub fn run_study_controlled_explained(
+    cfg: &RunConfig,
+    spec: &ControllerSpec,
+    queue: QueueBackend,
+    extra: &mut [&mut dyn Observer],
+) -> (ControlledRun, Vec<DecisionRecord>) {
     let mut node = Node::new(cfg.platform);
     apply_gpu_caps(&mut node, &cfg.gpu_config, cfg.op, cfg.precision)
         .expect("cap configuration matches the platform");
@@ -149,14 +165,15 @@ pub fn run_study_controlled_queued_observed(
         );
     }
     let report = RunReport::from_parts(cfg, &builder.into_trace(), &stats.into_stats());
-    ControlledRun {
+    let run = ControlledRun {
         report,
         objective: spec.objective.name().to_string(),
         ticks: plane.ticks().to_vec(),
         recaps: plane.recaps(),
         final_caps_w: plane.final_caps().iter().map(|c| c.value()).collect(),
         converged: plane.converged(),
-    }
+    };
+    (run, plane.take_journal())
 }
 
 #[cfg(test)]
@@ -225,6 +242,34 @@ mod tests {
         let capped = run_study_at_caps(&cfg(), &[216.0; 4]);
         assert!(capped.makespan_s > at_tdp.makespan_s);
         assert!(capped.total_energy_j < at_tdp.total_energy_j);
+    }
+
+    #[test]
+    fn explained_run_matches_plain_and_journals_every_decision() {
+        let plain = run_study_controlled(&cfg(), &spec());
+        let (run, journal) =
+            run_study_controlled_explained(&cfg(), &spec(), QueueBackend::resolve(), &mut []);
+        // The journal is write-only instrumentation: the run itself is
+        // byte-identical to the unexplained path.
+        assert_eq!(run.report, plain.report);
+        assert_eq!(run.final_caps_w, plain.final_caps_w);
+        assert_eq!(run.recaps, plain.recaps);
+        // Every (tick, device) pair produced exactly one decision record,
+        // and re-cap records match the run's re-cap count.
+        let devices = run.final_caps_w.len();
+        assert_eq!(journal.len(), run.ticks.len() * devices);
+        assert_eq!(journal.iter().filter(|d| d.recap).count(), run.recaps);
+        // With the default single-window quorum (`votes: 1`), every
+        // ungated decision fires the capper: gated decisions carry a
+        // reason and no outcome, scored ones carry both a score and an
+        // epsilon-guard outcome.
+        for d in &journal {
+            assert_eq!(d.gate.is_none(), d.outcome.is_some(), "{d:?}");
+            if d.outcome.is_some() {
+                assert!(d.score.is_some(), "{d:?}");
+            }
+        }
+        assert!(journal.iter().any(|d| d.outcome.is_some()));
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod key;
 pub mod report;
 
 pub use controlled::{
-    run_study_at_caps, run_study_controlled, run_study_controlled_queued_observed,
-    try_run_study_controlled, ControlledRun,
+    run_study_at_caps, run_study_controlled, run_study_controlled_explained,
+    run_study_controlled_queued_observed, try_run_study_controlled, ControlledRun,
 };
 pub use dynamic::{
     dynamic_vs_static_oracle, run_dynamic_study, DynamicIteration, DynamicStudyReport,

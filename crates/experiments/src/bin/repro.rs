@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|control|all]...
+//! repro [--validate] [--audit] [--smoke] [--explain] [--scale K] [--jobs N] [--queue Q] [--json DIR] [fig1|table1|table2|fig3|fig4|fig5|fig6|fig7|ablation|power|profile|control|all]...
 //! repro --serve [ADDR] [--persist PATH]
 //! repro --trace-out DIR [--scale K]
 //! ```
@@ -29,6 +29,11 @@
 //! `--smoke` runs the cheap CI variant of experiments that have one
 //! (currently `control`); the full-scale committed baselines are left
 //! untouched.
+//! `--explain` (with `control`) additionally dumps the controller's
+//! per-device decision journal — every window score, quorum vote,
+//! occupancy gate, and epsilon-guard outcome behind every re-cap. The
+//! journal rides the same runs, so the study output is byte-identical
+//! with or without it.
 //! `--validate` lints the GEMM and POTRF task graphs (hazard-edge audit
 //! plus a parallelism report) before anything else and fails the run on
 //! errors; alone, it runs only the validation.
@@ -48,6 +53,7 @@ struct Args {
     validate: bool,
     audit: bool,
     smoke: bool,
+    explain: bool,
     serve: Option<String>,
     persist: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -82,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         validate: false,
         audit: false,
         smoke: false,
+        explain: false,
         serve: None,
         persist: None,
         trace_out: None,
@@ -117,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
             "--validate" => args.validate = true,
             "--audit" => args.audit = true,
             "--smoke" => args.smoke = true,
+            "--explain" => args.explain = true,
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a directory")?;
                 args.trace_out = Some(PathBuf::from(v));
@@ -151,7 +159,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--validate] [--audit] [--smoke] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR] [--persist PATH]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
+                    "usage: repro [--validate] [--audit] [--smoke] [--explain] [--scale K] [--jobs N] [--queue Q] [--json DIR] [{}|all]...\n       repro --serve [ADDR] [--persist PATH]   (default {DEFAULT_SERVE_ADDR})\n       repro --trace-out DIR [--scale K]",
                     ALL.join("|")
                 );
                 std::process::exit(0);
@@ -163,6 +171,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.persist.is_some() && args.serve.is_none() {
         return Err("--persist only applies to --serve".into());
+    }
+    if args.explain && !args.experiments.iter().any(|e| e == "control") {
+        return Err("--explain only applies to the `control` experiment".into());
     }
     // `repro --validate` / `--audit` alone run only those checks;
     // `--serve` and `--trace-out` never run experiments; everything
@@ -508,12 +519,16 @@ fn main() -> ExitCode {
                 write_json(&args.json_dir, "profile", &s);
             }
             "control" => {
-                let s = if args.smoke {
-                    ex::control::run_smoke()
+                let (s, journals) = if args.smoke {
+                    ex::control::run_smoke_explained()
                 } else {
-                    ex::control::run(args.scale)
+                    ex::control::run_explained(args.scale)
                 };
                 println!("{}", ex::control::render(&s));
+                if args.explain {
+                    println!("{}", ex::control::render_explain(&journals));
+                    write_json(&args.json_dir, "control_explain", &journals);
+                }
                 write_json(&args.json_dir, "control", &s);
                 write_bench_control(&s, args.smoke, args.scale);
             }

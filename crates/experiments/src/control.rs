@@ -25,9 +25,9 @@ use crate::driver::par_map;
 use crate::format::{f, TextTable};
 use crate::power_profile::sparkline;
 use serde::{Deserialize, Serialize};
-use ugpc_control::{ControllerSpec, ObjectiveKind, WindowMetrics};
+use ugpc_control::{ControllerSpec, DecisionRecord, ObjectiveKind, WindowMetrics};
 use ugpc_core::{
-    run_study, run_study_at_caps, run_study_controlled_queued_observed, RunConfig, RunReport,
+    run_study, run_study_at_caps, run_study_controlled_explained, RunConfig, RunReport,
 };
 use ugpc_hwsim::{Flops, GpuSpec, Joules, OpKind, PlatformId, PlatformSpec, Precision, Secs};
 use ugpc_runtime::{Observer, PowerProfile, PowerTimeline, QueueBackend};
@@ -99,6 +99,19 @@ fn controller_tuning(op: OpKind) -> (u32, f64) {
     }
 }
 
+/// One controlled run's decision journal, kept alongside (not inside)
+/// the study so the study's serialized form — and the committed
+/// `BENCH_control.json` it refreshes — is byte-identical whether or not
+/// anyone asked for an explanation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainEntry {
+    pub op: String,
+    pub objective: String,
+    /// One record per (tick, device), tick-major: the full provenance
+    /// of every re-cap and every decision not to move.
+    pub journal: Vec<DecisionRecord>,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ControlStudy {
     pub platform: String,
@@ -143,11 +156,21 @@ pub fn run(scale: usize) -> ControlStudy {
     run_with(PlatformId::Amd4A100, scale, 0.1, 0.85, 32, 26)
 }
 
+/// [`run`] plus the per-run decision journals for `--explain`.
+pub fn run_explained(scale: usize) -> (ControlStudy, Vec<ExplainEntry>) {
+    run_with_explained(PlatformId::Amd4A100, scale, 0.1, 0.85, 32, 26)
+}
+
 /// A fast variant for CI's `repro control --smoke`: deep scale-down,
 /// short control period, coarse sweep. Exercises every code path; the
 /// 5 % acceptance bar applies only to the committed full-scale study.
 pub fn run_smoke() -> ControlStudy {
     run_with(PlatformId::Amd4A100, 8, 0.02, 0.85, 16, 7)
+}
+
+/// [`run_smoke`] plus the per-run decision journals for `--explain`.
+pub fn run_smoke_explained() -> (ControlStudy, Vec<ExplainEntry>) {
+    run_with_explained(PlatformId::Amd4A100, 8, 0.02, 0.85, 16, 7)
 }
 
 pub fn run_with(
@@ -158,6 +181,22 @@ pub fn run_with(
     bins: usize,
     sweep_points: usize,
 ) -> ControlStudy {
+    run_with_explained(platform, scale, period_s, perf_floor, bins, sweep_points).0
+}
+
+/// [`run_with`] returning the decision journal of every controlled run
+/// alongside the study. The journal rides the same runs — nothing is
+/// re-simulated, and the study half is identical to [`run_with`] by
+/// construction (that entry point delegates here and drops the
+/// journals).
+pub fn run_with_explained(
+    platform: PlatformId,
+    scale: usize,
+    period_s: f64,
+    perf_floor: f64,
+    bins: usize,
+    sweep_points: usize,
+) -> (ControlStudy, Vec<ExplainEntry>) {
     assert!(sweep_points >= 2, "sweep needs at least min and TDP");
     let spec = PlatformSpec::of(platform);
     let n_gpus = spec.gpu_count;
@@ -167,6 +206,7 @@ pub fn run_with(
         .map(|i| min_w + (tdp_w - min_w) * i as f64 / (sweep_points - 1) as f64)
         .collect();
 
+    let mut journals: Vec<ExplainEntry> = Vec::new();
     let cases = [OpKind::Gemm, OpKind::Potrf]
         .into_iter()
         .map(|op| {
@@ -189,9 +229,9 @@ pub fn run_with(
                     .with_votes(votes)
                     .with_min_occupancy(min_occupancy);
                 let mut timeline = PowerTimeline::new(bins);
-                let controlled = {
+                let (controlled, journal) = {
                     let mut extra: [&mut dyn Observer; 1] = [&mut timeline];
-                    run_study_controlled_queued_observed(
+                    run_study_controlled_explained(
                         &cfg,
                         &ctl_spec,
                         QueueBackend::resolve(),
@@ -208,7 +248,7 @@ pub fn run_with(
                     })
                     .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("non-empty sweep");
-                ObjectiveRow {
+                let row = ObjectiveRow {
                     objective: kind.name().to_string(),
                     final_caps_w: controlled.final_caps_w.clone(),
                     recaps: controlled.recaps,
@@ -220,8 +260,16 @@ pub fn run_with(
                     offline_value,
                     gap_pct: (1.0 - online_value / offline_value) * 100.0,
                     power: timeline.into_profile(),
-                }
+                };
+                let entry = ExplainEntry {
+                    op: op.name().to_string(),
+                    objective: kind.name().to_string(),
+                    journal,
+                };
+                (row, entry)
             });
+            let (rows, entries): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+            journals.extend(entries);
             ControlCase {
                 op: op.name().to_string(),
                 votes,
@@ -234,7 +282,7 @@ pub fn run_with(
         })
         .collect();
 
-    ControlStudy {
+    let study = ControlStudy {
         platform: platform.name().to_string(),
         precision: Precision::Double.to_string(),
         scale,
@@ -242,7 +290,62 @@ pub fn run_with(
         perf_floor,
         bins,
         cases,
+    };
+    (study, journals)
+}
+
+/// Render the decision journals as the `repro control --explain` dump:
+/// one block per controlled run, one line per (tick, device) decision —
+/// the cap in force, the window evidence, and what the controller did
+/// with it. Deterministic: the text is a pure function of the journals.
+pub fn render_explain(journals: &[ExplainEntry]) -> String {
+    let mut out = String::from("Re-cap decision journals (--explain)\n");
+    for entry in journals {
+        let recaps = entry.journal.iter().filter(|d| d.recap).count();
+        out.push_str(&format!(
+            "\n{} / {} — {} decisions, {} re-caps\n",
+            entry.op,
+            entry.objective,
+            entry.journal.len(),
+            recaps,
+        ));
+        for d in &entry.journal {
+            out.push_str(&format!(
+                "  t {:>7} gpu{} cap {:>3} W",
+                f(d.t, 3),
+                d.device,
+                f(d.cap_w, 0),
+            ));
+            if let Some(occ) = d.occupancy {
+                out.push_str(&format!(" occ {}", f(occ, 2)));
+            }
+            match (&d.gate, &d.outcome) {
+                (Some(gate), _) => out.push_str(&format!(": skipped ({})\n", gate.name())),
+                (None, None) => out.push_str(&format!(
+                    ": score {}, buffered vote {} (quorum pending)\n",
+                    f(d.score.unwrap_or(f64::NAN), 3),
+                    d.votes_buffered,
+                )),
+                (None, Some(step)) => {
+                    out.push_str(&format!(
+                        ": score {}, quorum best {}: {} -> cap {} W",
+                        f(d.score.unwrap_or(f64::NAN), 3),
+                        f(d.quorum.unwrap_or(f64::NAN), 3),
+                        step.comparison.name(),
+                        f(step.cap_after_w, 0),
+                    ));
+                    if d.recap {
+                        out.push_str("  [re-cap]");
+                    }
+                    if step.converged {
+                        out.push_str("  (converged)");
+                    }
+                    out.push('\n');
+                }
+            }
+        }
     }
+    out
 }
 
 fn caps_str(caps: &[f64]) -> String {
@@ -368,6 +471,82 @@ mod tests {
             objective_value(kind, 0.85, &uncapped, &capped)
                 > objective_value(kind, 0.85, &uncapped, &uncapped)
         );
+    }
+
+    #[test]
+    fn explained_study_is_identical_and_journals_every_run() {
+        let plain = serde_json::to_string(&run_smoke()).expect("serialize");
+        let (study, journals) = run_smoke_explained();
+        // Collecting the journals must not perturb the study: the plain
+        // entry point delegates to the explained one, so the two are the
+        // same bytes.
+        assert_eq!(plain, serde_json::to_string(&study).expect("serialize"));
+        // One journal per (op, objective) controlled run, in study order.
+        assert_eq!(journals.len(), 2 * ObjectiveKind::ALL.len());
+        for (case, chunk) in study
+            .cases
+            .iter()
+            .zip(journals.chunks(ObjectiveKind::ALL.len()))
+        {
+            for (row, entry) in case.rows.iter().zip(chunk) {
+                assert_eq!(entry.op, case.op);
+                assert_eq!(entry.objective, row.objective);
+                assert_eq!(entry.journal.iter().filter(|d| d.recap).count(), row.recaps);
+                // Every tick journals every device.
+                assert_eq!(entry.journal.len(), row.ticks * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn explain_render_is_deterministic_and_names_gates_and_votes() {
+        let (_, journals) = run_smoke_explained();
+        let text = render_explain(&journals);
+        assert_eq!(text, render_explain(&journals), "pure function of input");
+        assert!(text.contains("GEMM / gflops-w"));
+        assert!(text.contains("POTRF / perf-floor"));
+        // The smoke run is too short to fill its 5–6-window quorums, so
+        // its journal shows the evidence-gathering paths: buffered votes
+        // and gated (empty / low-occupancy) windows.
+        assert!(text.contains("buffered vote"), "quorum buffering rendered");
+        assert!(text.contains("skipped ("), "gated windows rendered");
+    }
+
+    #[test]
+    fn explain_render_shows_quorum_decisions_and_recaps() {
+        use ugpc_control::{CapperStep, Comparison};
+        // A hand-built journal exercising the decision branch the smoke
+        // study is too short to reach: a filled quorum driving a re-cap.
+        let entry = ExplainEntry {
+            op: "GEMM".to_string(),
+            objective: "gflops-w".to_string(),
+            journal: vec![DecisionRecord {
+                t: 0.1,
+                device: 2,
+                cap_w: 400.0,
+                occupancy: Some(0.97),
+                gate: None,
+                score: Some(41.5),
+                votes_buffered: 0,
+                quorum: Some(42.0),
+                outcome: Some(CapperStep {
+                    comparison: Comparison::First,
+                    cap_before_w: 400.0,
+                    cap_after_w: 368.0,
+                    step_w: 32.0,
+                    direction: -1.0,
+                    converged: false,
+                }),
+                recap: true,
+            }],
+        };
+        let text = render_explain(&[entry]);
+        assert!(text.contains("1 decisions, 1 re-caps"));
+        assert!(text.contains("gpu2"));
+        assert!(text.contains("quorum best 42"));
+        assert!(text.contains("first"), "comparison name rendered");
+        assert!(text.contains("cap 368 W"));
+        assert!(text.contains("[re-cap]"));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!                   [--unique K] [--scale S] [--require-hits]
 //!                   [--connections C] [--pipeline D] [--batch B]
 //!                   [--open-rate R] [--server-mode eventloop|blocking]
-//!                   [--suite] [--json PATH]
+//!                   [--suite] [--json PATH] [--introspect PATH]
 //! ```
 //!
 //! The harness primes the cache (one warm-up run per unique config)
@@ -33,6 +33,13 @@
 //! the serving-layer overhead itself, not simulation time. Exits
 //! nonzero if any request ultimately failed — or, under
 //! `--require-hits`, if the server's cache hit rate stayed at zero.
+//!
+//! `--introspect PATH` drains the server's flight recorder right after
+//! the load (an `Introspect` request on a fresh connection) and writes
+//! the report — worst-K span trees, last-N spans, per-phase p50/p99
+//! decomposition — as pretty JSON to PATH; CI uploads it as the
+//! tail-latency attribution artifact. Applies to harness mode and to
+//! the event-loop leg of `--suite`.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -47,8 +54,8 @@ use ugpc_runtime::SchedPolicy;
 use ugpc_serve::net::{Interest, Poller};
 use ugpc_serve::protocol::encode;
 use ugpc_serve::{
-    error_code, Client, ClientError, Request, Response, RunRequest, ServeOptions, Server,
-    ServerMode,
+    error_code, Client, ClientError, IntrospectRequest, Request, Response, RunRequest,
+    ServeOptions, Server, ServerMode,
 };
 
 struct Args {
@@ -66,6 +73,7 @@ struct Args {
     server_mode: ServerMode,
     suite: bool,
     json: Option<String>,
+    introspect: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         server_mode: ServerMode::EventLoop,
         suite: false,
         json: None,
+        introspect: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -117,12 +126,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--suite" => args.suite = true,
             "--json" => args.json = Some(val("--json")?),
+            "--introspect" => args.introspect = Some(val("--introspect")?),
             "--help" | "-h" => {
                 println!(
                     "usage: ugpc-bench-client [--addr HOST:PORT | --spawn] [--requests N] \
                      [--threads T] [--unique K] [--scale S] [--require-hits] \
                      [--connections C] [--pipeline D] [--batch B] [--open-rate R] \
-                     [--server-mode eventloop|blocking] [--suite] [--json PATH]"
+                     [--server-mode eventloop|blocking] [--suite] [--json PATH] \
+                     [--introspect PATH]"
                 );
                 std::process::exit(0);
             }
@@ -496,6 +507,32 @@ fn write_json(path: &str, content: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("write {path}: {e}"))
 }
 
+/// Drain the server's flight recorder and write the span-tree /
+/// phase-decomposition report to `path`. Run right after a load phase,
+/// while the worst offenders are still in the rings.
+fn capture_introspect(addr: &str, path: &str) -> Result<(), String> {
+    let report = Client::connect(addr)
+        .and_then(|mut c| {
+            c.introspect(IntrospectRequest {
+                last: Some(32),
+                worst: Some(8),
+            })
+        })
+        .map_err(|e| format!("introspect: {e}"))?;
+    if !report.enabled {
+        eprintln!("[introspect] server has no flight recorder; writing empty report");
+    } else if let Some(worst) = report.worst.first() {
+        eprintln!(
+            "[introspect] {} recorded; worst request {} µs (trace {})",
+            report.recorded, worst.total_us, worst.trace
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+    write_json(path, &json)?;
+    eprintln!("[introspect] wrote {path}");
+    Ok(())
+}
+
 /// The comparison suite behind `results/bench/BENCH_serve.json`.
 fn run_suite(args: &Args) -> Result<(String, u64), String> {
     let n = args.requests.unwrap_or(100_000);
@@ -568,6 +605,11 @@ fn run_suite(args: &Args) -> Result<(String, u64), String> {
         },
         "eventloop",
     )?);
+    // Drain the flight recorder while the load's span records are still
+    // in the rings — the tail-latency attribution artifact.
+    if let Some(path) = &args.introspect {
+        capture_introspect(&addr, path)?;
+    }
     handle.stop();
 
     // Seed blocking baseline: thread-per-connection, depth-1 turns (the
@@ -780,6 +822,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(path) = &args.introspect {
+            if let Err(e) = capture_introspect(&addr, path) {
+                eprintln!("error: {e}");
+                if let Some(handle) = spawned {
+                    handle.stop();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
         if let Some(handle) = spawned {
             handle.stop();
         }

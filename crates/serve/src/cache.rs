@@ -104,6 +104,22 @@ pub struct CacheCountersSnapshot {
     pub evictions: u64,
 }
 
+/// Health snapshot of the persistent append-log tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistSnapshot {
+    pub path: String,
+    /// Records the recovery scan replayed at open.
+    pub recovered: u64,
+    /// Records appended since open.
+    pub appended: u64,
+    /// Current log size in bytes.
+    pub bytes: u64,
+    /// Bytes discarded at open as a corrupt or torn tail.
+    pub truncated_bytes: u64,
+    /// Append failures since open (the cache keeps serving from memory).
+    pub errors: u64,
+}
+
 /// What [`ResultCache::begin`] tells a requester to do.
 pub enum Begin {
     /// Ready value — answer immediately, no simulation.
@@ -463,18 +479,18 @@ impl ResultCache {
         out
     }
 
-    /// `(path, recovered, appended, bytes, errors)` of the persistent
-    /// tier, if one is attached.
-    pub fn persist_stats(&self) -> Option<(String, u64, u64, u64, u64)> {
+    /// A snapshot of the persistent tier's health, if one is attached.
+    pub fn persist_stats(&self) -> Option<PersistSnapshot> {
         self.persist.as_ref().map(|log| {
             let log = log.lock();
-            (
-                log.path().display().to_string(),
-                log.recovered_count(),
-                log.appended(),
-                log.bytes(),
-                self.persist_errors.load(Ordering::Relaxed),
-            )
+            PersistSnapshot {
+                path: log.path().display().to_string(),
+                recovered: log.recovered_count(),
+                appended: log.appended(),
+                bytes: log.bytes(),
+                truncated_bytes: log.truncated_bytes(),
+                errors: self.persist_errors.load(Ordering::Relaxed),
+            }
         })
     }
 
@@ -739,10 +755,10 @@ mod tests {
             let cache = ResultCache::with_options(64, 2, Some(log));
             get_or_compute(&cache, CacheKey(1), || "one".to_string());
             get_or_compute(&cache, CacheKey(2), || "two".to_string());
-            let (_, recovered, appended, bytes, errors) =
-                cache.persist_stats().expect("persist attached");
-            assert_eq!((recovered, appended, errors), (0, 2, 0));
-            assert!(bytes > 0);
+            let p = cache.persist_stats().expect("persist attached");
+            assert_eq!((p.recovered, p.appended, p.errors), (0, 2, 0));
+            assert_eq!(p.truncated_bytes, 0, "clean log has no torn tail");
+            assert!(p.bytes > 0);
         }
         // "Restart": a fresh cache over the same log serves both keys
         // without recomputing, byte-identically.
@@ -753,8 +769,8 @@ mod tests {
         assert_eq!(&*one, "one");
         let two = get_or_compute(&cache, CacheKey(2), || panic!("recovered"));
         assert_eq!(&*two, "two");
-        let (_, recovered, appended, _, _) = cache.persist_stats().expect("attached");
-        assert_eq!((recovered, appended), (2, 0));
+        let p = cache.persist_stats().expect("attached");
+        assert_eq!((p.recovered, p.appended), (2, 0));
         // ClearCache truncates the log: a second restart starts cold.
         cache.clear();
         drop(cache);

@@ -2,7 +2,10 @@
 //! round-trip example, the integration tests, and the
 //! `ugpc-bench-client` load generator.
 
-use crate::protocol::{decode, encode, ErrorReply, PerfettoRun, Request, Response, RunRequest};
+use crate::protocol::{
+    decode, encode, ErrorReply, IntrospectReport, IntrospectRequest, PerfettoRun, Request,
+    Response, RunRequest,
+};
 use crate::stats::StatsReport;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -214,6 +217,17 @@ impl Client {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         match self.roundtrip(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain the server's flight recorder: last-N / worst-K span trees
+    /// and the per-phase latency decomposition. Servers without a
+    /// recorder answer `enabled: false` rather than erroring.
+    pub fn introspect(&mut self, req: IntrospectRequest) -> Result<IntrospectReport, ClientError> {
+        match self.roundtrip(&Request::Introspect(req))? {
+            Response::Introspect(report) => Ok(report),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedVariant(format!("{other:?}"))),
         }

@@ -29,6 +29,16 @@
 //! blocking transport), the acceptor wakes every shard, and each shard
 //! drains outstanding replies (bounded by a drain deadline), flushes
 //! blockingly, and exits.
+//!
+//! ## Request spans
+//!
+//! With a flight recorder attached, every request line gets a
+//! [`RequestSpans`] opened when its socket becomes readable and closed
+//! when the reply is buffered for writing. The phase checkpoints are
+//! `Copy` data riding along the existing paths (through the service's
+//! completion callbacks and back via the `completions` mailbox), so
+//! only the owning shard thread ever writes its span ring —
+//! single-writer by construction, and reply bytes are untouched.
 
 use crate::net::{Event, Interest, Poller, WAKE};
 use crate::protocol::Request;
@@ -38,9 +48,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ugpc_core::CacheKey;
+use ugpc_telemetry::{Phase, RequestSpans, TraceCtx};
 
 /// How long a shard keeps draining in-flight replies after shutdown.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
@@ -55,8 +67,10 @@ const POLL_MS: i32 = 250;
 const MEMO_CAP: usize = 512;
 
 /// A completed async reply routed back to its connection: `(connection
-/// token, sequence number, reply line)`.
-type Completion = (u64, u64, Arc<str>);
+/// token, sequence number, reply line, request spans)`. The spans ride
+/// the mailbox so the shard that owns the connection — and the span
+/// ring — journals them itself.
+type Completion = (u64, u64, Arc<str>, Option<RequestSpans>);
 
 /// The cross-thread face of one shard.
 struct ShardShared {
@@ -223,7 +237,7 @@ fn shard_main(
             break;
         }
         adopt_new_connections(shared, service, &mut conns, &mut next_token);
-        route_completions(shared, service, &mut conns);
+        route_completions(shard_idx, shared, service, &mut conns);
         for ev in &events {
             if ev.token == WAKE {
                 continue;
@@ -245,6 +259,7 @@ fn shard_main(
                 update_interest(shared, conn, ev.token);
             }
         }
+        publish_depths(shard_idx, service, &conns);
         if service.shutdown_requested() {
             shutdown_seen = true;
             // The shutdown request may have arrived on this very shard
@@ -252,7 +267,23 @@ fn shard_main(
             let _ = TcpStream::connect(addr);
         }
     }
-    drain_and_close(shared, service, &mut conns);
+    drain_and_close(shard_idx, shared, service, &mut conns);
+}
+
+/// Refresh this shard's depth gauges after an event round: request
+/// slots admitted but not yet answered, and response bytes parked in
+/// write buffers awaiting socket writability.
+fn publish_depths(shard_idx: usize, service: &Arc<Service>, conns: &HashMap<u64, Conn>) {
+    let (mut inflight, mut backlog) = (0u64, 0u64);
+    // Sums are order-independent.
+    for c in conns.values() {
+        // lint:allow hash-iteration
+        inflight += c.next_seq - c.next_emit;
+        backlog += c.wbuf.len() as u64;
+    }
+    let depths = service.metrics.depth_shard(shard_idx);
+    depths.inbox_depth.store(inflight, Ordering::Relaxed);
+    depths.write_backlog_bytes.store(backlog, Ordering::Relaxed);
 }
 
 /// Install connections handed over by the acceptor.
@@ -291,14 +322,17 @@ fn take_completions(shared: &ShardShared) -> Vec<Completion> {
     std::mem::take(&mut *shared.completions.lock())
 }
 
-/// Deliver async reply lines into their connections' reorder windows.
+/// Deliver async reply lines into their connections' reorder windows,
+/// journaling each request's spans into this shard's ring on the way.
 fn route_completions(
+    shard_idx: usize,
     shared: &Arc<ShardShared>,
     service: &Arc<Service>,
     conns: &mut HashMap<u64, Conn>,
 ) {
     let done = take_completions(shared);
-    for (token, seq, line) in done {
+    for (token, seq, line, spans) in done {
+        record_span(service, shard_idx, spans);
         let Some(conn) = conns.get_mut(&token) else {
             continue; // connection closed before its reply resolved
         };
@@ -321,6 +355,7 @@ fn read_and_process(
     conn: &mut Conn,
     memo: &mut HashMap<Box<[u8]>, CacheKey>,
 ) {
+    let t_open = service.recorder().map(|r| r.now_us());
     let mut buf = [0u8; 16 * 1024];
     loop {
         match conn.stream.read(&mut buf) {
@@ -337,6 +372,9 @@ fn read_and_process(
             }
         }
     }
+    // Root spans open when the socket went readable; the Accept phase
+    // covers draining it.
+    let arrival = t_open.zip(service.recorder().map(|r| r.now_us()));
     // Detach the buffer so line slices can be handed out while `conn` is
     // mutably borrowed (avoids a per-line copy on the hot path).
     let rbuf = std::mem::take(&mut conn.rbuf);
@@ -354,15 +392,52 @@ fn read_and_process(
         if line.trim().is_empty() {
             continue;
         }
-        process_line(shard_idx, shared, service, token, conn, line, memo);
+        process_line(shard_idx, shared, service, token, conn, line, memo, arrival);
     }
     conn.rbuf = rbuf;
     conn.rbuf.drain(..start);
 }
 
+/// Open a request's spans: the root at `t_open` (socket readable), the
+/// Accept phase closing at `t_read` (socket drained), and InboxWait
+/// closing now — the time this line spent queued behind earlier lines
+/// of the same read batch. `None` without a recorder.
+fn begin_spans(
+    service: &Arc<Service>,
+    shard_idx: usize,
+    arrival: Option<(u64, u64)>,
+) -> Option<RequestSpans> {
+    let rec = service.recorder()?;
+    let (t_open, t_read) = arrival?;
+    // The real trace context is only known after parsing; the service
+    // stamps it via `set_trace` (memo and error paths keep id 0).
+    let mut spans = RequestSpans::begin(
+        TraceCtx {
+            trace_id: 0,
+            span_id: 0,
+        },
+        shard_idx,
+        t_open,
+    );
+    spans.mark(Phase::Accept, t_read);
+    spans.mark(Phase::InboxWait, rec.now_us());
+    Some(spans)
+}
+
+/// Close a request's spans (the Write phase: reply bytes ready → the
+/// owning shard buffering them, including the completion-mailbox hop
+/// for async replies) and journal them into this shard's ring.
+fn record_span(service: &Arc<Service>, shard_idx: usize, mut spans: Option<RequestSpans>) {
+    if let (Some(rec), Some(s)) = (service.recorder(), spans.as_mut()) {
+        s.mark(Phase::Write, rec.now_us());
+        rec.record(shard_idx, s);
+    }
+}
+
 /// Parse one wire line and enqueue its reply slot(s). Byte-identical
 /// repeats of plain `run` lines short-circuit through the
 /// request-identity memo when allowed (see `Service::memo_allowed`).
+#[allow(clippy::too_many_arguments)]
 fn process_line(
     shard_idx: usize,
     shared: &Arc<ShardShared>,
@@ -371,21 +446,28 @@ fn process_line(
     conn: &mut Conn,
     line: &str,
     memo: &mut HashMap<Box<[u8]>, CacheKey>,
+    arrival: Option<(u64, u64)>,
 ) {
+    let mut spans = begin_spans(service, shard_idx, arrival);
     let memo_ok = service.memo_allowed();
     if memo_ok {
         if let Some(&key) = memo.get(line.as_bytes()) {
             if let Some(reply) = service.fast_run_hit(key, shard_idx) {
+                service.mark_phase(&mut spans, Phase::CacheLookup);
                 let seq = conn.alloc_seq();
                 conn.pending.insert(seq, reply);
+                record_span(service, shard_idx, spans);
                 return;
             }
         }
     }
-    match service.decode_line(line) {
+    let decoded = service.decode_line(line);
+    service.mark_phase(&mut spans, Phase::Parse);
+    match decoded {
         Err(error_line) => {
             let seq = conn.alloc_seq();
             conn.pending.insert(seq, error_line.into());
+            record_span(service, shard_idx, spans);
         }
         Ok(Request::Run(run)) => {
             // Perfetto replies embed a server-minted trace context when
@@ -397,7 +479,7 @@ fn process_line(
                 }
                 memo.insert(line.as_bytes().into(), run.cache_key());
             }
-            submit_run(shard_idx, shared, service, token, conn, run)
+            submit_run(shard_idx, shared, service, token, conn, run, spans)
         }
         Ok(Request::Batch(runs)) => match service.admit_batch(&runs) {
             Err(error_line) => {
@@ -406,10 +488,14 @@ fn process_line(
                     let seq = conn.alloc_seq();
                     conn.pending.insert(seq, error_line.clone());
                 }
+                record_span(service, shard_idx, spans);
             }
             Ok(()) => {
+                // Each batch slot journals its own span (the checkpoint
+                // struct is `Copy`); they share the open/Accept/Parse
+                // checkpoints of the carrying line.
                 for run in runs {
-                    submit_run(shard_idx, shared, service, token, conn, run);
+                    submit_run(shard_idx, shared, service, token, conn, run, spans);
                 }
             }
         },
@@ -418,7 +504,9 @@ fn process_line(
         Ok(other) => {
             let seq = conn.alloc_seq();
             let reply = service.handle_request(other);
+            service.mark_phase(&mut spans, Phase::Serialize);
             conn.pending.insert(seq, reply.into());
+            record_span(service, shard_idx, spans);
         }
     }
 }
@@ -433,15 +521,17 @@ fn submit_run(
     token: u64,
     conn: &mut Conn,
     run: crate::protocol::RunRequest,
+    spans: Option<RequestSpans>,
 ) {
     let seq = conn.alloc_seq();
     let cb_shared = shared.clone();
-    let immediate = service.handle_run_async(run, shard_idx, move |line| {
-        cb_shared.completions.lock().push((token, seq, line));
+    let immediate = service.handle_run_async(run, shard_idx, spans, move |line, spans| {
+        cb_shared.completions.lock().push((token, seq, line, spans));
         cb_shared.poller.wake();
     });
-    if let Some(reply) = immediate {
+    if let Some((reply, spans)) = immediate {
         conn.pending.insert(seq, reply);
+        record_span(service, shard_idx, spans);
     }
 }
 
@@ -478,6 +568,7 @@ fn close_conn(
 /// pipelined clients get every reply they were promised, then flush each
 /// connection blockingly and close it.
 fn drain_and_close(
+    shard_idx: usize,
     shared: &Arc<ShardShared>,
     service: &Arc<Service>,
     conns: &mut HashMap<u64, Conn>,
@@ -489,7 +580,7 @@ fn drain_and_close(
     while outstanding(conns) && Instant::now() < deadline {
         events.clear();
         let _ = shared.poller.wait(&mut events, 50);
-        route_completions(shared, service, conns);
+        route_completions(shard_idx, shared, service, conns);
     }
     // Sorted before consuming: connections close in token order.
     let mut tokens: Vec<u64> = conns.keys().copied().collect(); // lint:allow hash-iteration

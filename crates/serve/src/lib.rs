@@ -46,12 +46,15 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use cache::ResultCache;
+pub use cache::{PersistSnapshot, ResultCache};
 pub use client::{Client, ClientError};
 pub use persist::AppendLog;
 pub use pool::WorkerPool;
-pub use protocol::{error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest};
+pub use protocol::{
+    error_code, ErrorReply, IntrospectReport, IntrospectRequest, PerfettoRun, PhaseLatency,
+    Request, Response, RunRequest, SpanDump,
+};
 pub use server::{Server, ServerHandle};
 pub use service::{ServeOptions, ServerMode, Service};
-pub use stats::{CacheStats, OpLatency, PersistStats, StatsReport};
+pub use stats::{CacheStats, OpLatency, PersistStats, ShardDepths, StatsReport};
 pub use ugpc_telemetry::{Level, Logger, Registry, TraceCtx};

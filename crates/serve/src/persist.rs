@@ -64,6 +64,8 @@ pub struct AppendLog {
     appended: u64,
     /// Current file length in bytes.
     bytes: u64,
+    /// Bytes the recovery scan discarded as a corrupt or torn tail.
+    truncated_bytes: u64,
 }
 
 impl AppendLog {
@@ -79,7 +81,8 @@ impl AppendLog {
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
         let (recovered, valid_end) = scan(&raw);
-        if valid_end as u64 != raw.len() as u64 {
+        let truncated_bytes = (raw.len() - valid_end) as u64;
+        if truncated_bytes != 0 {
             file.set_len(valid_end as u64)?;
         }
         file.seek(SeekFrom::Start(valid_end as u64))?;
@@ -91,6 +94,7 @@ impl AppendLog {
             recovered_count,
             appended: 0,
             bytes: valid_end as u64,
+            truncated_bytes,
         })
     }
 
@@ -117,6 +121,12 @@ impl AppendLog {
     /// Current log size in bytes.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Bytes the recovery scan cut off as a corrupt or torn tail (0 for
+    /// a clean open).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
     }
 
     /// Append one record. An I/O error is returned to the caller (the
@@ -203,6 +213,7 @@ mod tests {
             log.append(2, "second").expect("append");
             log.append(1, "first-updated").expect("append");
             assert_eq!(log.appended(), 3);
+            assert_eq!(log.truncated_bytes(), 0, "clean open truncates nothing");
         }
         let mut log = AppendLog::open(&path).expect("reopen");
         assert_eq!(log.recovered_count(), 3);
@@ -234,6 +245,7 @@ mod tests {
         let mut log = AppendLog::open(&path).expect("reopen");
         assert_eq!(log.take_recovered(), vec![(7, "kept".to_string())]);
         assert_eq!(log.bytes(), full_len.0, "truncated to the last boundary");
+        assert_eq!(log.truncated_bytes(), 5, "torn tail bytes are counted");
         // The log accepts appends at the repaired boundary.
         log.append(9, "after-repair").expect("append");
         drop(log);
@@ -265,6 +277,11 @@ mod tests {
             "scan stops at the first corrupt record"
         );
         assert!(log.bytes() < raw.len() as u64);
+        assert_eq!(
+            log.truncated_bytes(),
+            raw.len() as u64 - log.bytes(),
+            "everything after the corruption counts as truncated"
+        );
     }
 
     #[test]

@@ -140,6 +140,67 @@ impl RunRequest {
     }
 }
 
+/// Parameters of the [`Request::Introspect`] ops call. Every field is
+/// optional-with-default so a bare `{"Introspect":{}}` line works from
+/// `nc`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IntrospectRequest {
+    /// Return at most this many of the most recent span trees
+    /// (default 16).
+    pub last: Option<usize>,
+    /// Return the worst-K span trees by total latency (default 8).
+    pub worst: Option<usize>,
+}
+
+/// One span tree in an [`IntrospectReport`]: a request's root span and
+/// its telescoped phase decomposition. `phases` durations sum to
+/// `total_us` exactly (integer telescoping — see `ugpc_telemetry::span`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanDump {
+    /// Zero-padded lowercase-hex trace id (grep target in server logs).
+    pub trace: String,
+    /// Event-loop shard that served the request.
+    pub shard: u64,
+    /// Root-span open, µs since the recorder epoch.
+    pub start_us: u64,
+    /// Root-span total duration.
+    pub total_us: u64,
+    /// `(phase name, duration µs)` in pipeline order.
+    pub phases: Vec<(String, u64)>,
+}
+
+/// Per-phase latency decomposition over every recorded request (the
+/// phase histograms outlive the ring, so these cover the whole uptime).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseLatency {
+    pub phase: String,
+    pub count: u64,
+    pub mean_us: f64,
+    pub max_us: u64,
+    /// log₂-bucket upper bound holding the median.
+    pub p50_us: u64,
+    /// log₂-bucket upper bound holding the 99th percentile.
+    pub p99_us: u64,
+}
+
+/// The [`Request::Introspect`] response payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntrospectReport {
+    /// Whether a flight recorder is attached at all.
+    pub enabled: bool,
+    /// Requests ever recorded (ring overwrites included).
+    pub recorded: u64,
+    /// The last-N span trees, oldest first.
+    pub spans: Vec<SpanDump>,
+    /// The worst-K span trees by total latency, worst first.
+    pub worst: Vec<SpanDump>,
+    /// Per-phase p50/p99 decomposition, pipeline order, over every
+    /// recorded request.
+    pub phases: Vec<PhaseLatency>,
+    /// Root-span (total request latency) decomposition.
+    pub total: Option<PhaseLatency>,
+}
+
 /// Everything a client can ask the service.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
@@ -161,6 +222,9 @@ pub enum Request {
     ClearCache,
     /// Liveness probe.
     Ping,
+    /// Drain the flight recorder: last-N spans, worst-K span trees by
+    /// total latency, and the per-phase p50/p99 decomposition.
+    Introspect(IntrospectRequest),
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -228,6 +292,7 @@ pub enum Response {
     Perfetto(PerfettoRun),
     Stats(crate::stats::StatsReport),
     Metrics(String),
+    Introspect(IntrospectReport),
     Pong,
     CacheCleared,
     ShuttingDown,
@@ -279,6 +344,11 @@ mod tests {
             Request::Metrics,
             Request::ClearCache,
             Request::Ping,
+            Request::Introspect(IntrospectRequest::default()),
+            Request::Introspect(IntrospectRequest {
+                last: Some(4),
+                worst: Some(2),
+            }),
             Request::Shutdown,
         ] {
             let line = encode(&r);
@@ -299,6 +369,53 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn introspect_report_round_trips() {
+        let report = Response::Introspect(IntrospectReport {
+            enabled: true,
+            recorded: 42,
+            spans: vec![SpanDump {
+                trace: "00000000000abc".to_string(),
+                shard: 3,
+                start_us: 100,
+                total_us: 900,
+                phases: vec![("parse".to_string(), 7), ("simulate".to_string(), 893)],
+            }],
+            worst: vec![],
+            phases: vec![PhaseLatency {
+                phase: "simulate".to_string(),
+                count: 10,
+                mean_us: 812.5,
+                max_us: 2000,
+                p50_us: 1024,
+                p99_us: 2048,
+            }],
+            total: None,
+        });
+        let back: Response = decode(&encode(&report)).expect("decode");
+        let Response::Introspect(got) = back else {
+            panic!("wrong variant");
+        };
+        assert!(got.enabled);
+        assert_eq!(got.recorded, 42);
+        assert_eq!(got.spans.len(), 1);
+        assert_eq!(got.spans[0].phases[1].1, 893);
+        assert_eq!(
+            got.spans[0].phases.iter().map(|&(_, d)| d).sum::<u64>(),
+            got.spans[0].total_us,
+            "phase sums must telescope to the total over the wire too"
+        );
+        assert_eq!(got.phases[0].p99_us, 2048);
+        assert!(got.total.is_none());
+        // A bare ops call decodes with every field defaulted.
+        let bare: Request = decode("{\"Introspect\":{}}").expect("bare line");
+        let Request::Introspect(r) = bare else {
+            panic!("wrong variant");
+        };
+        assert_eq!(r.last, None);
+        assert_eq!(r.worst, None);
     }
 
     #[test]

@@ -10,9 +10,11 @@ use crate::cache::{Begin, ResultCache};
 use crate::persist::AppendLog;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    decode, encode, error_code, ErrorReply, PerfettoRun, Request, Response, RunRequest,
+    decode, encode, error_code, ErrorReply, IntrospectReport, IntrospectRequest, PerfettoRun,
+    PhaseLatency, Request, Response, RunRequest, SpanDump,
 };
 use crate::stats::{CacheStats, Metrics, PersistStats, StatsReport};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,7 +22,15 @@ use ugpc_core::{
     run_dynamic_study, run_study_observed, try_run_study, try_run_study_traced, RunConfig,
 };
 use ugpc_runtime::export::PerfettoSink;
-use ugpc_telemetry::{json_str, Level, Logger, TraceCtx};
+use ugpc_telemetry::{
+    json_str, FlightRecorder, HistogramSnapshot, Level, Logger, Phase, RequestSpans, SpanTree,
+    TraceCtx,
+};
+
+/// The one allocation on a leader's span path: the phase checkpoints
+/// travel to the pool worker inside the job box and come back through
+/// the flight's completion callback, so both sides share this cell.
+type SpanCell = Arc<Mutex<Option<RequestSpans>>>;
 
 /// How the TCP layer serves connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +77,13 @@ pub struct ServeOptions {
     pub persist_path: Option<std::path::PathBuf>,
     /// Which TCP serving architecture [`crate::Server`] runs.
     pub mode: ServerMode,
+    /// Attach the in-memory flight recorder (request span rings +
+    /// per-phase histograms, served by `Request::Introspect`). On by
+    /// default; turning it off is the differential-test axis proving
+    /// the recorder never changes a reply byte.
+    pub recorder: bool,
+    /// Span-ring capacity per event-loop shard (newest wins on wrap).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +101,8 @@ impl Default for ServeOptions {
             max_batch: 64,
             persist_path: None,
             mode: ServerMode::EventLoop,
+            recorder: true,
+            recorder_capacity: 256,
         }
     }
 }
@@ -98,6 +117,10 @@ pub struct Service {
     /// so a leader observing its own reply already sees the increment
     /// (unlike the pool's job counter, which lags the flight).
     simulations: Arc<AtomicU64>,
+    /// Per-shard span rings + phase histograms; `None` when
+    /// `ServeOptions::recorder` is off (or under the blocking server,
+    /// which never records spans).
+    recorder: Option<Arc<FlightRecorder>>,
     options: ServeOptions,
     shutdown: AtomicBool,
 }
@@ -117,11 +140,15 @@ impl Service {
                 .as_deref()
                 .and_then(|path| match AppendLog::open(path) {
                     Ok(log) => {
-                        if log.recovered_count() > 0 {
+                        if log.recovered_count() > 0 || log.truncated_bytes() > 0 {
                             logger.info(
                                 "cache log recovered",
                                 None,
-                                &[("records", log.recovered_count().to_string())],
+                                &[
+                                    ("records", log.recovered_count().to_string()),
+                                    ("bytes", log.bytes().to_string()),
+                                    ("truncated_bytes", log.truncated_bytes().to_string()),
+                                ],
                             );
                         }
                         Some(log)
@@ -145,6 +172,9 @@ impl Service {
             metrics: Metrics::new(options.shards.max(1)),
             logger,
             simulations: Arc::new(AtomicU64::new(0)),
+            recorder: options.recorder.then(|| {
+                FlightRecorder::new(options.shards.max(1), options.recorder_capacity.max(1))
+            }),
             options,
             shutdown: AtomicBool::new(false),
         })
@@ -152,6 +182,12 @@ impl Service {
 
     pub fn options(&self) -> &ServeOptions {
         &self.options
+    }
+
+    /// The attached flight recorder, if any (the event loop threads it
+    /// through request handling; `Introspect` drains it).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Set once a `Shutdown` request is seen; the accept loop polls it.
@@ -245,6 +281,12 @@ impl Service {
                 self.metrics.stats_op.record(t0.elapsed());
                 line
             }
+            Request::Introspect(req) => {
+                let t0 = Instant::now();
+                let line = encode(&Response::Introspect(self.introspect_report(&req)));
+                self.metrics.stats_op.record(t0.elapsed());
+                line
+            }
             Request::ClearCache => {
                 self.cache.clear();
                 encode(&Response::CacheCleared)
@@ -309,7 +351,67 @@ impl Service {
         m.gauge_cache_coalesced.set(c.coalesced as f64);
         m.gauge_cache_evictions.set(c.evictions as f64);
         m.gauge_cache_hit_rate.set(self.cache.hit_rate());
+        let (inbox, backlog) = m.depth_totals();
+        m.gauge_inbox_depth.set(inbox as f64);
+        m.gauge_write_backlog_bytes.set(backlog as f64);
+        if let Some(p) = self.cache.persist_stats() {
+            m.gauge_persist_log_bytes.set(p.bytes as f64);
+            m.gauge_persist_log_records
+                .set((p.recovered + p.appended) as f64);
+            m.gauge_persist_recovered_records.set(p.recovered as f64);
+            m.gauge_persist_truncated_bytes
+                .set(p.truncated_bytes as f64);
+        }
         m.registry().render()
+    }
+
+    /// Drain the flight recorder into the wire report: the last-N and
+    /// worst-K span trees plus the uptime-wide per-phase decomposition.
+    /// An absent recorder answers `enabled: false` rather than erroring
+    /// so ops tooling can probe unconditionally.
+    pub fn introspect_report(&self, req: &IntrospectRequest) -> IntrospectReport {
+        let Some(rec) = &self.recorder else {
+            return IntrospectReport {
+                enabled: false,
+                recorded: 0,
+                spans: Vec::new(),
+                worst: Vec::new(),
+                phases: Vec::new(),
+                total: None,
+            };
+        };
+        let trees = rec.drain();
+        let last = req.last.unwrap_or(16);
+        let spans: Vec<SpanDump> = trees.iter().rev().take(last).rev().map(dump_tree).collect();
+        let mut by_total: Vec<&SpanTree> = trees.iter().collect();
+        by_total.sort_by_key(|t| std::cmp::Reverse(t.total_us()));
+        let worst: Vec<SpanDump> = by_total
+            .iter()
+            .take(req.worst.unwrap_or(8))
+            .map(|t| dump_tree(t))
+            .collect();
+        let phases = rec
+            .phase_snapshots()
+            .iter()
+            .map(|(p, snap)| phase_latency(p.name(), snap))
+            .collect();
+        IntrospectReport {
+            enabled: true,
+            recorded: rec.recorded(),
+            spans,
+            worst,
+            phases,
+            total: Some(phase_latency("total", &rec.total_snapshot())),
+        }
+    }
+
+    /// Checkpoint `phase` on the request's spans, if both the recorder
+    /// and the spans exist (they are attached together by the event
+    /// loop; both are absent on the blocking path).
+    pub(crate) fn mark_phase(&self, spans: &mut Option<RequestSpans>, phase: Phase) {
+        if let (Some(rec), Some(s)) = (&self.recorder, spans.as_mut()) {
+            s.mark(phase, rec.now_us());
+        }
     }
 
     /// The run path: validate, consult the cache (single-flight), and on
@@ -348,7 +450,7 @@ impl Service {
                 let flight = guard.flight();
                 self.logger
                     .debug("cache miss, leading simulation", Some(ctx), &[]);
-                if let Some(reply) = self.lead_simulation(run, ctx, guard) {
+                if let Some(reply) = self.lead_simulation(run, ctx, guard, None) {
                     return reply; // backpressure: flight already failed
                 }
                 let out = render_flight(ResultCache::wait(&flight));
@@ -367,16 +469,27 @@ impl Service {
         run: &RunRequest,
         ctx: TraceCtx,
         guard: crate::cache::LeadGuard,
+        spans_cell: Option<SpanCell>,
     ) -> Option<String> {
         let job_run = run.clone();
         let sims = self.simulations.clone();
         let sims_metric = self.metrics.simulations.clone();
+        let rec = self.recorder.clone();
         let submitted = self.pool.try_submit_traced(
             Box::new(move || {
+                // The gap since the leader's CacheLookup mark is time
+                // spent queued behind other jobs.
+                mark_cell(&rec, &spans_cell, Phase::QueueWait);
                 let response = simulate_response(&job_run);
+                mark_cell(&rec, &spans_cell, Phase::Simulate);
                 sims.fetch_add(1, Ordering::SeqCst);
                 sims_metric.inc();
-                guard.fulfill(encode(&response).into());
+                let line = encode(&response);
+                mark_cell(&rec, &spans_cell, Phase::Serialize);
+                // `fulfill` runs the subscribed completion callbacks
+                // synchronously, so every Serialize mark above is
+                // visible before the leader's callback takes the cell.
+                guard.fulfill(line.into());
             }),
             Some(ctx),
         );
@@ -398,10 +511,12 @@ impl Service {
     /// The event-loop run path: same validation/cache/pool protocol as
     /// [`Service::handle_run`], but instead of blocking on an in-flight
     /// simulation it subscribes a completion callback. Returns
-    /// `Some(reply)` when the answer is available immediately (validation
-    /// error, cache hit, backpressure); `None` when `complete` will be
-    /// invoked exactly once with the reply line, from whichever thread
-    /// resolves the flight. Latency is recorded into the shard-`shard`
+    /// `Some((reply, spans))` when the answer is available immediately
+    /// (validation error, cache hit, backpressure); `None` when
+    /// `complete` will be invoked exactly once with the reply line and
+    /// the request's spans, from whichever thread resolves the flight —
+    /// the event loop routes both back to the owning shard, which alone
+    /// writes its span ring. Latency is recorded into the shard-`shard`
     /// histogram set *before* the reply is surfaced on every path, so a
     /// client that observes its reply then asks for `Stats` sees the
     /// sample.
@@ -409,13 +524,17 @@ impl Service {
         self: &Arc<Self>,
         mut run: RunRequest,
         shard: usize,
+        mut spans: Option<RequestSpans>,
         complete: F,
-    ) -> Option<Arc<str>>
+    ) -> Option<(Arc<str>, Option<RequestSpans>)>
     where
-        F: FnOnce(Arc<str>) + Send + 'static,
+        F: FnOnce(Arc<str>, Option<RequestSpans>) + Send + 'static,
     {
         let t0 = Instant::now();
         let ctx = self.resolve_and_log(&mut run);
+        if let Some(s) = spans.as_mut() {
+            s.set_trace(ctx);
+        }
         let lat = self.metrics.latency_shard(shard);
         let cfg = match self.validate_run(&run) {
             Ok(cfg) => cfg,
@@ -426,24 +545,31 @@ impl Service {
                     Some(ctx),
                     &[("reason", json_str(&reply.message))],
                 );
-                return Some(encode(&Response::Error(reply)).into());
+                return Some((encode(&Response::Error(reply)).into(), spans));
             }
         };
-        match self.cache.begin(run.cache_key_with(&cfg)) {
+        let begun = self.cache.begin(run.cache_key_with(&cfg));
+        self.mark_phase(&mut spans, Phase::CacheLookup);
+        match begun {
             Begin::Hit(line) => {
                 lat.run_hit.record(t0.elapsed());
                 self.logger.debug("cache hit", Some(ctx), &[]);
-                Some(line)
+                Some((line, spans))
             }
             Begin::Wait(flight) => {
                 self.logger
                     .debug("coalesced behind in-flight run", Some(ctx), &[]);
                 let hist = lat.run_wait.clone();
+                let rec = self.recorder.clone();
                 ResultCache::subscribe(
                     &flight,
                     Box::new(move |res| {
                         hist.record(t0.elapsed());
-                        complete(render_flight_arc(res));
+                        let mut spans = spans;
+                        if let (Some(rec), Some(s)) = (&rec, spans.as_mut()) {
+                            s.mark(Phase::FlightWait, rec.now_us());
+                        }
+                        complete(render_flight_arc(res), spans);
                     }),
                 );
                 None
@@ -452,15 +578,23 @@ impl Service {
                 let flight = guard.flight();
                 self.logger
                     .debug("cache miss, leading simulation", Some(ctx), &[]);
-                if let Some(reply) = self.lead_simulation(&run, ctx, guard) {
-                    return Some(reply.into()); // backpressure
+                let cell: Option<SpanCell> = spans.map(|s| Arc::new(Mutex::new(Some(s))));
+                if let Some(reply) = self.lead_simulation(&run, ctx, guard, cell.clone()) {
+                    // Backpressure: the rejected job box (and its cell
+                    // clone) was dropped, so the spans come straight
+                    // back out for the shard to journal the rejection.
+                    let spans = cell.and_then(|c| c.lock().take());
+                    return Some((reply.into(), spans));
                 }
                 let hist = lat.run_miss.clone();
                 ResultCache::subscribe(
                     &flight,
                     Box::new(move |res| {
                         hist.record(t0.elapsed());
-                        complete(render_flight_arc(res));
+                        // Runs inside `fulfill`, after the worker's
+                        // Serialize mark — the take sees every phase.
+                        let spans = cell.and_then(|c| c.lock().take());
+                        complete(render_flight_arc(res), spans);
                     }),
                 );
                 None
@@ -598,16 +732,53 @@ impl Service {
                 hit_rate: self.cache.hit_rate(),
             },
             latency: self.metrics.latency_report(),
-            persist: self.cache.persist_stats().map(
-                |(path, recovered, appended, bytes, errors)| PersistStats {
-                    path,
-                    recovered,
-                    appended,
-                    bytes,
-                    errors,
-                },
-            ),
+            persist: self.cache.persist_stats().map(|p| PersistStats {
+                path: p.path,
+                recovered: p.recovered,
+                appended: p.appended,
+                bytes: p.bytes,
+                truncated_bytes: Some(p.truncated_bytes),
+                errors: p.errors,
+            }),
         }
+    }
+}
+
+/// Checkpoint `phase` on the spans travelling inside a leader's cell
+/// (no-ops without a recorder or without spans — the blocking path and
+/// recorder-off servers pay one `None` check).
+fn mark_cell(rec: &Option<Arc<FlightRecorder>>, cell: &Option<SpanCell>, phase: Phase) {
+    if let (Some(rec), Some(cell)) = (rec, cell) {
+        if let Some(s) = cell.lock().as_mut() {
+            s.mark(phase, rec.now_us());
+        }
+    }
+}
+
+/// Project one decoded span tree into its wire form.
+fn dump_tree(t: &SpanTree) -> SpanDump {
+    SpanDump {
+        trace: t.trace_hex(),
+        shard: u64::from(t.shard),
+        start_us: t.start_us,
+        total_us: t.total_us(),
+        phases: t
+            .phases
+            .iter()
+            .map(|&(p, us)| (p.name().to_string(), us))
+            .collect(),
+    }
+}
+
+/// Project a phase histogram snapshot into its wire form.
+fn phase_latency(phase: &str, snap: &HistogramSnapshot) -> PhaseLatency {
+    PhaseLatency {
+        phase: phase.to_string(),
+        count: snap.count,
+        mean_us: snap.mean_us(),
+        max_us: snap.max_us,
+        p50_us: snap.quantile_upper_us(0.5),
+        p99_us: snap.quantile_upper_us(0.99),
     }
 }
 

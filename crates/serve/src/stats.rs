@@ -9,6 +9,7 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ugpc_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
@@ -66,6 +67,17 @@ impl ShardLatencies {
     }
 }
 
+/// One event-loop shard's live depth instruments, updated by the shard
+/// thread after every event round and summed at scrape time (the same
+/// merge discipline as the per-shard latency histograms).
+#[derive(Default)]
+pub struct ShardDepths {
+    /// Parsed lines sitting in the shard's inbox, not yet processed.
+    pub inbox_depth: AtomicU64,
+    /// Bytes buffered across the shard's connection write buffers.
+    pub write_backlog_bytes: AtomicU64,
+}
+
 /// Live service metrics: handles into the shared registry, plus the few
 /// values that are genuinely scrape-time (gauges, uptime).
 pub struct Metrics {
@@ -75,6 +87,9 @@ pub struct Metrics {
     /// the event loop record into `shards[0]`, aliased by the
     /// `run_hit`/`run_miss`/`run_wait`/`stats_op` fields below).
     shards: Vec<ShardLatencies>,
+    /// Per-shard event-loop depth instruments (same cardinality as
+    /// `shards`; the blocking server leaves them at zero).
+    depths: Vec<ShardDepths>,
     pub requests_total: Arc<Counter>,
     pub parse_errors: Arc<Counter>,
     pub invalid_configs: Arc<Counter>,
@@ -108,6 +123,15 @@ pub struct Metrics {
     pub gauge_cache_coalesced: Arc<Gauge>,
     pub gauge_cache_evictions: Arc<Gauge>,
     pub gauge_cache_hit_rate: Arc<Gauge>,
+    /// Sum of every shard's inbox depth (scrape-time).
+    pub gauge_inbox_depth: Arc<Gauge>,
+    /// Sum of every shard's buffered write bytes (scrape-time).
+    pub gauge_write_backlog_bytes: Arc<Gauge>,
+    // Append-log health; all four stay 0 for memory-only servers.
+    pub gauge_persist_log_bytes: Arc<Gauge>,
+    pub gauge_persist_log_records: Arc<Gauge>,
+    pub gauge_persist_recovered_records: Arc<Gauge>,
+    pub gauge_persist_truncated_bytes: Arc<Gauge>,
 }
 
 impl Default for Metrics {
@@ -127,6 +151,7 @@ impl Metrics {
         let shards: Vec<ShardLatencies> = (0..latency_shards.max(1))
             .map(|_| ShardLatencies::new())
             .collect();
+        let depths: Vec<ShardDepths> = (0..shards.len()).map(|_| ShardDepths::default()).collect();
         let r = Registry::new();
         let view = |name: &str, help: &str, pick: fn(&ShardLatencies) -> &Arc<Histogram>| {
             r.histogram_view(name, help, shards.iter().map(|s| pick(s).clone()).collect());
@@ -188,8 +213,33 @@ impl Metrics {
             gauge_cache_evictions: r.gauge("ugpc_cache_evictions", "LRU evictions."),
             gauge_cache_hit_rate: r
                 .gauge("ugpc_cache_hit_rate", "hits / (hits + misses + coalesced)."),
+            gauge_inbox_depth: r.gauge(
+                "ugpc_inbox_depth",
+                "Parsed request lines waiting in event-loop shard inboxes.",
+            ),
+            gauge_write_backlog_bytes: r.gauge(
+                "ugpc_write_backlog_bytes",
+                "Response bytes buffered awaiting socket writability.",
+            ),
+            gauge_persist_log_bytes: r.gauge(
+                "ugpc_persist_log_bytes",
+                "Append-log size in bytes (0 for memory-only servers).",
+            ),
+            gauge_persist_log_records: r.gauge(
+                "ugpc_persist_log_records",
+                "Append-log records: recovered at boot plus appended since.",
+            ),
+            gauge_persist_recovered_records: r.gauge(
+                "ugpc_persist_recovered_records",
+                "Records the boot-time recovery scan replayed.",
+            ),
+            gauge_persist_truncated_bytes: r.gauge(
+                "ugpc_persist_truncated_bytes",
+                "Bytes discarded at boot as a corrupt or torn log tail.",
+            ),
             registry: r,
             shards,
+            depths,
         }
     }
 }
@@ -213,6 +263,22 @@ impl Metrics {
     /// count so any dispatch index is safe).
     pub fn latency_shard(&self, i: usize) -> &ShardLatencies {
         &self.shards[i % self.shards.len()]
+    }
+
+    /// The depth instruments for shard `i` (wrapped like
+    /// [`Metrics::latency_shard`]).
+    pub fn depth_shard(&self, i: usize) -> &ShardDepths {
+        &self.depths[i % self.depths.len()]
+    }
+
+    /// `(inbox_depth, write_backlog_bytes)` summed across every shard.
+    pub fn depth_totals(&self) -> (u64, u64) {
+        self.depths.iter().fold((0, 0), |(inbox, backlog), d| {
+            (
+                inbox + d.inbox_depth.load(Ordering::Relaxed),
+                backlog + d.write_backlog_bytes.load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Merged snapshots across every shard, in the fixed wire order
@@ -257,6 +323,9 @@ pub struct PersistStats {
     pub appended: u64,
     /// Current log size in bytes.
     pub bytes: u64,
+    /// Bytes the boot-time scan discarded as a corrupt or torn tail.
+    /// `None` when decoding reports from servers that predate the field.
+    pub truncated_bytes: Option<u64>,
     /// Append failures (the cache keeps serving from memory).
     pub errors: u64,
 }
@@ -346,6 +415,7 @@ mod tests {
                 recovered: 2,
                 appended: 3,
                 bytes: 123,
+                truncated_bytes: Some(7),
                 errors: 0,
             }),
         };
@@ -357,10 +427,15 @@ mod tests {
         let p = back.persist.expect("persist present");
         assert_eq!(p.recovered, 2);
         assert_eq!(p.bytes, 123);
+        assert_eq!(p.truncated_bytes, Some(7));
         // Seed-era reports lack the field entirely; it decodes as None.
         let seedish = json.replace(",\"persist\":{", ",\"ignored\":{");
         let old: StatsReport = serde_json::from_str(&seedish).expect("parse seed form");
         assert!(old.persist.is_none());
+        // Pre-PR-10 reports have persist without truncated_bytes.
+        let pre = json.replace(",\"truncated_bytes\":7", "");
+        let old: StatsReport = serde_json::from_str(&pre).expect("parse pre-truncation form");
+        assert_eq!(old.persist.expect("present").truncated_bytes, None);
     }
 
     /// Satellite regression: a fixed duration sequence recorded

@@ -22,7 +22,8 @@ use ugpc_core::{set_backend_override, QueueBackend, RunConfig};
 use ugpc_hwsim::{OpKind, PlatformId, Precision};
 use ugpc_serve::protocol::encode;
 use ugpc_serve::{
-    Client, Request, RunRequest, ServeOptions, Server, ServerHandle, ServerMode, StatsReport,
+    Client, IntrospectRequest, Request, RunRequest, ServeOptions, Server, ServerHandle, ServerMode,
+    StatsReport,
 };
 
 fn tiny() -> RunConfig {
@@ -327,4 +328,106 @@ fn malformed_lines_are_identical_across_modes() {
             Some(want) => assert_eq!(&replies, want, "replies diverged in {mode:?}"),
         }
     }
+}
+
+/// The flight recorder is pure observation: a server with the recorder
+/// attached (the default) and one with it detached produce
+/// byte-identical reply lines for the same request stream, across both
+/// architectures, every submission shape, and both DES queue backends.
+/// This is the neutrality half of the observability contract — spans
+/// may time anything they like as long as no reply byte moves.
+#[test]
+fn flight_recorder_is_invisible_on_the_wire() {
+    let spawn_with = |mode: ServerMode, recorder: bool| {
+        let opts = ServeOptions {
+            recorder,
+            ..options(mode)
+        };
+        Server::bind("127.0.0.1:0", opts)
+            .expect("bind ephemeral port")
+            .spawn()
+    };
+    let run = |mode: ServerMode, scenario: &str, recorder: bool| -> Vec<String> {
+        let configs = workload();
+        let handle = spawn_with(mode, recorder);
+        let replies = match scenario {
+            "sequential" => exchange_sequential(handle.addr(), &run_lines(&configs)),
+            "pipelined" => exchange_pipelined(handle.addr(), &run_lines(&configs)),
+            "batched" => exchange_batched(handle.addr(), &configs),
+            other => panic!("unknown scenario {other}"),
+        };
+        handle.stop();
+        replies
+    };
+    for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+        set_backend_override(Some(backend));
+        for mode in [ServerMode::EventLoop, ServerMode::Blocking] {
+            for scenario in SCENARIOS {
+                let attached = run(mode, scenario, true);
+                let detached = run(mode, scenario, false);
+                assert_eq!(
+                    attached, detached,
+                    "recorder changed the wire bytes in {mode:?}/{scenario}/{backend:?}"
+                );
+            }
+        }
+    }
+    set_backend_override(None);
+}
+
+/// Introspect exactness: every span tree the recorder returns
+/// telescopes — the phase durations sum to the root total *exactly*
+/// (integer µs, no rounding slop) — and a recorder-off server answers
+/// `enabled: false` instead of erroring.
+#[test]
+fn introspect_span_trees_telescope_exactly() {
+    let handle = spawn(ServerMode::EventLoop);
+    let _ = exchange_pipelined(handle.addr(), &run_lines(&workload()));
+    let report = Client::connect(handle.addr())
+        .unwrap()
+        .introspect(IntrospectRequest {
+            last: Some(16),
+            worst: Some(8),
+        })
+        .unwrap();
+    handle.stop();
+    assert!(report.enabled, "event-loop default attaches the recorder");
+    assert!(report.recorded >= 5, "all five workload slots recorded");
+    assert!(!report.spans.is_empty());
+    assert!(!report.worst.is_empty());
+    for dump in report.spans.iter().chain(report.worst.iter()) {
+        let sum: u64 = dump.phases.iter().map(|(_, us)| us).sum();
+        assert_eq!(
+            sum, dump.total_us,
+            "trace {} phase sums must telescope to the root total",
+            dump.trace
+        );
+        assert!(!dump.phases.is_empty(), "trace {}", dump.trace);
+    }
+    // The per-phase decomposition covers the same uptime: the root-total
+    // histogram saw every recorded request.
+    let total = report.total.expect("root decomposition present");
+    assert_eq!(total.count, report.recorded);
+
+    let detached = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            recorder: false,
+            ..options(ServerMode::EventLoop)
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn();
+    let report = Client::connect(detached.addr())
+        .unwrap()
+        .introspect(IntrospectRequest {
+            last: None,
+            worst: None,
+        })
+        .unwrap();
+    detached.stop();
+    assert!(!report.enabled, "detached server reports enabled: false");
+    assert_eq!(report.recorded, 0);
+    assert!(report.spans.is_empty() && report.worst.is_empty() && report.phases.is_empty());
+    assert!(report.total.is_none());
 }

@@ -105,6 +105,11 @@ fn restart_replays_byte_identically_without_simulating() {
     assert_eq!(stats.cache.misses, 0);
     let persist = stats.persist.expect("persist tier attached");
     assert_eq!((persist.recovered, persist.appended), (3, 0));
+    assert_eq!(
+        persist.truncated_bytes,
+        Some(0),
+        "clean replay truncates nothing"
+    );
 
     // The log is a property of the cache, not the TCP architecture: the
     // blocking seed server replays the event-loop server's corpus too.
@@ -155,6 +160,11 @@ fn corrupt_tail_truncates_and_recomputes_over_the_wire() {
     let persist = stats.persist.expect("persist tier attached");
     assert_eq!(persist.recovered, 1, "scan stopped at the corrupt record");
     assert_eq!(persist.appended, 2, "recomputed results re-persisted");
+    let truncated = persist.truncated_bytes.expect("field present");
+    assert!(
+        truncated > 0,
+        "the discarded tail must be visible over the wire"
+    );
 
     // The repaired log now holds the full corpus again: one more
     // restart serves everything with zero simulations.

@@ -134,6 +134,17 @@ fn metrics_scrape_is_valid_and_counters_are_monotone() {
     assert_eq!(first.get("ugpc_simulations_total"), 1.0);
     assert!(first.get("ugpc_uptime_seconds") >= 0.0);
     assert_eq!(first.get("ugpc_open_connections"), 1.0);
+    // Shard health gauges: exported (and sane) even when idle. The
+    // scrape itself was the only in-flight request, so both queues had
+    // better be empty by publish time.
+    assert!(first.get("ugpc_inbox_depth") >= 0.0);
+    assert!(first.get("ugpc_write_backlog_bytes") >= 0.0);
+    // Append-log gauges: a memory-only server exports them as zeros
+    // rather than omitting the series (dashboards need stable names).
+    assert_eq!(first.get("ugpc_persist_log_bytes"), 0.0);
+    assert_eq!(first.get("ugpc_persist_log_records"), 0.0);
+    assert_eq!(first.get("ugpc_persist_recovered_records"), 0.0);
+    assert_eq!(first.get("ugpc_persist_truncated_bytes"), 0.0);
 
     // More traffic, then a second scrape: every counter is monotone.
     client.run(tiny()).unwrap(); // cache hit

@@ -141,6 +141,30 @@ impl HistogramSnapshot {
             .filter_map(|(i, &n)| (n > 0).then_some((1u64 << i, n)))
             .collect()
     }
+
+    /// Upper bound (in µs, exclusive) of the bucket holding the `q`-th
+    /// quantile sample — the log₂-resolution p50/p99 the flight
+    /// recorder's phase decomposition reports. 0 for an empty histogram;
+    /// the last bucket reports the observed `max_us` instead of its
+    /// (unbounded) edge.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == BUCKETS - 1 {
+                    self.max_us
+                } else {
+                    1u64 << i
+                };
+            }
+        }
+        self.max_us
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +245,27 @@ mod tests {
     }
 
     #[test]
+    fn quantile_upper_bounds_are_pinned() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_upper_us(0.5), 0, "empty");
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 2000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        // Nine samples in bucket 1 (<2µs), one in bucket 11 (<2048µs):
+        // p50 and p90 sit in bucket 1, p99 in the 2000µs bucket.
+        assert_eq!(s.quantile_upper_us(0.5), 2);
+        assert_eq!(s.quantile_upper_us(0.9), 2);
+        assert_eq!(s.quantile_upper_us(0.99), 2048);
+        assert_eq!(s.quantile_upper_us(1.0), 2048);
+        // The saturated last bucket reports the observed max, not an
+        // unbounded edge.
+        let big = Histogram::new();
+        big.record_us(u64::MAX);
+        assert_eq!(big.snapshot().quantile_upper_us(0.99), u64::MAX);
+    }
+
+    #[test]
     fn merged_snapshot_equals_shared_instance() {
         // The same sample stream split across shards must snapshot
         // bit-identically to one shared histogram.
@@ -239,5 +284,100 @@ mod tests {
             Histogram::merged_snapshot(std::iter::once(&shared)),
             shared.snapshot()
         );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hist_from(samples: &[u64]) -> Histogram {
+        let h = Histogram::new();
+        for &us in samples {
+            h.record_us(us);
+        }
+        h
+    }
+
+    /// Render a snapshot in the exact exposition shape (cumulative
+    /// buckets + sum + count + max) so equality below means the
+    /// *exposed* output is identical, not just the internals.
+    fn exposition(s: &HistogramSnapshot) -> (Vec<u64>, u64, u64, u64) {
+        let mut cumulative = Vec::with_capacity(BUCKETS);
+        let mut acc = 0u64;
+        for &n in &s.buckets {
+            acc += n;
+            cumulative.push(acc);
+        }
+        (cumulative, s.total_us, s.count, s.max_us)
+    }
+
+    proptest! {
+        /// Merge is commutative and associative: however the scrape
+        /// walks the shards, the merged exposition is identical. This is
+        /// the property the sharded serve layer's `histogram_view`
+        /// rendering rests on.
+        #[test]
+        fn merge_order_does_not_change_exposition(
+            a in proptest::collection::vec(0u64..u64::MAX, 0..40),
+            b in proptest::collection::vec(0u64..u64::MAX, 0..40),
+            c in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        ) {
+            // (a ⊕ b) ⊕ c
+            let left = hist_from(&a);
+            left.merge(&hist_from(&b));
+            left.merge(&hist_from(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = hist_from(&b);
+            bc.merge(&hist_from(&c));
+            let right = hist_from(&a);
+            right.merge(&bc);
+            // c ⊕ b ⊕ a (full reversal: commutativity)
+            let rev = hist_from(&c);
+            rev.merge(&hist_from(&b));
+            rev.merge(&hist_from(&a));
+            let want = exposition(&left.snapshot());
+            prop_assert_eq!(&exposition(&right.snapshot()), &want, "associativity");
+            prop_assert_eq!(&exposition(&rev.snapshot()), &want, "commutativity");
+            // And both equal one histogram fed every sample directly.
+            let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+            prop_assert_eq!(&exposition(&hist_from(&all).snapshot()), &want, "shared instance");
+        }
+
+        /// `merged_snapshot` is invariant under any permutation of the
+        /// shard list — scrape order across shards must not change the
+        /// exposition output.
+        #[test]
+        fn merged_snapshot_is_permutation_invariant(
+            shards in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000_000, 0..20), 1..6),
+            rot in 0usize..6,
+        ) {
+            let parts: Vec<Histogram> = shards.iter().map(|s| hist_from(s)).collect();
+            let forward = Histogram::merged_snapshot(parts.iter());
+            let mut rotated: Vec<&Histogram> = parts.iter().collect();
+            rotated.rotate_left(rot % parts.len().max(1));
+            prop_assert_eq!(Histogram::merged_snapshot(rotated.into_iter().rev()), forward);
+        }
+
+        /// Bucket-edge pins hold for arbitrary values: every sample's
+        /// bucket respects the documented half-open `[2^(i-1), 2^i)`
+        /// ranges, and an exact power of two lands one bucket up.
+        #[test]
+        fn bucket_edges_hold_for_arbitrary_samples(us in 0u64..u64::MAX) {
+            let i = bucket_index(us);
+            prop_assert!(i < BUCKETS);
+            if us == 0 {
+                prop_assert_eq!(i, 0);
+            } else if i < BUCKETS - 1 {
+                prop_assert!(us >= (1u64 << (i - 1)) && us < (1u64 << i));
+            } else {
+                prop_assert!(us >= 1u64 << (BUCKETS - 2));
+            }
+            if us.is_power_of_two() {
+                prop_assert_eq!(i, (us.trailing_zeros() as usize + 1).min(BUCKETS - 1));
+            }
+        }
     }
 }

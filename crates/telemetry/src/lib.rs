@@ -14,6 +14,11 @@
 //!   run is joinable with server logs by one grep.
 //! - **Structured logging** ([`Logger`]): leveled JSON-lines output with
 //!   an `UGPC_LOG` env filter and a swappable sink for tests.
+//! - **Request spans & flight recorder** ([`RequestSpans`],
+//!   [`FlightRecorder`]): per-phase request timing with telescoping
+//!   (exactly-summing) durations, journaled into per-shard seqlock ring
+//!   buffers with zero hot-path allocation and drained on demand — the
+//!   "why is p99 39 ms" answer behind the serve layer's `Introspect`.
 //! - **Critical-path profiler** ([`CriticalPathProfiler`]): an
 //!   `Observer` that replays the executor event stream against
 //!   `TaskGraph::critical_path`, attributing makespan and busy energy to
@@ -23,11 +28,15 @@
 pub mod histogram;
 pub mod log;
 pub mod profiler;
+pub mod recorder;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use histogram::{bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use log::{json_str, Level, Logger};
 pub use profiler::{CriticalPathProfiler, GroupRow, HotTask, ProfileReport, WorkerRow};
+pub use recorder::{FlightRecorder, RingShard};
 pub use registry::{Counter, Gauge, Registry};
+pub use span::{span_tree_json, Phase, RequestSpans, SpanTree, PHASES, RECORD_WORDS};
 pub use trace::{TraceCtx, ID_BITS};
